@@ -1,0 +1,42 @@
+//! The §4.2 blocking algorithm in isolation: weighted partitioning +
+//! decomposition of a trie into blocks.
+
+use bitstr::BitStr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trie_core::{partition, Trie};
+
+fn build_trie(n: usize, len: usize, seed: u64) -> Trie {
+    let keys = workloads::uniform_fixed(n, len, seed);
+    let mut t = Trie::new();
+    for (i, k) in keys.iter().enumerate() {
+        t.insert(k, i as u64);
+    }
+    t
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocking");
+    g.sample_size(10);
+    for n in [1usize << 12, 1 << 14] {
+        let mut t = build_trie(n, 128, 3);
+        t.split_long_edges(512);
+        g.bench_function(BenchmarkId::new("partition_roots", n), |b| {
+            b.iter(|| partition::partition_roots(&t, 64))
+        });
+        let roots = partition::partition_roots(&t, 64);
+        g.bench_function(BenchmarkId::new("decompose", n), |b| {
+            b.iter(|| partition::decompose(&t, &roots))
+        });
+    }
+    // query trie construction (Algorithm 1)
+    for n in [1usize << 12, 1 << 14] {
+        let keys: Vec<BitStr> = workloads::uniform_fixed(n, 128, 5);
+        g.bench_function(BenchmarkId::new("query_trie_build", n), |b| {
+            b.iter(|| trie_core::query::QueryTrie::build(&keys))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

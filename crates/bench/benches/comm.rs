@@ -1,0 +1,30 @@
+//! LCP batch latency as key length grows (Table 1's communication shape in
+//! wall-clock form).
+
+use baselines::DistRadixTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimtrie_bench::build_pim;
+
+fn bench_lcp_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcp_by_length");
+    g.sample_size(10);
+    for l in [64usize, 512] {
+        let n = 1 << 11;
+        let keys = workloads::uniform_fixed(n, l, 5);
+        let vals: Vec<u64> = (0..n as u64).collect();
+        let batch: Vec<_> = keys.iter().take(n / 2).cloned().collect();
+
+        let mut pim = build_pim(8, 6, &keys);
+        g.bench_function(BenchmarkId::new("pim-trie", l), |b| {
+            b.iter(|| pim.lcp_batch(&batch))
+        });
+        let mut radix = DistRadixTree::build(8, 4, 7, &keys, &vals);
+        g.bench_function(BenchmarkId::new("dist-radix4", l), |b| {
+            b.iter(|| radix.lcp_batch(&batch))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lcp_length);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! LCP batch latency under uniform vs adversarial skew (the wall-clock
+//! companion of `repro skew`).
+
+use baselines::RangePartitioned;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimtrie_bench::build_pim;
+
+fn bench_skew(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skew");
+    g.sample_size(10);
+    let n = 1 << 12;
+    let keys = workloads::uniform_fixed(n, 96, 11);
+    let vals: Vec<u64> = (0..n as u64).collect();
+    let batches = [
+        ("uniform", workloads::uniform_fixed(1 << 11, 96, 12)),
+        (
+            "same-path",
+            workloads::same_path_queries(&keys[42], 1 << 11, 32, 13),
+        ),
+    ];
+    let mut pim = build_pim(8, 14, &keys);
+    let mut range = RangePartitioned::build(8, &keys, &vals);
+    for (tag, batch) in &batches {
+        g.bench_function(BenchmarkId::new("pim-trie", tag), |b| {
+            b.iter(|| pim.lcp_batch(batch))
+        });
+        g.bench_function(BenchmarkId::new("range-part", tag), |b| {
+            b.iter(|| range.lcp_batch(batch))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Wall-clock cost of building each Table-1 structure (the space numbers
+//! themselves come from `repro t1-space`; Criterion tracks build time).
+
+use baselines::{DistRadixTree, DistXFastTrie, RangePartitioned};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimtrie_bench::build_pim;
+
+fn bench_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    let n = 1 << 11;
+    let keys = workloads::uniform_fixed(n, 64, 1);
+    let vals: Vec<u64> = (0..n as u64).collect();
+    let ints: Vec<u64> = keys.iter().map(|k| k.to_u64()).collect();
+
+    g.bench_function(BenchmarkId::new("pim-trie", n), |b| {
+        b.iter(|| build_pim(8, 1, &keys))
+    });
+    g.bench_function(BenchmarkId::new("dist-radix4", n), |b| {
+        b.iter(|| DistRadixTree::build(8, 4, 2, &keys, &vals))
+    });
+    g.bench_function(BenchmarkId::new("dist-xfast", n), |b| {
+        b.iter(|| DistXFastTrie::build(8, 64, 3, &ints))
+    });
+    g.bench_function(BenchmarkId::new("range-part", n), |b| {
+        b.iter(|| RangePartitioned::build(8, &keys, &vals))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end simulator throughput of the PIM-trie operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pimtrie_bench::build_pim;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pim_trie_ops");
+    g.sample_size(10);
+    let n = 1 << 12;
+    let bsz = 1 << 11;
+    let keys = workloads::uniform_fixed(n, 96, 21);
+    g.throughput(Throughput::Elements(bsz as u64));
+
+    let mut pim = build_pim(8, 22, &keys);
+    let queries = workloads::uniform_fixed(bsz, 96, 23);
+    g.bench_function(BenchmarkId::new("lcp_batch", bsz), |b| {
+        b.iter(|| pim.lcp_batch(&queries))
+    });
+    g.bench_function(BenchmarkId::new("lcp_batch_slow", bsz), |b| {
+        b.iter(|| pim.lcp_batch_slow(&queries))
+    });
+    g.bench_function(BenchmarkId::new("insert+delete", bsz), |b| {
+        b.iter(|| {
+            let fresh = workloads::uniform_fixed(bsz, 96, 25);
+            let vals: Vec<u64> = (0..bsz as u64).collect();
+            pim.insert_batch(&fresh, &vals);
+            pim.delete_batch(&fresh)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! The reproduction harness: regenerates every table/figure experiment of
+//! the PIM-trie paper on the simulator and prints the measured rows.
+//!
+//! Usage:
+//! ```text
+//! repro [--quick] [--p N] [t1-space|t1-rounds|t1-comm|skew|scale-p|batch|verify|ablate|all]
+//! ```
+
+use pimtrie_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let p = match args.iter().position(|a| a == "--p") {
+        None => 16,
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(v)) => v,
+            _ => {
+                eprintln!("error: --p needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+    };
+    let p_value_idx = args.iter().position(|a| a == "--p").map(|i| i + 1);
+    let what: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != p_value_idx)
+        .map(|(_, s)| s.as_str())
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+
+    const KNOWN: [&str; 10] = [
+        "all", "t1-space", "t1-rounds", "t1-comm", "skew", "space-balance",
+        "scale-p", "batch", "verify", "ablate",
+    ];
+    for w in &what {
+        if !KNOWN.contains(w) {
+            eprintln!("error: unknown experiment '{w}'. Known: {}", KNOWN.join(", "));
+            std::process::exit(2);
+        }
+    }
+    if p == 0 {
+        eprintln!("error: --p must be at least 1");
+        std::process::exit(2);
+    }
+
+    let run = |name: &str| what.contains(&"all") || what.contains(&name);
+
+    println!(
+        "PIM-trie reproduction harness (P = {p}{})",
+        if quick { ", quick" } else { "" }
+    );
+
+    if run("t1-space") {
+        bench::print_table(
+            "T1-space — Table 1 'Space': measured words per key",
+            &bench::t1_space(p, quick),
+        );
+    }
+    if run("t1-rounds") {
+        bench::print_table(
+            "T1-rounds — Table 1 'IO rounds' (LCP on depth-l chain data)",
+            &bench::t1_rounds(p, quick),
+        );
+        bench::print_table(
+            "T1-rounds — Insert/Delete/Subtree (PIM-trie, amortized)",
+            &bench::t1_rounds_updates(p, quick),
+        );
+    }
+    if run("t1-comm") {
+        bench::print_table(
+            "T1-comm — Table 1 'Communication': words per op vs key length",
+            &bench::t1_comm(p, quick),
+        );
+    }
+    if run("skew") {
+        bench::print_table(
+            "X-skew — load balance under adversarial workloads (max/mean per-module IO)",
+            &bench::skew(p, quick),
+        );
+    }
+    if run("space-balance") {
+        bench::print_table(
+            "X-space-balance — per-module space under benign/adversarial data (Lemma 2.1)",
+            &bench::space_balance(p, quick),
+        );
+    }
+    if run("scale-p") {
+        bench::print_table(
+            "X-scaleP — IO time per op and rounds as P grows",
+            &bench::scale_p(quick),
+        );
+    }
+    if run("batch") {
+        bench::print_table(
+            "X-batch — balance vs batch size (Theorem 4.3's Ω(P log⁵P) condition)",
+            &bench::batch_size(p, quick),
+        );
+    }
+    if run("verify") {
+        bench::print_table(
+            "X-verify — §4.4.3: narrow digests, collisions, redo work, exactness",
+            &bench::verify(p, quick),
+        );
+    }
+    if run("ablate") {
+        bench::print_table(
+            "X-ablate — push-pull & K_B ablations + fast vs pointer-chase path",
+            &bench::ablate(p, quick),
+        );
+    }
+}

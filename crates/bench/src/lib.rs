@@ -1,0 +1,567 @@
+//! Experiment runners regenerating every table and figure of the PIM-trie
+//! paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! recorded results).
+//!
+//! The paper is a theory paper: its "evaluation" is Table 1 (asymptotic
+//! space / IO-round / communication bounds for three designs) and five
+//! mechanism figures. Every function here measures one of those claims on
+//! the simulator and returns printable rows; the `repro` binary drives
+//! them, and the Criterion benches reuse the same runners at reduced sizes
+//! for wall-clock tracking.
+
+#![warn(missing_docs)]
+
+use baselines::{DistRadixTree, DistXFastTrie, RangePartitioned};
+use bitstr::hash::HashWidth;
+use bitstr::BitStr;
+use pim_sim::MetricsDelta;
+use pim_trie::{PimTrie, PimTrieConfig};
+use workloads::Spec;
+
+/// One printable result row: label + named numeric columns.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// row label (structure / workload / parameter point)
+    pub label: String,
+    /// (column name, value) pairs
+    pub cols: Vec<(&'static str, f64)>,
+}
+
+impl Row {
+    fn new(label: impl Into<String>) -> Self {
+        Row {
+            label: label.into(),
+            cols: Vec::new(),
+        }
+    }
+
+    fn col(mut self, name: &'static str, v: f64) -> Self {
+        self.cols.push((name, v));
+        self
+    }
+}
+
+/// Render rows as an aligned text table.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap().max(8);
+    print!("{:label_w$}", "");
+    for (name, _) in &rows[0].cols {
+        print!(" {name:>14}");
+    }
+    println!();
+    for r in rows {
+        print!("{:label_w$}", r.label);
+        for (_, v) in &r.cols {
+            if v.abs() >= 1000.0 || *v == v.trunc() {
+                print!(" {:>14.0}", v);
+            } else {
+                print!(" {:>14.3}", v);
+            }
+        }
+        println!();
+    }
+}
+
+fn values_for(keys: &[BitStr]) -> Vec<u64> {
+    (0..keys.len() as u64).collect()
+}
+
+/// Build a PIM-trie over `keys` with default parameters for `p` modules,
+/// then reset metric counters so experiments measure queries only.
+pub fn build_pim(p: usize, seed: u64, keys: &[BitStr]) -> PimTrie {
+    let cfg = PimTrieConfig::for_modules(p).with_seed(seed);
+    PimTrie::build(cfg, keys, &values_for(keys))
+}
+
+fn delta_cols(mut row: Row, d: &MetricsDelta, batch: usize) -> Row {
+    row = row
+        .col("io_rounds", d.io_rounds as f64)
+        .col("io_time", d.io_time as f64)
+        .col("words/op", d.io_volume() as f64 / batch.max(1) as f64)
+        .col("balance", d.io_balance());
+    row
+}
+
+// ---------------------------------------------------------------------
+// T1-space — Table 1, "Space" column
+// ---------------------------------------------------------------------
+
+/// Measured words per stored key for the three Table-1 designs.
+pub fn t1_space(p: usize, quick: bool) -> Vec<Row> {
+    let n = if quick { 1 << 12 } else { 1 << 14 };
+    let mut rows = Vec::new();
+    for (tag, spec) in [
+        ("uniform64", Spec::UniformFixed { len: 64 }),
+        ("var64-1024", Spec::UniformVar { min_len: 64, max_len: 1024 }),
+    ] {
+        let keys = spec.generate(n, 42);
+        let vals = values_for(&keys);
+        let pim = build_pim(p, 1, &keys);
+        rows.push(
+            Row::new(format!("pim-trie/{tag}"))
+                .col("keys", pim.len() as f64)
+                .col("words", pim.space_words() as f64)
+                .col("words/key", pim.space_words() as f64 / pim.len() as f64),
+        );
+        let radix = DistRadixTree::build(p, 4, 2, &keys, &vals);
+        rows.push(
+            Row::new(format!("dist-radix4/{tag}"))
+                .col("keys", radix.len() as f64)
+                .col("words", radix.space_words() as f64)
+                .col("words/key", radix.space_words() as f64 / radix.len() as f64),
+        );
+        if tag == "uniform64" {
+            let ints: Vec<u64> = keys.iter().map(|k| k.to_u64()).collect();
+            let xf = DistXFastTrie::build(p, 64, 3, &ints);
+            rows.push(
+                Row::new(format!("dist-xfast/{tag}"))
+                    .col("keys", xf.len() as f64)
+                    .col("words", xf.space_words() as f64)
+                    .col("words/key", xf.space_words() as f64 / xf.len() as f64),
+            );
+        }
+        let range = RangePartitioned::build(p, &keys, &vals);
+        rows.push(
+            Row::new(format!("range-part/{tag}"))
+                .col("keys", range.len() as f64)
+                .col("words", range.space_words() as f64)
+                .col("words/key", range.space_words() as f64 / range.len() as f64),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// T1-rounds — Table 1, "IO rounds" columns
+// ---------------------------------------------------------------------
+
+/// IO rounds per batch for LCP on deep (chain) data: PIM-trie's O(log P)
+/// vs the radix tree's O(l/s) pointer chasing vs x-fast's O(log l).
+pub fn t1_rounds(p: usize, quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let lens = if quick {
+        vec![128usize, 512]
+    } else {
+        vec![128usize, 512, 2048]
+    };
+    for l in lens {
+        // a chain trie of depth l plus uniform filler
+        let chain = workloads::path_chain(l / 8, 8, 7);
+        let filler = workloads::uniform_fixed(if quick { 1 << 11 } else { 1 << 13 }, 64, 8);
+        let mut keys = chain.clone();
+        keys.extend(filler);
+        let vals = values_for(&keys);
+        // queries: the chain keys (deep paths) repeated to batch size
+        let batch: Vec<BitStr> = chain
+            .iter()
+            .cycle()
+            .take(if quick { 1 << 10 } else { 1 << 12 })
+            .cloned()
+            .collect();
+
+        let mut pim = build_pim(p, 4, &keys);
+        let snap = pim.system().metrics().snapshot();
+        let _ = pim.lcp_batch(&batch);
+        let d = pim.system().metrics().since(&snap);
+        rows.push(delta_cols(
+            Row::new(format!("pim-trie/l={l}")).col("l", l as f64),
+            &d,
+            batch.len(),
+        ));
+
+        let mut radix = DistRadixTree::build(p, 4, 5, &keys, &vals);
+        let snap = radix.system().metrics().snapshot();
+        let _ = radix.lcp_batch(&batch);
+        let d = radix.system().metrics().since(&snap);
+        rows.push(delta_cols(
+            Row::new(format!("dist-radix4/l={l}")).col("l", l as f64),
+            &d,
+            batch.len(),
+        ));
+    }
+    // x-fast: fixed 64-bit keys only — O(log w) rounds
+    let ints: Vec<u64> = workloads::uniform_fixed(1 << 12, 64, 9)
+        .iter()
+        .map(|k| k.to_u64())
+        .collect();
+    let mut xf = DistXFastTrie::build(p, 64, 10, &ints);
+    let queries: Vec<u64> = ints.iter().take(1 << 10).copied().collect();
+    let snap = xf.system().metrics().snapshot();
+    let _ = xf.lcp_batch(&queries);
+    let d = xf.system().metrics().since(&snap);
+    rows.push(delta_cols(
+        Row::new("dist-xfast/l=64 (int)").col("l", 64.0),
+        &d,
+        queries.len(),
+    ));
+    rows
+}
+
+/// Amortized rounds for Insert/Delete/Subtree on PIM-trie (Table 1's
+/// update columns; the baselines' update paths follow their query paths).
+pub fn t1_rounds_updates(p: usize, quick: bool) -> Vec<Row> {
+    let n = if quick { 1 << 12 } else { 1 << 14 };
+    let base = workloads::uniform_fixed(n, 128, 11);
+    let mut pim = build_pim(p, 6, &base);
+    let mut rows = Vec::new();
+
+    let ins = workloads::uniform_fixed(n / 4, 128, 12);
+    let snap = pim.system().metrics().snapshot();
+    pim.insert_batch(&ins, &values_for(&ins));
+    let d = pim.system().metrics().since(&snap);
+    rows.push(delta_cols(Row::new("pim-trie/insert"), &d, ins.len()));
+
+    let dels: Vec<BitStr> = base.iter().step_by(4).cloned().collect();
+    let snap = pim.system().metrics().snapshot();
+    let _ = pim.delete_batch(&dels);
+    let d = pim.system().metrics().since(&snap);
+    rows.push(delta_cols(Row::new("pim-trie/delete"), &d, dels.len()));
+
+    let prefixes: Vec<BitStr> = base
+        .iter()
+        .skip(1)
+        .step_by(16)
+        .map(|k| k.slice(0..16).to_bitstr())
+        .collect();
+    let snap = pim.system().metrics().snapshot();
+    let subs = pim.subtree_batch(&prefixes);
+    let d = pim.system().metrics().since(&snap);
+    let result_keys: usize = subs.iter().flatten().map(|t| t.n_keys()).sum();
+    rows.push(
+        delta_cols(Row::new("pim-trie/subtree"), &d, prefixes.len())
+            .col("result_keys", result_keys as f64),
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------
+// T1-comm — Table 1, "Communication" columns
+// ---------------------------------------------------------------------
+
+/// Words of communication per operation as key length grows: PIM-trie's
+/// O(l/w) slope vs dist-radix's O(l/s) slope; insert comm for x-fast.
+pub fn t1_comm(p: usize, quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let lens = if quick {
+        vec![64usize, 256, 1024]
+    } else {
+        vec![64usize, 256, 1024, 4096]
+    };
+    for l in lens {
+        let n = if quick { 1 << 11 } else { 1 << 12 };
+        let keys = workloads::uniform_fixed(n, l, 21);
+        let vals = values_for(&keys);
+        // queries extend stored keys: matches traverse the full length
+        let batch: Vec<BitStr> = keys
+            .iter()
+            .take(n / 2)
+            .map(|k| {
+                let mut q = k.clone();
+                q.push(true);
+                q
+            })
+            .collect();
+
+        let mut pim = build_pim(p, 13, &keys);
+        let snap = pim.system().metrics().snapshot();
+        let _ = pim.lcp_batch(&batch);
+        let d = pim.system().metrics().since(&snap);
+        rows.push(delta_cols(
+            Row::new(format!("pim-trie/lcp l={l}")).col("l", l as f64),
+            &d,
+            batch.len(),
+        ));
+
+        let mut radix = DistRadixTree::build(p, 4, 14, &keys, &vals);
+        let snap = radix.system().metrics().snapshot();
+        let _ = radix.lcp_batch(&batch);
+        let d = radix.system().metrics().since(&snap);
+        rows.push(delta_cols(
+            Row::new(format!("dist-radix4/lcp l={l}")).col("l", l as f64),
+            &d,
+            batch.len(),
+        ));
+    }
+    // insert communication: x-fast pays O(w) words/key; PIM-trie O(l/w)
+    let ints: Vec<u64> = workloads::uniform_fixed(1 << 11, 64, 23)
+        .iter()
+        .map(|k| k.to_u64())
+        .collect();
+    let mut xf = DistXFastTrie::new(p, 64, 24);
+    let snap = xf.system().metrics().snapshot();
+    xf.insert_batch(&ints);
+    let d = xf.system().metrics().since(&snap);
+    rows.push(delta_cols(
+        Row::new("dist-xfast/insert l=64").col("l", 64.0),
+        &d,
+        ints.len(),
+    ));
+    let keys = workloads::uniform_fixed(1 << 11, 64, 23);
+    let mut pim = build_pim(p, 25, &workloads::uniform_fixed(1 << 11, 64, 26));
+    let snap = pim.system().metrics().snapshot();
+    pim.insert_batch(&keys, &values_for(&keys));
+    let d = pim.system().metrics().since(&snap);
+    rows.push(delta_cols(
+        Row::new("pim-trie/insert l=64").col("l", 64.0),
+        &d,
+        keys.len(),
+    ));
+    rows
+}
+
+// ---------------------------------------------------------------------
+// X-skew — the headline: load balance under adversarial workloads
+// ---------------------------------------------------------------------
+
+/// Per-module load balance of an LCP batch under increasing skew, for
+/// PIM-trie vs range-partitioned vs distributed radix.
+pub fn skew(p: usize, quick: bool) -> Vec<Row> {
+    let n = if quick { 1 << 13 } else { 1 << 14 };
+    let bsz = if quick { 1 << 12 } else { 1 << 13 };
+    let keys = workloads::uniform_fixed(n, 96, 31);
+    let vals = values_for(&keys);
+
+    // query generators per skew level
+    let batches: Vec<(&str, Vec<BitStr>)> = vec![
+        ("uniform", workloads::uniform_fixed(bsz, 96, 32)),
+        (
+            "zipf0.8",
+            zipf_over_keys(&keys, bsz, 0.8, 33),
+        ),
+        (
+            "zipf1.2",
+            zipf_over_keys(&keys, bsz, 1.2, 34),
+        ),
+        (
+            "same-path",
+            workloads::same_path_queries(&keys[7], bsz, 32, 35),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (tag, batch) in &batches {
+        let mut pim = build_pim(p, 36, &keys);
+        let snap = pim.system().metrics().snapshot();
+        let _ = pim.lcp_batch(batch);
+        let d = pim.system().metrics().since(&snap);
+        rows.push(delta_cols(Row::new(format!("pim-trie/{tag}")), &d, batch.len()));
+
+        let mut range = RangePartitioned::build(p, &keys, &vals);
+        let snap = range.system().metrics().snapshot();
+        let _ = range.lcp_batch(batch);
+        let d = range.system().metrics().since(&snap);
+        rows.push(delta_cols(
+            Row::new(format!("range-part/{tag}")),
+            &d,
+            batch.len(),
+        ));
+
+        let mut radix = DistRadixTree::build(p, 4, 37, &keys, &vals);
+        let snap = radix.system().metrics().snapshot();
+        let _ = radix.lcp_batch(batch);
+        let d = radix.system().metrics().since(&snap);
+        rows.push(delta_cols(
+            Row::new(format!("dist-radix4/{tag}")),
+            &d,
+            batch.len(),
+        ));
+    }
+    rows
+}
+
+/// Queries drawn from the stored keys with Zipf(θ) popularity.
+pub fn zipf_over_keys(keys: &[BitStr], n: usize, theta: f64, seed: u64) -> Vec<BitStr> {
+    use rand::SeedableRng;
+    let zipf = workloads::Zipf::new(keys.len(), theta);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| keys[zipf.sample(&mut rng)].clone()).collect()
+}
+
+/// Per-module *space* balance after builds on benign and adversarial data
+/// (the Lemma 2.1 weighted balls-into-bins claim for blocks): even a
+/// degenerate path trie spreads its blocks evenly across modules.
+pub fn space_balance(p: usize, quick: bool) -> Vec<Row> {
+    let n = if quick { 1 << 12 } else { 1 << 14 };
+    let data: Vec<(&str, Vec<BitStr>)> = vec![
+        ("uniform", workloads::uniform_fixed(n, 96, 81)),
+        ("urls", workloads::urls(n, 82)),
+        ("path-chain", workloads::path_chain(n / 8, 8, 83)),
+        ("shared-prefix", workloads::shared_prefix(n, 64, 160, 84)),
+    ];
+    let mut rows = Vec::new();
+    for (tag, keys) in &data {
+        let pim = build_pim(p, 85, keys);
+        let per: Vec<u64> = pim
+            .system()
+            .modules()
+            .map(|m| m.space_words())
+            .collect();
+        let total: u64 = per.iter().sum();
+        let max = *per.iter().max().unwrap();
+        let mean = total as f64 / p as f64;
+        rows.push(
+            Row::new(format!("pim-trie/{tag}"))
+                .col("keys", pim.len() as f64)
+                .col("total_words", total as f64)
+                .col("space_balance", max as f64 / mean.max(1.0)),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// X-scaleP — aggregate-bandwidth scaling
+// ---------------------------------------------------------------------
+
+/// IO time per op and rounds as the module count grows (Theorem 4.3:
+/// IO time ∝ 1/P, rounds ∝ log P).
+pub fn scale_p(quick: bool) -> Vec<Row> {
+    let n = if quick { 1 << 13 } else { 1 << 14 };
+    let bsz = if quick { 1 << 12 } else { 1 << 13 };
+    let keys = workloads::uniform_fixed(n, 128, 41);
+    let batch = workloads::uniform_fixed(bsz, 128, 42);
+    let ps = if quick {
+        vec![2usize, 8, 32]
+    } else {
+        vec![2usize, 4, 8, 16, 32, 64]
+    };
+    let mut rows = Vec::new();
+    for p in ps {
+        let mut pim = build_pim(p, 43, &keys);
+        let snap = pim.system().metrics().snapshot();
+        let _ = pim.lcp_batch(&batch);
+        let d = pim.system().metrics().since(&snap);
+        rows.push(
+            delta_cols(Row::new(format!("P={p}")).col("P", p as f64), &d, batch.len())
+                .col("io_time/op", d.io_time as f64 / batch.len() as f64),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// X-batch — the Ω(P log^5 P) batch-size condition
+// ---------------------------------------------------------------------
+
+/// Balance as the batch shrinks below the paper's minimum batch size.
+pub fn batch_size(p: usize, quick: bool) -> Vec<Row> {
+    let n = if quick { 1 << 13 } else { 1 << 14 };
+    let keys = workloads::uniform_fixed(n, 96, 51);
+    let mut pim = build_pim(p, 52, &keys);
+    let sizes = if quick {
+        vec![64usize, 1024, 8192]
+    } else {
+        vec![64usize, 256, 1024, 4096, 16384]
+    };
+    let mut rows = Vec::new();
+    for bsz in sizes {
+        let batch = workloads::uniform_fixed(bsz, 96, 53 + bsz as u64);
+        let snap = pim.system().metrics().snapshot();
+        let _ = pim.lcp_batch(&batch);
+        let d = pim.system().metrics().since(&snap);
+        rows.push(delta_cols(
+            Row::new(format!("batch={bsz}")).col("batch", bsz as f64),
+            &d,
+            bsz,
+        ));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// X-verify — §4.4.3 narrow-digest collision handling
+// ---------------------------------------------------------------------
+
+/// Redo work and exactness as the hash digest narrows.
+pub fn verify(p: usize, quick: bool) -> Vec<Row> {
+    let n = if quick { 1 << 12 } else { 1 << 13 };
+    let keys = workloads::uniform_fixed(n, 96, 61);
+    let batch = workloads::uniform_fixed(n / 2, 104, 62);
+    let mut rows = Vec::new();
+    // ground truth from the full-width structure's slow path
+    let mut truth_pim = build_pim(p, 63, &keys);
+    let truth = truth_pim.lcp_batch_slow(&batch);
+    for width in [8u32, 12, 16, 61] {
+        let cfg = PimTrieConfig::for_modules(p)
+            .with_seed(63)
+            .with_hash_width(HashWidth(width));
+        let mut pim = PimTrie::build(cfg, &keys, &values_for(&keys));
+        let snap = pim.system().metrics().snapshot();
+        let got = pim.lcp_batch(&batch);
+        let d = pim.system().metrics().since(&snap);
+        let wrong = got.iter().zip(&truth).filter(|(a, b)| a != b).count();
+        rows.push(
+            delta_cols(
+                Row::new(format!("width={width}")).col("width", width as f64),
+                &d,
+                batch.len(),
+            )
+            .col("pim_time", d.pim_time as f64)
+            .col("redo_paths", pim.redo_paths() as f64)
+            .col("wrong", wrong as f64),
+        );
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// X-ablate — design-choice ablations
+// ---------------------------------------------------------------------
+
+/// Ablations: push-pull threshold and block size K_B.
+pub fn ablate(p: usize, quick: bool) -> Vec<Row> {
+    let n = if quick { 1 << 12 } else { 1 << 13 };
+    let keys = workloads::uniform_fixed(n, 96, 71);
+    // a skewed batch stresses the push-pull decision
+    let batch = workloads::same_path_queries(&keys[3], if quick { 1 << 11 } else { 1 << 12 }, 32, 72);
+    let mut rows = Vec::new();
+    for (tag, cfg) in [
+        (
+            "default",
+            PimTrieConfig::for_modules(p).with_seed(73),
+        ),
+        (
+            "always-pull",
+            PimTrieConfig::for_modules(p).with_seed(73).with_push_threshold(0),
+        ),
+        (
+            "always-push",
+            PimTrieConfig::for_modules(p)
+                .with_seed(73)
+                .with_push_threshold(u64::MAX),
+        ),
+        (
+            "kb=16",
+            PimTrieConfig::for_modules(p).with_seed(73).with_k_b(16),
+        ),
+        (
+            "kb=256",
+            PimTrieConfig::for_modules(p).with_seed(73).with_k_b(256),
+        ),
+    ] {
+        let mut pim = PimTrie::build(cfg, &keys, &values_for(&keys));
+        let snap = pim.system().metrics().snapshot();
+        let _ = pim.lcp_batch(&batch);
+        let d = pim.system().metrics().since(&snap);
+        rows.push(
+            delta_cols(Row::new(tag), &d, batch.len())
+                .col("space", pim.space_words() as f64),
+        );
+    }
+    // fast path vs slow path (the "no hash manager" ablation)
+    let mut pim = build_pim(p, 74, &keys);
+    let snap = pim.system().metrics().snapshot();
+    let _ = pim.lcp_batch(&batch);
+    let d = pim.system().metrics().since(&snap);
+    rows.push(delta_cols(Row::new("fast-path"), &d, batch.len()).col("space", 0.0));
+    let snap = pim.system().metrics().snapshot();
+    let _ = pim.lcp_batch_slow(&batch);
+    let d = pim.system().metrics().since(&snap);
+    rows.push(delta_cols(Row::new("slow-path(ptr-chase)"), &d, batch.len()).col("space", 0.0));
+    rows
+}

@@ -1,0 +1,356 @@
+//! Binary associatively incremental hashing (paper Definitions 2–3).
+//!
+//! The PIM-trie requires a hash function on bit-strings where the hash of a
+//! concatenation `A·B` is computable from `h(A)`, `h(B)` and `|B|` alone.
+//! That is what makes it possible to (a) hash a query trie's nodes in
+//! `O(L/w + n)` work by a prefix-sum over words plus a rootfix over the trie
+//! (Lemmas 4.4 and 4.9), and (b) derive a node hash inside a detached block
+//! from the block-root hash and the in-block suffix.
+//!
+//! [`PolyHasher`] implements the rolling polynomial hash of Karp–Rabin kind
+//! over the Mersenne prime field `F_p`, `p = 2^61 - 1`:
+//!
+//! ```text
+//! h(S) = Σ_{i < |S|} (S_i + 1) · base^(|S|-1-i)   (mod p)
+//! ```
+//!
+//! The `+1` on each digit makes the hash length-aware (otherwise `h("0"·S) =
+//! h(S)`), while keeping the associative combine
+//! `h(A·B) = h(A)·base^|B| + h(B)`.
+//!
+//! Hash *width*: the paper sets the hash length to `Θ(log N)` bits and
+//! resolves residual collisions by verification (§4.4.3). [`HashWidth`]
+//! reproduces that knob — tables compare *digests* (the low `width` bits),
+//! so narrowing the width forces collisions and exercises the verification
+//! path on demand.
+
+use crate::bits::{BitSlice, BitStr};
+use serde::{Deserialize, Serialize};
+
+/// A full-precision hash value (61 significant bits for [`PolyHasher`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HashVal(pub u64);
+
+impl std::fmt::Debug for HashVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{:016x}", self.0)
+    }
+}
+
+/// Number of digest bits actually compared by hash tables (§4.4.3's hash
+/// length). `FULL` (61) makes collisions vanishingly rare; small widths are
+/// used by the verification experiments to force collisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashWidth(pub u32);
+
+impl HashWidth {
+    /// Full 61-bit digests.
+    pub const FULL: HashWidth = HashWidth(61);
+
+    /// Mask a hash value down to this digest width.
+    #[inline]
+    pub fn digest(self, h: HashVal) -> u64 {
+        if self.0 >= 61 {
+            h.0
+        } else {
+            h.0 & ((1u64 << self.0) - 1)
+        }
+    }
+}
+
+impl Default for HashWidth {
+    fn default() -> Self {
+        HashWidth::FULL
+    }
+}
+
+/// A hash function on bit-strings with an associative concatenation combine
+/// (Definition 3 of the paper).
+pub trait IncrementalHash: Sync + Send {
+    /// Hash of the empty string.
+    fn empty(&self) -> HashVal;
+
+    /// Hash of an arbitrary bit-slice.
+    fn hash_bits(&self, s: BitSlice<'_>) -> HashVal;
+
+    /// `h(A·B)` from `h(A)`, `h(B)` and `|B|` in bits.
+    fn combine(&self, a: HashVal, b: HashVal, b_len_bits: u64) -> HashVal;
+
+    /// Convenience: hash an owned [`BitStr`].
+    fn hash_str(&self, s: &BitStr) -> HashVal {
+        self.hash_bits(s.as_slice())
+    }
+}
+
+const P: u64 = (1 << 61) - 1; // Mersenne prime 2^61 - 1
+
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let s = a + b; // both < 2^61, no overflow
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    let x = (a as u128) * (b as u128);
+    let lo = (x & (P as u128)) as u64;
+    let hi = (x >> 61) as u64;
+    // hi < 2^67 / 2^61 * 2^61 ... hi can be up to ~2^66; fold twice.
+    let folded = lo + (hi & P) + (hi >> 61);
+    let folded = if folded >= P { folded - P } else { folded };
+    if folded >= P {
+        folded - P
+    } else {
+        folded
+    }
+}
+
+/// Rolling polynomial hash over `F_{2^61 - 1}` with table-accelerated
+/// word-at-a-time evaluation (8 byte-tables, ~16 KiB).
+pub struct PolyHasher {
+    base: u64,
+    /// `base^(2^k)` for k in 0..64.
+    pow2: [u64; 64],
+    /// `byte_tab[k][v]` = Σ_{j<8, bit j of v set} base^(8k + j)
+    /// (bit j counted from the LSB — used on right-aligned chunks).
+    byte_tab: Box<[[u64; 256]; 8]>,
+    /// `ones[n]` = Σ_{j<n} base^j — the "+1 per digit" part of an n-bit chunk.
+    ones: [u64; 65],
+}
+
+impl PolyHasher {
+    /// Hasher with a deterministic base derived from `seed`
+    /// (splitmix64-style), suitable for reproducible experiments.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // base in [256, P): avoid tiny bases where short strings collide.
+        let base = 256 + z % (P - 512);
+        Self::with_base(base)
+    }
+
+    /// Hasher with an explicit base (must satisfy `2 <= base < 2^61 - 1`).
+    pub fn with_base(base: u64) -> Self {
+        assert!((2..P).contains(&base));
+        let mut pow2 = [0u64; 64];
+        pow2[0] = base;
+        for k in 1..64 {
+            pow2[k] = mul_mod(pow2[k - 1], pow2[k - 1]);
+        }
+        let mut byte_tab = Box::new([[0u64; 256]; 8]);
+        // basepow[j] = base^j for j < 64
+        let mut basepow = [0u64; 64];
+        basepow[0] = 1;
+        for j in 1..64 {
+            basepow[j] = mul_mod(basepow[j - 1], base);
+        }
+        for k in 0..8 {
+            for v in 0..256usize {
+                let mut acc = 0u64;
+                for j in 0..8 {
+                    if (v >> j) & 1 == 1 {
+                        acc = add_mod(acc, basepow[8 * k + j]);
+                    }
+                }
+                byte_tab[k][v] = acc;
+            }
+        }
+        let mut ones = [0u64; 65];
+        for n in 1..=64 {
+            ones[n] = add_mod(ones[n - 1], basepow[n - 1]);
+        }
+        PolyHasher {
+            base,
+            pow2,
+            byte_tab,
+            ones,
+        }
+    }
+
+    /// The multiplier base.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// `base^n mod p`.
+    pub fn pow(&self, mut n: u64) -> u64 {
+        let mut acc = 1u64;
+        let mut k = 0;
+        while n != 0 {
+            if n & 1 == 1 {
+                acc = mul_mod(acc, self.pow2[k]);
+            }
+            n >>= 1;
+            k += 1;
+        }
+        acc
+    }
+
+    /// Hash of an `n <= 64`-bit chunk given **left-aligned** (as produced by
+    /// [`BitSlice::chunk`]).
+    #[inline]
+    pub fn hash_chunk(&self, x: u64, n: usize) -> HashVal {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return HashVal(0);
+        }
+        // Right-align so that string position i (0 = most significant of the
+        // chunk) sits at machine bit (n-1-i), i.e. exponent n-1-i — exactly
+        // the polynomial's exponent for a chunk that ends the string.
+        let y = x >> (64 - n);
+        let mut acc = self.ones[n];
+        let mut k = 0;
+        let mut v = y;
+        while v != 0 {
+            acc = add_mod(acc, self.byte_tab[k][(v & 0xFF) as usize]);
+            v >>= 8;
+            k += 1;
+        }
+        HashVal(acc)
+    }
+}
+
+impl IncrementalHash for PolyHasher {
+    fn empty(&self) -> HashVal {
+        HashVal(0)
+    }
+
+    fn hash_bits(&self, s: BitSlice<'_>) -> HashVal {
+        let mut h = HashVal(0);
+        let mut i = 0;
+        while i < s.len() {
+            let k = (s.len() - i).min(64);
+            let c = self.hash_chunk(s.chunk(i, k), k);
+            h = self.combine(h, c, k as u64);
+            i += k;
+        }
+        h
+    }
+
+    #[inline]
+    fn combine(&self, a: HashVal, b: HashVal, b_len_bits: u64) -> HashVal {
+        HashVal(add_mod(mul_mod(a.0, self.pow(b_len_bits)), b.0))
+    }
+}
+
+/// Reference bit-at-a-time implementation — kept for testing and to document
+/// the definition the fast path must match.
+pub fn naive_poly_hash(base: u64, s: BitSlice<'_>) -> HashVal {
+    let mut h = 0u64;
+    for i in 0..s.len() {
+        let d = if s.get(i) { 2 } else { 1 };
+        h = add_mod(mul_mod(h, base), d);
+    }
+    HashVal(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitStr;
+
+    #[test]
+    fn matches_naive_on_assorted_strings() {
+        let h = PolyHasher::with_seed(7);
+        for t in [
+            "",
+            "0",
+            "1",
+            "01",
+            "10",
+            "00001",
+            "101001",
+            &"1".repeat(64),
+            &"0".repeat(64),
+            &"10".repeat(64),
+            &"110".repeat(100),
+        ] {
+            let s = BitStr::from_bin_str(t);
+            assert_eq!(
+                h.hash_str(&s),
+                naive_poly_hash(h.base(), s.as_slice()),
+                "mismatch on {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinguishes_lengths_of_zeros() {
+        let h = PolyHasher::with_seed(1);
+        let a = h.hash_str(&BitStr::from_bin_str("0"));
+        let b = h.hash_str(&BitStr::from_bin_str("00"));
+        let e = h.empty();
+        assert_ne!(a, e);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn combine_is_concatenation() {
+        let h = PolyHasher::with_seed(99);
+        let cases = [("", "1"), ("101", ""), ("00001", "101"), ("1", "0")];
+        for (x, y) in cases {
+            let a = BitStr::from_bin_str(x);
+            let b = BitStr::from_bin_str(y);
+            let ab = a.concat(&b);
+            assert_eq!(
+                h.combine(h.hash_str(&a), h.hash_str(&b), b.len() as u64),
+                h.hash_str(&ab),
+                "combine mismatch on {x:?} ++ {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_is_associative() {
+        let h = PolyHasher::with_seed(3);
+        let a = BitStr::from_bin_str("1101");
+        let b = BitStr::from_bin_str("000111000");
+        let c = BitStr::from_bin_str("10");
+        let ha = h.hash_str(&a);
+        let hb = h.hash_str(&b);
+        let hc = h.hash_str(&c);
+        let left = h.combine(h.combine(ha, hb, b.len() as u64), hc, c.len() as u64);
+        let right = h.combine(ha, h.combine(hb, hc, c.len() as u64), (b.len() + c.len()) as u64);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let h = PolyHasher::with_base(3);
+        let mut acc = 1u64;
+        for n in 0..100u64 {
+            assert_eq!(h.pow(n), acc, "pow({n})");
+            acc = mul_mod(acc, 3);
+        }
+    }
+
+    #[test]
+    fn width_digest_masks() {
+        let w = HashWidth(8);
+        assert_eq!(w.digest(HashVal(0x1234)), 0x34);
+        assert_eq!(HashWidth::FULL.digest(HashVal(u64::MAX >> 3)), u64::MAX >> 3);
+    }
+
+    #[test]
+    fn mul_mod_edge_cases() {
+        assert_eq!(mul_mod(P - 1, P - 1), 1); // (-1)^2 = 1
+        assert_eq!(mul_mod(P - 1, 2), P - 2);
+        assert_eq!(add_mod(P - 1, 1), 0);
+    }
+
+    #[test]
+    fn unaligned_slice_hash_equals_copy_hash() {
+        let h = PolyHasher::with_seed(5);
+        let s = BitStr::from_bits((0..500).map(|i| i % 5 < 2));
+        for (a, b) in [(3, 130), (0, 64), (65, 66), (100, 500)] {
+            let v = s.slice(a..b);
+            assert_eq!(h.hash_bits(v), h.hash_str(&v.to_bitstr()));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Batch-parallel hashing (Lemma 4.4 of the paper).
+//!
+//! A binary associatively incremental hash lets each key be hashed by a
+//! parallel reduction over its word-granularity chunks, and a *batch* of
+//! keys be hashed with one rayon task per key. `prefix_hashes` additionally
+//! produces the hash of every `w`-aligned prefix of a key — the *pivot
+//! hashes* used by the efficient HashMatching of §4.4.2.
+
+use crate::bits::{BitSlice, Bits};
+use crate::hash::{HashVal, IncrementalHash};
+use rayon::prelude::*;
+
+/// Hash every key of a batch in parallel.
+pub fn hash_batch<H, B>(hasher: &H, keys: &[B]) -> Vec<HashVal>
+where
+    H: IncrementalHash,
+    B: Bits + Sync,
+{
+    keys.par_iter()
+        .map(|k| hasher.hash_bits(k.as_slice()))
+        .collect()
+}
+
+/// Hashes of all prefixes of `s` whose length is a multiple of `stride`
+/// bits, **including** the empty prefix at index 0 and, if `s.len()` is not
+/// a multiple, excluding the full string. `out[i] = h(s[..i*stride])`.
+///
+/// This is the pivot-hash sequence of §4.4.2 when `stride = w = 64`.
+pub fn prefix_hashes<H: IncrementalHash>(hasher: &H, s: BitSlice<'_>, stride: usize) -> Vec<HashVal> {
+    assert!(stride > 0 && stride <= 64);
+    let n = s.len() / stride;
+    let mut out = Vec::with_capacity(n + 1);
+    let mut h = hasher.empty();
+    out.push(h);
+    for i in 0..n {
+        let chunk = s.slice(i * stride..(i + 1) * stride);
+        let hc = hasher.hash_bits(chunk);
+        h = hasher.combine(h, hc, stride as u64);
+        out.push(h);
+    }
+    out
+}
+
+/// Parallel reduction form of hashing one long key: chunks are hashed
+/// independently and folded with the associative combine. Exists to
+/// *demonstrate* Lemma 4.4; equals `hasher.hash_bits` exactly.
+pub fn hash_by_reduction<H: IncrementalHash>(hasher: &H, s: BitSlice<'_>) -> HashVal {
+    let n_chunks = s.len().div_ceil(64).max(1);
+    let parts: Vec<(HashVal, u64)> = (0..n_chunks)
+        .into_par_iter()
+        .map(|i| {
+            let lo = i * 64;
+            let hi = ((i + 1) * 64).min(s.len());
+            (hasher.hash_bits(s.slice(lo..hi)), (hi - lo) as u64)
+        })
+        .collect();
+    let (h, _) = parts.into_iter().fold(
+        (hasher.empty(), 0u64),
+        |(acc, acc_len), (h, len)| (hasher.combine(acc, h, len), acc_len + len),
+    );
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::PolyHasher;
+    use crate::BitStr;
+
+    #[test]
+    fn batch_matches_serial() {
+        let h = PolyHasher::with_seed(11);
+        let keys: Vec<BitStr> = (0..100)
+            .map(|i| BitStr::from_bits((0..(i * 7 % 300)).map(|j| (i + j) % 3 == 0)))
+            .collect();
+        let par = hash_batch(&h, &keys);
+        for (k, hv) in keys.iter().zip(&par) {
+            assert_eq!(h.hash_str(k), *hv);
+        }
+    }
+
+    #[test]
+    fn prefix_hashes_match_direct() {
+        let h = PolyHasher::with_seed(2);
+        let s = BitStr::from_bits((0..300).map(|i| i % 2 == 0));
+        let ph = prefix_hashes(&h, s.as_slice(), 64);
+        assert_eq!(ph.len(), 300 / 64 + 1);
+        for (i, hv) in ph.iter().enumerate() {
+            assert_eq!(*hv, h.hash_bits(s.slice(0..i * 64)), "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn reduction_equals_sequential() {
+        let h = PolyHasher::with_seed(13);
+        for len in [0usize, 1, 63, 64, 65, 129, 1000] {
+            let s = BitStr::from_bits((0..len).map(|i| i % 7 < 3));
+            assert_eq!(hash_by_reduction(&h, s.as_slice()), h.hash_str(&s), "len {len}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for bit-strings and incremental hashing.
+
+use bitstr::crc::Crc64Hasher;
+use bitstr::hash::{naive_poly_hash, IncrementalHash, PolyHasher};
+use bitstr::BitStr;
+use proptest::prelude::*;
+
+fn arb_bits() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 0..300)
+}
+
+proptest! {
+    #[test]
+    fn push_get_roundtrip(bits in arb_bits()) {
+        let s = BitStr::from_bits(bits.iter().copied());
+        prop_assert_eq!(s.len(), bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            prop_assert_eq!(s.get(i), *b);
+        }
+        // display / parse roundtrip
+        let t = BitStr::from_bin_str(&s.to_string());
+        prop_assert_eq!(&t, &s);
+    }
+
+    #[test]
+    fn lcp_is_symmetric_and_correct(a in arb_bits(), b in arb_bits()) {
+        let sa = BitStr::from_bits(a.iter().copied());
+        let sb = BitStr::from_bits(b.iter().copied());
+        let naive = a.iter().zip(&b).take_while(|(x, y)| x == y).count();
+        prop_assert_eq!(sa.lcp(&sb), naive);
+        prop_assert_eq!(sb.lcp(&sa), naive);
+    }
+
+    #[test]
+    fn ordering_matches_lexicographic(a in arb_bits(), b in arb_bits()) {
+        let sa = BitStr::from_bits(a.iter().copied());
+        let sb = BitStr::from_bits(b.iter().copied());
+        prop_assert_eq!(sa.cmp(&sb), a.cmp(&b));
+    }
+
+    #[test]
+    fn concat_associativity(a in arb_bits(), b in arb_bits(), c in arb_bits()) {
+        let (sa, sb, sc) = (
+            BitStr::from_bits(a.iter().copied()),
+            BitStr::from_bits(b.iter().copied()),
+            BitStr::from_bits(c.iter().copied()),
+        );
+        let left = sa.concat(&sb).concat(&sc);
+        let right = sa.concat(&sb.concat(&sc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn slices_agree_with_copies(bits in arb_bits(), cut in any::<prop::sample::Index>()) {
+        let s = BitStr::from_bits(bits.iter().copied());
+        let i = cut.index(bits.len() + 1);
+        let head = s.slice(0..i).to_bitstr();
+        let tail = s.slice(i..s.len()).to_bitstr();
+        prop_assert_eq!(head.concat(&tail), s);
+    }
+
+    #[test]
+    fn truncate_equals_slice(bits in arb_bits(), cut in any::<prop::sample::Index>()) {
+        let s = BitStr::from_bits(bits.iter().copied());
+        let i = cut.index(bits.len() + 1);
+        let mut t = s.clone();
+        t.truncate(i);
+        prop_assert_eq!(t, s.slice(0..i).to_bitstr());
+    }
+
+    #[test]
+    fn poly_hash_matches_naive(bits in arb_bits(), seed in any::<u64>()) {
+        let h = PolyHasher::with_seed(seed);
+        let s = BitStr::from_bits(bits.iter().copied());
+        prop_assert_eq!(h.hash_str(&s), naive_poly_hash(h.base(), s.as_slice()));
+    }
+
+    #[test]
+    fn poly_combine_is_concat(a in arb_bits(), b in arb_bits(), seed in any::<u64>()) {
+        let h = PolyHasher::with_seed(seed);
+        let sa = BitStr::from_bits(a.iter().copied());
+        let sb = BitStr::from_bits(b.iter().copied());
+        let ab = sa.concat(&sb);
+        prop_assert_eq!(
+            h.combine(h.hash_str(&sa), h.hash_str(&sb), sb.len() as u64),
+            h.hash_str(&ab)
+        );
+    }
+
+    #[test]
+    fn crc_combine_is_concat(a in arb_bits(), b in arb_bits()) {
+        let h = Crc64Hasher::ecma();
+        let sa = BitStr::from_bits(a.iter().copied());
+        let sb = BitStr::from_bits(b.iter().copied());
+        let ab = sa.concat(&sb);
+        prop_assert_eq!(
+            h.combine(h.hash_str(&sa), h.hash_str(&sb), sb.len() as u64),
+            h.hash_str(&ab)
+        );
+    }
+
+    #[test]
+    fn hashes_separate_unequal_strings(a in arb_bits(), b in arb_bits()) {
+        // not a tautology: full-width poly hashes collide with prob ~2^-61,
+        // so unequal inputs must hash differently in practice
+        prop_assume!(a != b);
+        let h = PolyHasher::with_seed(12345);
+        let sa = BitStr::from_bits(a.iter().copied());
+        let sb = BitStr::from_bits(b.iter().copied());
+        prop_assert_ne!(h.hash_str(&sa), h.hash_str(&sb));
+    }
+
+    #[test]
+    fn prefix_hash_pivots(bits in proptest::collection::vec(any::<bool>(), 0..500), seed in any::<u64>()) {
+        let h = PolyHasher::with_seed(seed);
+        let s = BitStr::from_bits(bits.iter().copied());
+        let pivots = bitstr::par::prefix_hashes(&h, s.as_slice(), 64);
+        for (i, hv) in pivots.iter().enumerate() {
+            prop_assert_eq!(*hv, h.hash_bits(s.slice(0..i * 64)));
+        }
+    }
+}

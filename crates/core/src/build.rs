@@ -1,0 +1,597 @@
+//! Construction and hash-value-manager maintenance.
+//!
+//! * [`PimTrie::new`] bootstraps the empty index: one root block (the empty
+//!   string) on a random module, a one-node meta-block, and a master entry
+//!   broadcast to every module.
+//! * [`cut_decompose`] is the recursive meta-block decomposition of §4.4.1:
+//!   repeatedly pick the Lemma-4.5 cut node (the highest node whose subtree
+//!   reaches half the remaining size), detach its child subtrees, and
+//!   recurse — producing a *meta-block tree* whose pieces are at most
+//!   `K_SMB` nodes and whose height is `O(log K_MB)` (Lemma 4.6).
+//! * `PimTrie::place_chunks` ships such a plan to random modules
+//!   bottom-up (children before parents so `PutMeta` can carry child refs).
+//! * `PimTrie::split_meta_blocks` is the batched form of
+//!   §5.2 maintenance actions: an overfull meta-block is pulled to the CPU,
+//!   re-cut and re-distributed (the scapegoat-style rebuild, executed on
+//!   the CPU side as the paper prescribes); an overfull meta-block *tree*
+//!   promotes its root's children to independent trees registered in the
+//!   master table.
+
+use crate::module::{
+    handle, MasterAddMsg, ModuleState, NewMetaChild, NewMetaNode, PutMetaMsg, Req,
+    Resp,
+};
+use crate::refs::{BitsMsg, BlockRef, MetaRef, TrieMsg};
+use crate::{PimTrie, PimTrieConfig};
+use bitstr::hash::{HashVal, IncrementalHash, PolyHasher};
+use bitstr::{BitStr, WORD_BITS};
+use pim_sim::PimSystem;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use trie_core::Trie;
+
+/// The metadata the hash value manager stores per block root (derived from
+/// the root's full string).
+#[derive(Clone, Debug)]
+pub(crate) struct RootMeta {
+    pub depth: u64,
+    pub hash: HashVal,
+    pub pre_hash: HashVal,
+    pub rem: BitStr,
+    pub s_last: BitStr,
+}
+
+pub(crate) fn root_meta(hasher: &PolyHasher, s: &BitStr) -> RootMeta {
+    let depth = s.len() as u64;
+    let pre_len = (depth as usize / WORD_BITS) * WORD_BITS;
+    let pre_hash = hasher.hash_bits(s.slice(0..pre_len));
+    let rem = s.slice(pre_len..s.len()).to_bitstr();
+    let hash = hasher.combine(pre_hash, hasher.hash_bits(rem.as_slice()), rem.len() as u64);
+    let last_from = s.len().saturating_sub(WORD_BITS);
+    RootMeta {
+        depth,
+        hash,
+        pre_hash,
+        rem,
+        s_last: s.slice(last_from..s.len()).to_bitstr(),
+    }
+}
+
+impl RootMeta {
+    pub(crate) fn new_meta_node(&self, block: BlockRef) -> NewMetaNode {
+        NewMetaNode {
+            block,
+            depth: self.depth,
+            hash: self.hash,
+            pre_hash: self.pre_hash,
+            rem: BitsMsg(self.rem.clone()),
+            s_last: BitsMsg(self.s_last.clone()),
+        }
+    }
+}
+
+/// Metadata of a child root whose string is `parent_string · local`,
+/// derived purely from the parent's stored metadata plus the local path —
+/// the associative-combine trick that lets repartitions run without the
+/// CPU ever seeing the bits above the block (Definition 3).
+pub(crate) fn root_meta_with_prefix(
+    hasher: &PolyHasher,
+    parent_hash: HashVal,
+    parent_depth: u64,
+    parent_pre_hash: HashVal,
+    parent_rem: &BitStr,
+    parent_s_last: &BitStr,
+    local: &BitStr,
+) -> RootMeta {
+    let depth = parent_depth + local.len() as u64;
+    let hash = hasher.combine(
+        parent_hash,
+        hasher.hash_bits(local.as_slice()),
+        local.len() as u64,
+    );
+    let pre_boundary = (depth / WORD_BITS as u64) * WORD_BITS as u64;
+    let (pre_hash, rem) = if pre_boundary >= parent_depth {
+        let take = (pre_boundary - parent_depth) as usize;
+        let ph = hasher.combine(
+            parent_hash,
+            hasher.hash_bits(local.slice(0..take)),
+            take as u64,
+        );
+        (ph, local.slice(take..local.len()).to_bitstr())
+    } else {
+        // no w-boundary crossed: same pre as the parent
+        let mut rem = parent_rem.clone();
+        rem.append(&local.as_slice());
+        (parent_pre_hash, rem)
+    };
+    // s_last: trailing min(w, depth) bits of parent_s_last · local
+    let mut tail = parent_s_last.clone();
+    tail.append(&local.as_slice());
+    let from = tail.len().saturating_sub(WORD_BITS);
+    RootMeta {
+        depth,
+        hash,
+        pre_hash,
+        rem,
+        s_last: tail.slice(from..tail.len()).to_bitstr(),
+    }
+}
+
+impl PimTrie {
+    /// An empty PIM-trie on `cfg.p` simulated modules.
+    pub fn new(cfg: PimTrieConfig) -> Self {
+        let width = cfg.hash_width;
+        let sys = PimSystem::new(cfg.p, |_| ModuleState::new(width));
+        let hasher = PolyHasher::with_seed(cfg.seed);
+        let mut t = PimTrie {
+            sys,
+            cfg,
+            hasher,
+            n_keys: 0,
+            place_rng: rand_chacha::ChaCha8Rng::seed_from_u64(0x51AC_EE01),
+            redo_paths: 0,
+            chunk_sizes: HashMap::new(),
+            root_block: BlockRef { module: 0, slot: 0 },
+        };
+        t.bootstrap();
+        t
+    }
+
+    /// Convenience bulk constructor: `new` + batched inserts.
+    pub fn build(cfg: PimTrieConfig, keys: &[BitStr], values: &[u64]) -> Self {
+        assert_eq!(keys.len(), values.len());
+        let mut t = Self::new(cfg);
+        let step = 1 << 16;
+        for i in (0..keys.len()).step_by(step) {
+            let j = (i + step).min(keys.len());
+            t.insert_batch(&keys[i..j], &values[i..j]);
+        }
+        t
+    }
+
+    pub(crate) fn random_module(&mut self) -> u32 {
+        self.place_rng.gen_range(0..self.sys.p() as u32)
+    }
+
+    fn bootstrap(&mut self) {
+        // Root block: the empty string, on a random module.
+        let m = self.random_module();
+        let meta = root_meta(&self.hasher, &BitStr::new());
+        let resp = self.send_one(
+            m,
+            Req::PutBlock(crate::module::PutBlockMsg {
+                trie: TrieMsg(Trie::new()),
+                root_depth: 0,
+                root_hash: meta.hash,
+                s_last: BitsMsg(BitStr::new()),
+                pre_hash: meta.pre_hash,
+                rem: BitsMsg(meta.rem.clone()),
+                parent: None,
+                mirrors: Vec::new(),
+            }),
+            "bootstrap.block",
+        );
+        let Resp::Placed { slot, .. } = resp else {
+            panic!("bootstrap: unexpected response")
+        };
+        let root_block = BlockRef { module: m, slot };
+        self.root_block = root_block;
+
+        // Its meta-block (a single node) on a random module.
+        let mm = self.random_module();
+        let resp = self.send_one(
+            mm,
+            Req::PutMeta(PutMetaMsg {
+                nodes: vec![meta.new_meta_node(root_block)],
+                root_idx: 0,
+                parent: None,
+                children: Vec::new(),
+                chunks: Vec::new(),
+                parents: vec![None],
+            }),
+            "bootstrap.meta",
+        );
+        let Resp::Placed { slot, node_slots, .. } = resp else {
+            panic!("bootstrap: unexpected response")
+        };
+        let mref = MetaRef { module: mm, slot };
+        let node_slot = node_slots[0];
+
+        // Wire the block to its meta node; register the chunk in master.
+        self.send_one(
+            m,
+            Req::SetBlockMeta {
+                slot: root_block.slot,
+                meta: mref,
+                meta_slot: node_slot,
+            },
+            "bootstrap.wire",
+        );
+        self.master_add(mref, root_block, node_slot, &meta);
+        self.chunk_sizes.insert(mref, 1);
+    }
+
+    /// Send one request to one module (a full BSP round with a single
+    /// message — small ops batch them through `rounds` instead).
+    pub(crate) fn send_one(&mut self, module: u32, req: Req, name: &str) -> Resp {
+        let mut inbox: Vec<Vec<Req>> = (0..self.sys.p()).map(|_| Vec::new()).collect();
+        inbox[module as usize].push(req);
+        let hasher = &self.hasher;
+        let mut out = self
+            .sys
+            .round(name, inbox, |ctx, msgs| {
+                msgs.into_iter().map(|m| handle(ctx, hasher, m)).collect()
+            });
+        out[module as usize].pop().expect("missing response")
+    }
+
+    /// Run one BSP round delivering per-module request vectors.
+    pub(crate) fn rounds(&mut self, name: &str, inbox: Vec<Vec<Req>>) -> Vec<Vec<Resp>> {
+        let hasher = &self.hasher;
+        self.sys.round(name, inbox, |ctx, msgs| {
+            msgs.into_iter().map(|m| handle(ctx, hasher, m)).collect()
+        })
+    }
+
+    /// Broadcast a master-table update to every module.
+    pub(crate) fn master_add(
+        &mut self,
+        mref: MetaRef,
+        root_block: BlockRef,
+        root_node_slot: u32,
+        meta: &RootMeta,
+    ) {
+        let msg = MasterAddMsg {
+            mref,
+            root_block,
+            root_node_slot,
+            depth: meta.depth,
+            pre_hash: meta.pre_hash,
+            rem: BitsMsg(meta.rem.clone()),
+            s_last: BitsMsg(meta.s_last.clone()),
+        };
+        let inbox: Vec<Vec<Req>> = (0..self.sys.p())
+            .map(|_| vec![Req::MasterAdd(clone_master(&msg))])
+            .collect();
+        self.rounds("master.add", inbox);
+    }
+
+}
+
+fn clone_master(m: &MasterAddMsg) -> MasterAddMsg {
+    MasterAddMsg {
+        mref: m.mref,
+        root_block: m.root_block,
+        root_node_slot: m.root_node_slot,
+        depth: m.depth,
+        pre_hash: m.pre_hash,
+        rem: BitsMsg(m.rem.0.clone()),
+        s_last: BitsMsg(m.s_last.0.clone()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recursive meta decomposition (Lemmas 4.5 / 4.6)
+// ---------------------------------------------------------------------
+
+/// A node of a chunk's local meta-tree, as assembled on the CPU.
+#[derive(Clone, Debug)]
+pub(crate) struct ChunkNode {
+    pub block: BlockRef,
+    pub meta: RootMeta,
+    pub parent: Option<usize>,
+    pub children: Vec<usize>,
+    /// chunks hanging under this block (kept through rebuilds)
+    pub chunk_children: Vec<MetaRef>,
+}
+
+/// One piece of the decomposition: a future meta-block.
+#[derive(Debug)]
+pub(crate) struct Plan {
+    /// chunk-node indices covered by this piece
+    pub nodes: Vec<usize>,
+    /// the piece's root chunk-node
+    pub root: usize,
+    /// child plans: (plan index, chunk-node they hang under)
+    pub children: Vec<(usize, usize)>,
+}
+
+/// Decompose the tree rooted at `root` into plans of at most `k_smb`
+/// nodes; returns (plans, plan index containing `root`, node→plan map).
+pub(crate) fn cut_decompose(
+    tree: &mut [ChunkNode],
+    root: usize,
+    k_smb: usize,
+) -> (Vec<Plan>, usize, HashMap<usize, usize>) {
+    let mut plans = Vec::new();
+    let mut locate = HashMap::new();
+    let root_plan = rec(tree, root, k_smb.max(1), &mut plans, &mut locate);
+    (plans, root_plan, locate)
+}
+
+fn subtree_nodes(tree: &[ChunkNode], root: usize, out: &mut Vec<usize>) {
+    out.push(root);
+    for c in tree[root].children.clone() {
+        subtree_nodes(tree, c, out);
+    }
+}
+
+fn subtree_size(tree: &[ChunkNode], root: usize) -> usize {
+    1 + tree[root]
+        .children
+        .iter()
+        .map(|c| subtree_size(tree, *c))
+        .sum::<usize>()
+}
+
+/// Lemma 4.5: the node whose out-edge removal leaves every component at
+/// most `(n+1)/2` nodes — found by walking down heavy children.
+fn cut_node(tree: &[ChunkNode], root: usize, n: usize) -> usize {
+    let half = n.div_ceil(2);
+    let mut v = root;
+    loop {
+        let heavy = tree[v]
+            .children
+            .iter()
+            .map(|c| (*c, subtree_size(tree, *c)))
+            .find(|(_, s)| *s >= half);
+        match heavy {
+            Some((c, _)) => v = c,
+            None => return v,
+        }
+    }
+}
+
+fn rec(
+    tree: &mut [ChunkNode],
+    root: usize,
+    k_smb: usize,
+    plans: &mut Vec<Plan>,
+    locate: &mut HashMap<usize, usize>,
+) -> usize {
+    let n = subtree_size(tree, root);
+    if n <= k_smb {
+        let mut nodes = Vec::with_capacity(n);
+        subtree_nodes(tree, root, &mut nodes);
+        let id = plans.len();
+        for &x in &nodes {
+            locate.insert(x, id);
+        }
+        plans.push(Plan {
+            nodes,
+            root,
+            children: Vec::new(),
+        });
+        return id;
+    }
+    // Lemma 4.5's cut node may be the root itself (all children light):
+    // the upper part then degenerates to the root alone, which is fine.
+    let v = cut_node(tree, root, n);
+    let kids = std::mem::take(&mut tree[v].children);
+    let upper_plan = rec(tree, root, k_smb, plans, locate);
+    for k in kids {
+        tree[k].parent = None;
+        let child_plan = rec(tree, k, k_smb, plans, locate);
+        let holder = locate[&v];
+        plans[holder].children.push((child_plan, v));
+    }
+    upper_plan
+}
+
+// ---------------------------------------------------------------------
+// Plan placement
+// ---------------------------------------------------------------------
+
+/// One chunk to (re)place: its node tree, the cut decomposition, and how
+/// it attaches to the world.
+pub(crate) struct PlaceJob {
+    pub tree: Vec<ChunkNode>,
+    pub plans: Vec<Plan>,
+    pub root_plan: usize,
+    pub replace_root_at: Option<MetaRef>,
+    /// surviving external children: (holding plan index, payload)
+    pub extra: Vec<(usize, NewMetaChild)>,
+}
+
+/// The placement result of one plan.
+pub(crate) struct PlacedPlan {
+    pub mref: MetaRef,
+    /// chunk-node idx -> meta node slot
+    pub node_slots: HashMap<usize, u32>,
+}
+
+impl PimTrie {
+    /// Ship decomposed chunks to random modules, children before parents;
+    /// all jobs advance together, one BSP round per plan-tree depth wave.
+    /// Each job may pin its root plan onto an existing meta-block slot
+    /// (rebuilds keep the chunk's address stable) and carry surviving
+    /// external child meta-blocks (plan index, payload with `under_node`
+    /// as a chunk-node index). Returns per-job, per-plan placements.
+    pub(crate) fn place_chunks(&mut self, jobs: &[PlaceJob]) -> Vec<Vec<PlacedPlan>> {
+        let p = self.sys.p();
+        // per-job plan depths
+        fn mark(plans: &[Plan], pi: usize, d: usize, depth: &mut [usize]) {
+            depth[pi] = d;
+            for (c, _) in &plans[pi].children {
+                mark(plans, *c, d + 1, depth);
+            }
+        }
+        let mut depths: Vec<Vec<usize>> = Vec::with_capacity(jobs.len());
+        let mut maxd = 0;
+        for job in jobs {
+            let mut depth = vec![0usize; job.plans.len()];
+            mark(&job.plans, job.root_plan, 0, &mut depth);
+            maxd = maxd.max(depth.iter().copied().max().unwrap_or(0));
+            depths.push(depth);
+        }
+
+        let mut placed: Vec<Vec<Option<PlacedPlan>>> = jobs
+            .iter()
+            .map(|j| (0..j.plans.len()).map(|_| None).collect())
+            .collect();
+        for d in (0..=maxd).rev() {
+            let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+            let mut origin: Vec<Vec<(usize, usize)>> = (0..p).map(|_| Vec::new()).collect();
+            for (ji, job) in jobs.iter().enumerate() {
+                for (pi, plan) in job.plans.iter().enumerate() {
+                    if depths[ji][pi] != d {
+                        continue;
+                    }
+                    let target = if pi == job.root_plan {
+                        job.replace_root_at.map(|r| r.module).unwrap_or_else(|| {
+                            self.place_rng.gen_range(0..p as u32)
+                        })
+                    } else {
+                        self.place_rng.gen_range(0..p as u32)
+                    };
+                    let msg = self.plan_to_msg(
+                        &job.tree,
+                        &job.plans,
+                        plan,
+                        &placed[ji],
+                        pi == job.root_plan,
+                        job.replace_root_at,
+                        job.extra.iter().filter(|(x, _)| *x == pi).map(|(_, c)| c),
+                    );
+                    inbox[target as usize].push(msg);
+                    origin[target as usize].push((ji, pi));
+                }
+            }
+            let replies = self.rounds("meta.place", inbox);
+            for (m, rs) in replies.into_iter().enumerate() {
+                for (j, resp) in rs.into_iter().enumerate() {
+                    let Resp::Placed { slot, node_slots, .. } = resp else {
+                        panic!("meta.place: unexpected response")
+                    };
+                    let (ji, pi) = origin[m][j];
+                    let plan = &jobs[ji].plans[pi];
+                    let mut map = HashMap::new();
+                    for (i, &cn) in plan.nodes.iter().enumerate() {
+                        map.insert(cn, node_slots[i]);
+                    }
+                    placed[ji][pi] = Some(PlacedPlan {
+                        mref: MetaRef {
+                            module: m as u32,
+                            slot,
+                        },
+                        node_slots: map,
+                    });
+                }
+            }
+        }
+        let placed: Vec<Vec<PlacedPlan>> = placed
+            .into_iter()
+            .map(|v| v.into_iter().map(|o| o.unwrap()).collect())
+            .collect();
+
+        // Wire parents (children were placed before parents) and blocks.
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        for (ji, job) in jobs.iter().enumerate() {
+            for (pi, plan) in job.plans.iter().enumerate() {
+                let me = placed[ji][pi].mref;
+                for (c, _) in &plan.children {
+                    let cref = placed[ji][*c].mref;
+                    inbox[cref.module as usize].push(Req::SetMetaParent {
+                        slot: cref.slot,
+                        parent: Some(me),
+                    });
+                }
+                for &cn in &plan.nodes {
+                    let b = job.tree[cn].block;
+                    inbox[b.module as usize].push(Req::SetBlockMeta {
+                        slot: b.slot,
+                        meta: me,
+                        meta_slot: placed[ji][pi].node_slots[&cn],
+                    });
+                }
+            }
+        }
+        self.rounds("meta.wire", inbox);
+        placed
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn plan_to_msg<'a>(
+        &self,
+        tree: &[ChunkNode],
+        plans: &[Plan],
+        plan: &Plan,
+        placed: &[Option<PlacedPlan>],
+        is_root: bool,
+        replace_root_at: Option<MetaRef>,
+        extra: impl Iterator<Item = &'a NewMetaChild>,
+    ) -> Req {
+        let idx_of: HashMap<usize, u32> = plan
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &cn)| (cn, i as u32))
+            .collect();
+        let nodes: Vec<NewMetaNode> = plan
+            .nodes
+            .iter()
+            .map(|&cn| tree[cn].meta.new_meta_node(tree[cn].block))
+            .collect();
+        let parents: Vec<Option<u32>> = plan
+            .nodes
+            .iter()
+            .map(|&cn| {
+                tree[cn]
+                    .parent
+                    .and_then(|p| idx_of.get(&p).copied())
+            })
+            .collect();
+        let mut children: Vec<NewMetaChild> = plan
+            .children
+            .iter()
+            .map(|(cp, under)| {
+                let p = placed[*cp].as_ref().expect("child placed first");
+                let croot = plans[*cp].root;
+                NewMetaChild {
+                    mref: p.mref,
+                    under_node: idx_of[under],
+                    root_block: tree[croot].block,
+                    root_node_slot: p.node_slots[&croot],
+                    depth: tree[croot].meta.depth,
+                    pre_hash: tree[croot].meta.pre_hash,
+                    rem: BitsMsg(tree[croot].meta.rem.clone()),
+                    s_last: BitsMsg(tree[croot].meta.s_last.clone()),
+                }
+            })
+            .collect();
+        // surviving external children (rebuilds): under_node arrives as a
+        // chunk-node index; resolve to this plan's local index
+        for c in extra {
+            children.push(NewMetaChild {
+                mref: c.mref,
+                under_node: idx_of[&(c.under_node as usize)],
+                root_block: c.root_block,
+                root_node_slot: c.root_node_slot,
+                depth: c.depth,
+                pre_hash: c.pre_hash,
+                rem: BitsMsg(c.rem.0.clone()),
+                s_last: BitsMsg(c.s_last.0.clone()),
+            });
+        }
+        let mut chunks: Vec<(MetaRef, u32)> = Vec::new();
+        for &cn in &plan.nodes {
+            for m in &tree[cn].chunk_children {
+                chunks.push((*m, idx_of[&cn]));
+            }
+        }
+        let msg = PutMetaMsg {
+            nodes,
+            root_idx: idx_of[&plan.root],
+            parent: None, // wired afterwards
+            children,
+            chunks,
+            parents,
+        };
+        if is_root {
+            if let Some(r) = replace_root_at {
+                return Req::ReplaceMeta { slot: r.slot, msg };
+            }
+        }
+        Req::PutMeta(msg)
+    }
+}

@@ -1,0 +1,125 @@
+//! PIM-trie tuning parameters (the paper's `K_B`, `K_MB`, `K_SMB`, `α`,
+//! push-pull threshold and hash width).
+
+use bitstr::hash::HashWidth;
+
+/// Configuration of a [`PimTrie`](crate::PimTrie).
+#[derive(Clone, Debug)]
+pub struct PimTrieConfig {
+    /// Number of PIM modules, the paper's `P`.
+    pub p: usize,
+    /// Block size upper bound in words — `K_B = Θ(log² P)` (§4.2).
+    pub k_b: u64,
+    /// Meta-block size upper bound in hash values — `K_MB = P` (§4.4).
+    pub k_mb: usize,
+    /// Small-meta-block bound — `K_SMB = log² P` (§4.4.1).
+    pub k_smb: usize,
+    /// Push-pull threshold for query pieces in words — `log⁴ P`
+    /// (Algorithm 5, line 3). Pieces larger than this pull data to the CPU
+    /// instead of being pushed.
+    pub push_threshold: u64,
+    /// Scapegoat imbalance fraction `α ∈ (0.5, 1)` for meta-block-tree
+    /// rebuilds (§5.2).
+    pub alpha: f64,
+    /// Digest width compared by hash tables (§4.4.3). Narrow widths force
+    /// collisions and exercise verification; `HashWidth::FULL` for normal
+    /// use.
+    pub hash_width: HashWidth,
+    /// Seed for the hash base and block placement.
+    pub seed: u64,
+    /// Blocks heavier than `oversize_factor · k_b` are re-partitioned
+    /// after inserts; blocks lighter than `k_b / undersize_divisor` merge
+    /// into their parent after deletes.
+    pub oversize_factor: u64,
+    /// See `oversize_factor`.
+    pub undersize_divisor: u64,
+}
+
+impl PimTrieConfig {
+    /// The paper's parameter choices for `p` modules: `K_B = log² P`,
+    /// `K_MB = P`, `K_SMB = log² P`, push threshold `log⁴ P`, `α = 0.75`.
+    pub fn for_modules(p: usize) -> Self {
+        assert!(p >= 1);
+        let lg = (p.max(2) as f64).log2().ceil() as u64;
+        let lg2 = (lg * lg).max(16);
+        PimTrieConfig {
+            p,
+            k_b: lg2,
+            k_mb: p.max(4),
+            k_smb: lg2 as usize,
+            push_threshold: (lg2 * lg2).max(64),
+            alpha: 0.75,
+            hash_width: HashWidth::FULL,
+            seed: 0x9122_7cc1_dead_beef,
+            oversize_factor: 2,
+            undersize_divisor: 4,
+        }
+    }
+
+    /// Override the seed (placement + hash base).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the digest width (§4.4.3 collision experiments).
+    pub fn with_hash_width(mut self, width: HashWidth) -> Self {
+        self.hash_width = width;
+        self
+    }
+
+    /// Override the block size bound `K_B` (ablation experiments).
+    pub fn with_k_b(mut self, k_b: u64) -> Self {
+        assert!(k_b >= 8, "K_B below 8 words is degenerate");
+        self.k_b = k_b;
+        self
+    }
+
+    /// Override the push-pull threshold (ablations; `0` = always pull
+    /// metadata, `u64::MAX` = always push).
+    pub fn with_push_threshold(mut self, t: u64) -> Self {
+        self.push_threshold = t;
+        self
+    }
+
+    /// The minimum batch size for the balance guarantees,
+    /// `Ω(P log⁵ P)` scaled by `c` (Theorem 4.3). Informational: smaller
+    /// batches still work, only the whp balance claim weakens.
+    pub fn min_balanced_batch(&self) -> usize {
+        let lg = (self.p.max(2) as f64).log2().ceil();
+        (self.p as f64 * lg.powi(5)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scale_with_p() {
+        let c4 = PimTrieConfig::for_modules(4);
+        let c256 = PimTrieConfig::for_modules(256);
+        assert!(c256.k_b >= c4.k_b);
+        assert_eq!(c256.k_mb, 256);
+        assert!(c256.push_threshold >= c256.k_b);
+        assert!(c4.k_b >= 16);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = PimTrieConfig::for_modules(8)
+            .with_seed(7)
+            .with_k_b(64)
+            .with_push_threshold(10);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.k_b, 64);
+        assert_eq!(c.push_threshold, 10);
+    }
+
+    #[test]
+    fn min_batch_grows_superlinearly() {
+        let a = PimTrieConfig::for_modules(4).min_balanced_batch();
+        let b = PimTrieConfig::for_modules(64).min_balanced_batch();
+        assert!(b > 16 * a / 4);
+    }
+}

@@ -1,0 +1,558 @@
+//! The hash value manager's local kernel (§4.4).
+//!
+//! A [`HashIndex`] stores block-root metadata in the paper's two-layer
+//! form: the first layer maps the digest of `hash(S_pre)` (the longest
+//! `w`-aligned prefix of the root string `S`) to a group; the second layer
+//! resolves the sub-word suffix `S_rem` inside the group through a
+//! [`RemIndex`] (y-fast + validity vectors) plus an exact `rem → entry`
+//! table. Every entry also carries `S_last` — the trailing `w` bits of `S`
+//! — for the §4.4.3 verification of non-critical matches.
+//!
+//! [`hash_match_piece`] is Algorithm 3 in its efficient form (§4.4.2): it
+//! walks a query piece once, enumerates *pivot* positions (global depths
+//! that are multiples of `w`), derives pivot hashes incrementally with the
+//! associative combine, probes the index at each pivot bottom-up, resolves
+//! hits through the second layer, **verifies every candidate bit-exactly
+//! against the piece's own bits**, and reports the deepest verified match
+//! per edge (the critical-pivot rule). The same kernel runs on a PIM
+//! module (push) or on the CPU against pulled metadata (pull).
+
+use crate::refs::Slab;
+use bitstr::hash::{HashVal, HashWidth, IncrementalHash, PolyHasher};
+use bitstr::{BitSlice, BitStr, WORD_BITS};
+use fast_trie::RemIndex;
+use std::collections::HashMap;
+use trie_core::{NodeId, Trie};
+
+const W: u64 = WORD_BITS as u64;
+
+/// One stored root's metadata (the paper's meta-tree node payload).
+#[derive(Clone, Debug)]
+pub struct IndexEntry<R> {
+    /// Depth of the root string `S` in bits.
+    pub depth: u64,
+    /// `hash(S_pre)` — hash of the longest `w`-aligned prefix.
+    pub pre_hash: HashVal,
+    /// `S_rem` — the sub-word suffix after `S_pre` (`< w` bits).
+    pub rem: BitStr,
+    /// `S_last` — the last `min(w, |S|)` bits of `S` (§4.4.3).
+    pub s_last: BitStr,
+    /// What this entry points at.
+    pub target: R,
+}
+
+/// A group of entries sharing a first-layer digest.
+struct RemGroup {
+    rems: RemIndex,
+    /// exact second layer: rem bits -> entry slots (a Vec because narrow
+    /// digests can merge groups of different true `S_pre`)
+    by_rem: HashMap<BitStr, Vec<u32>>,
+}
+
+/// The two-layer index over root strings (used by the master table and by
+/// every meta-block).
+pub struct HashIndex<R> {
+    groups: HashMap<u64, RemGroup>,
+    entries: Slab<IndexEntry<R>>,
+    width: HashWidth,
+}
+
+impl<R: Copy> HashIndex<R> {
+    /// Empty index comparing digests of the given width.
+    pub fn new(width: HashWidth) -> Self {
+        HashIndex {
+            groups: HashMap::new(),
+            entries: Slab::new(),
+            width,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() == 0
+    }
+
+    /// Approximate size in words (for the space experiments): each entry
+    /// stores two hashes, a depth, `S_rem`/`S_last` (≤ 2 words each) and a
+    /// target.
+    pub fn space_words(&self) -> u64 {
+        self.entries.len() as u64 * 8
+    }
+
+    /// Insert a root's metadata; returns the entry slot.
+    pub fn insert(&mut self, entry: IndexEntry<R>) -> u32 {
+        let digest = self.width.digest(entry.pre_hash);
+        let rem = entry.rem.clone();
+        let slot = self.entries.insert(entry);
+        let group = self.groups.entry(digest).or_insert_with(|| RemGroup {
+            rems: RemIndex::new(WORD_BITS as u32),
+            by_rem: HashMap::new(),
+        });
+        group.rems.insert(rem.as_slice());
+        group.by_rem.entry(rem).or_default().push(slot);
+        slot
+    }
+
+    /// Remove an entry by slot.
+    pub fn remove(&mut self, slot: u32) -> Option<IndexEntry<R>> {
+        let entry = self.entries.remove(slot)?;
+        let digest = self.width.digest(entry.pre_hash);
+        if let Some(group) = self.groups.get_mut(&digest) {
+            if let Some(v) = group.by_rem.get_mut(&entry.rem) {
+                v.retain(|s| *s != slot);
+                if v.is_empty() {
+                    group.by_rem.remove(&entry.rem);
+                    group.rems.remove(entry.rem.as_slice());
+                }
+            }
+            if group.by_rem.is_empty() {
+                self.groups.remove(&digest);
+            }
+        }
+        Some(entry)
+    }
+
+    /// Access an entry.
+    pub fn get(&self, slot: u32) -> Option<&IndexEntry<R>> {
+        self.entries.get(slot)
+    }
+
+    /// Iterate live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &IndexEntry<R>)> {
+        self.entries.iter()
+    }
+
+    /// First-layer probe.
+    fn group(&self, pre_hash: HashVal) -> Option<&RemGroup> {
+        self.groups.get(&self.width.digest(pre_hash))
+    }
+}
+
+/// A query piece: a sub-trie of the query trie shipped for matching. Its
+/// root corresponds to a global depth `root_depth`; `root_pre_hash` is the
+/// hash of the query string's prefix at the root's pivot (the last
+/// `w`-boundary at or above the root), and `root_rem` holds the bits from
+/// that pivot down to the root, so the receiver can extend hashes without
+/// ever seeing the bits above the pivot.
+#[derive(Clone)]
+pub struct QueryPiece {
+    /// The piece trie (root edge empty, root = the cut position).
+    pub trie: Trie,
+    /// For each piece node id, the query-trie node id it descends into
+    /// (the paper's "ID of its corresponding node in the original trie").
+    pub tags: Vec<u32>,
+    /// Global bit-depth of the piece root.
+    pub root_depth: u64,
+    /// Hash of the query prefix at the root's pivot.
+    pub root_pre_hash: HashVal,
+    /// Bits between the root's pivot and the root (`< w` bits).
+    pub root_rem: BitStr,
+}
+
+impl QueryPiece {
+    /// Size in words, the unit of the push-pull decision.
+    pub fn size_words(&self) -> u64 {
+        self.trie.size_words() as u64 + self.trie.n_nodes() as u64 + 3
+    }
+}
+
+impl pim_sim::Wire for QueryPiece {
+    fn wire_words(&self) -> u64 {
+        self.size_words()
+    }
+}
+
+/// A verified hash match found inside a piece.
+#[derive(Clone, Copy, Debug)]
+pub struct PieceMatch<R> {
+    /// Query-trie node id of the edge's lower endpoint (the matched
+    /// position lies on the edge into this node, or at the node itself).
+    pub qt_below: u32,
+    /// Global bit-depth of the matched position.
+    pub depth: u64,
+    /// The matched entry's target.
+    pub target: R,
+}
+
+impl<R: pim_sim::Wire> pim_sim::Wire for PieceMatch<R> {
+    fn wire_words(&self) -> u64 {
+        2 + self.target.wire_words()
+    }
+}
+
+/// Algorithm 3 (efficient form): find, for every edge of `piece`, the
+/// deepest index entry whose root string is a *verified* prefix of the
+/// query path through that edge, plus a possible match at the piece root
+/// position itself. `work` accumulates metered PIM work.
+pub fn hash_match_piece<R: Copy>(
+    hasher: &PolyHasher,
+    piece: &QueryPiece,
+    index: &HashIndex<R>,
+    work: &mut u64,
+) -> Vec<PieceMatch<R>> {
+    let mut out = Vec::new();
+    if index.is_empty() {
+        return out;
+    }
+    let root_pre = piece.root_depth - piece.root_rem.len() as u64;
+    debug_assert_eq!(root_pre % W, 0);
+
+    // Match at the piece root itself (exact depth only).
+    *work += 2;
+    if let Some((d, target)) = resolve(
+        index,
+        piece.root_pre_hash,
+        piece.root_rem.as_slice(),
+        root_pre,
+        piece.root_depth.saturating_sub(0), // lo handled via exact check
+        piece.root_depth,
+        work,
+    ) {
+        if d == piece.root_depth {
+            out.push(PieceMatch {
+                qt_below: piece.tags[NodeId::ROOT.idx()],
+                depth: d,
+                target,
+            });
+        }
+    }
+
+    // DFS carrying the rolling pivot context.
+    let mut stack = vec![(NodeId::ROOT, root_pre, piece.root_pre_hash, piece.root_rem.clone())];
+    while let Some((node, pre_depth, pre_hash, tail)) = stack.pop() {
+        let top_depth = pre_depth + tail.len() as u64;
+        for child in piece.trie.node(node).children.iter().flatten() {
+            let edge = &piece.trie.node(*child).edge;
+            let bottom_depth = top_depth + edge.len() as u64;
+            *work += edge.len().div_ceil(WORD_BITS) as u64 + 1;
+
+            // Pivots relevant to this edge: w-boundaries in
+            // [pre_depth, bottom_depth], scanned deepest-first. Matches at
+            // deeper pivots are strictly deeper, so stop at first hit.
+            let mut best: Option<(u64, R)> = None;
+            let mut pivot = (bottom_depth / W) * W;
+            if pivot < pre_depth {
+                pivot = pre_depth;
+            }
+            loop {
+                let (ph, srem) =
+                    pivot_context(hasher, pre_depth, pre_hash, &tail, edge, top_depth, pivot);
+                *work += 2;
+                if let Some(m) = resolve(
+                    index,
+                    ph,
+                    srem.as_slice(),
+                    pivot,
+                    top_depth + 1,
+                    bottom_depth,
+                    work,
+                ) {
+                    best = Some(m);
+                    break;
+                }
+                if pivot <= pre_depth || pivot < W {
+                    break;
+                }
+                pivot -= W;
+                if pivot < pre_depth {
+                    break;
+                }
+            }
+            if let Some((d, target)) = best {
+                out.push(PieceMatch {
+                    qt_below: piece.tags[child.idx()],
+                    depth: d,
+                    target,
+                });
+            }
+
+            // Child context: advance the pivot past any crossed boundary.
+            let new_pre = (bottom_depth / W) * W;
+            if new_pre > pre_depth {
+                let consumed = (new_pre - top_depth) as usize; // bits of edge up to new_pre
+                let mut bits = tail.clone();
+                bits.append(&edge.slice(0..consumed));
+                let h = hasher.combine(pre_hash, hasher.hash_bits(bits.as_slice()), bits.len() as u64);
+                stack.push((*child, new_pre, h, edge.slice(consumed..edge.len()).to_bitstr()));
+            } else {
+                let mut t = tail.clone();
+                t.append(&edge.as_slice());
+                stack.push((*child, pre_depth, pre_hash, t));
+            }
+        }
+    }
+    out
+}
+
+/// Hash at `pivot` and the `S'_rem` bits from `pivot` down to the edge
+/// bottom (at most `w` bits), derived from the rolling walk state.
+#[allow(clippy::too_many_arguments)]
+fn pivot_context(
+    hasher: &PolyHasher,
+    pre_depth: u64,
+    pre_hash: HashVal,
+    tail: &BitStr,
+    edge: &BitStr,
+    top_depth: u64,
+    pivot: u64,
+) -> (HashVal, BitStr) {
+    let bottom_depth = top_depth + edge.len() as u64;
+    debug_assert!(pivot >= pre_depth && pivot <= bottom_depth);
+    let ph = if pivot == pre_depth {
+        pre_hash
+    } else {
+        let need = (pivot - pre_depth) as usize;
+        let mut bits = BitStr::with_capacity(need);
+        let from_tail = need.min(tail.len());
+        bits.append(&tail.slice(0..from_tail));
+        if need > from_tail {
+            bits.append(&edge.slice(0..need - from_tail));
+        }
+        hasher.combine(pre_hash, hasher.hash_bits(bits.as_slice()), bits.len() as u64)
+    };
+    // S'_rem: bits in [pivot, min(pivot + w, bottom)), from tail then edge.
+    let srem_end = (pivot + W).min(bottom_depth);
+    let mut srem = BitStr::with_capacity(WORD_BITS);
+    let mut pos = pivot;
+    if pos < top_depth {
+        let i = (pos - pre_depth) as usize;
+        let upto = (srem_end.min(top_depth) - pre_depth) as usize;
+        srem.append(&tail.slice(i..upto));
+        pos = srem_end.min(top_depth);
+    }
+    if pos < srem_end {
+        let i = (pos - top_depth) as usize;
+        let upto = (srem_end - top_depth) as usize;
+        srem.append(&edge.slice(i..upto));
+    }
+    (ph, srem)
+}
+
+/// Second-layer resolution at one pivot: the deepest entry whose
+/// `(pre_hash, rem)` is *bit-verified* against the query bits `srem`
+/// (positions `pivot..pivot+|srem|`), with depth in `[lo, hi]`.
+fn resolve<R: Copy>(
+    index: &HashIndex<R>,
+    pre_hash: HashVal,
+    srem: BitSlice<'_>,
+    pivot: u64,
+    lo: u64,
+    hi: u64,
+    work: &mut u64,
+) -> Option<(u64, R)> {
+    let group = index.group(pre_hash)?;
+    *work += 1;
+    // Fast path: the paper's RemIndex (y-fast + validity) query.
+    if let Some(k) = group.rems.query(srem) {
+        *work += 6; // O(log w) probes
+        if let Some(m) = try_rem(group, &k, srem, pivot, lo, hi, index) {
+            return Some(m);
+        }
+    }
+    // Exact fallback: scan the group's rems for the deepest verified one.
+    // Groups are O(1) expected size; the scan preserves exactness under
+    // adversarial collisions at bounded extra work.
+    let mut best: Option<(u64, R)> = None;
+    for k in group.by_rem.keys() {
+        *work += 1;
+        if let Some(m) = try_rem(group, k, srem, pivot, lo, hi, index) {
+            if best.map(|(d, _)| m.0 > d).unwrap_or(true) {
+                best = Some(m);
+            }
+        }
+    }
+    best
+}
+
+fn try_rem<R: Copy>(
+    group: &RemGroup,
+    k: &BitStr,
+    srem: BitSlice<'_>,
+    pivot: u64,
+    lo: u64,
+    hi: u64,
+    index: &HashIndex<R>,
+) -> Option<(u64, R)> {
+    // k must be a bit-exact prefix of the query bits below the pivot…
+    if k.len() > srem.len() || srem.slice(0..k.len()).lcp(&k.as_slice()) != k.len() {
+        return None;
+    }
+    let depth = pivot + k.len() as u64;
+    if depth < lo || depth > hi {
+        return None;
+    }
+    let slots = group.by_rem.get(k)?;
+    for &slot in slots {
+        let e = index.get(slot)?;
+        // …and the entry's depth must agree.
+        if e.depth == depth {
+            return Some((depth, e.target));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hasher() -> PolyHasher {
+        PolyHasher::with_seed(42)
+    }
+
+    /// Build an entry for root string `s` targeting `t`.
+    fn entry(h: &PolyHasher, s: &BitStr, t: u32) -> IndexEntry<u32> {
+        let depth = s.len() as u64;
+        let pre_len = (depth / W * W) as usize;
+        let pre_hash = h.hash_bits(s.slice(0..pre_len));
+        let rem = s.slice(pre_len..s.len()).to_bitstr();
+        let last_from = s.len().saturating_sub(WORD_BITS);
+        IndexEntry {
+            depth,
+            pre_hash,
+            rem,
+            s_last: s.slice(last_from..s.len()).to_bitstr(),
+            target: t,
+        }
+    }
+
+    /// A piece covering the whole query trie (root at depth 0).
+    fn whole_piece(h: &PolyHasher, keys: &[&str]) -> QueryPiece {
+        let strs: Vec<BitStr> = keys.iter().map(|s| BitStr::from_bin_str(s)).collect();
+        let qt = trie_core::query::QueryTrie::build(&strs);
+        let n = qt.trie.id_bound();
+        QueryPiece {
+            tags: (0..n as u32).collect(),
+            trie: qt.trie,
+            root_depth: 0,
+            root_pre_hash: h.empty(),
+            root_rem: BitStr::new(),
+        }
+    }
+
+    #[test]
+    fn matches_roots_on_paths() {
+        let h = hasher();
+        let mut idx = HashIndex::new(HashWidth::FULL);
+        // stored roots: "", "101", "1010"
+        for (s, t) in [("", 0u32), ("101", 1), ("1010", 2)] {
+            idx.insert(entry(&h, &BitStr::from_bin_str(s), t));
+        }
+        let piece = whole_piece(&h, &["00001001", "101001", "101011"]);
+        let mut work = 0;
+        let ms = hash_match_piece(&h, &piece, &idx, &mut work);
+        // expect: root "" at depth 0; "101" and "1010" on the 1010-side
+        // edges (deepest per edge: "1010" beats "101" if both on one edge).
+        let depths: Vec<u64> = ms.iter().map(|m| m.depth).collect();
+        assert!(depths.contains(&0), "root match missing: {ms:?}");
+        assert!(depths.contains(&4), "deep root 1010 missing: {ms:?}");
+        // "101" and "1010" lie on the same query edge (root→"1010");
+        // per-edge deepest rule keeps only depth 4 for that edge.
+        assert!(!depths.contains(&3), "non-critical shallower match kept");
+        let m4 = ms.iter().find(|m| m.depth == 4).unwrap();
+        assert_eq!(m4.target, 2);
+    }
+
+    #[test]
+    fn matches_across_word_boundaries() {
+        let h = hasher();
+        let mut idx = HashIndex::new(HashWidth::FULL);
+        // a root deeper than one word
+        let long = BitStr::from_bits((0..150).map(|i| i % 3 == 0));
+        idx.insert(entry(&h, &long, 7));
+        // query extends the root
+        let mut q = long.clone();
+        q.push(true);
+        q.push(false);
+        let qs = q.to_string();
+        let piece = whole_piece(&h, &[&qs]);
+        let mut work = 0;
+        let ms = hash_match_piece(&h, &piece, &idx, &mut work);
+        assert!(
+            ms.iter().any(|m| m.depth == 150 && m.target == 7),
+            "missed deep root: {ms:?}"
+        );
+    }
+
+    #[test]
+    fn no_false_matches_off_path() {
+        let h = hasher();
+        let mut idx = HashIndex::new(HashWidth::FULL);
+        idx.insert(entry(&h, &BitStr::from_bin_str("1111"), 1));
+        let piece = whole_piece(&h, &["0000", "0101"]);
+        let mut work = 0;
+        let ms = hash_match_piece(&h, &piece, &idx, &mut work);
+        assert!(ms.is_empty(), "phantom matches: {ms:?}");
+    }
+
+    #[test]
+    fn narrow_digest_still_exact_via_verification() {
+        let h = hasher();
+        // 4-bit digests: first-layer collisions guaranteed at this size.
+        let mut idx = HashIndex::new(HashWidth(4));
+        let roots: Vec<BitStr> = (0u64..60)
+            .map(|i| BitStr::from_u64(i.wrapping_mul(0x9E3779B97F4A7C15) >> 24, 40))
+            .collect();
+        for (i, r) in roots.iter().enumerate() {
+            idx.insert(entry(&h, r, i as u32));
+        }
+        // queries that extend root 5 and root 17
+        for &i in &[5usize, 17] {
+            let mut q = roots[i].clone();
+            q.push(true);
+            let qs = q.to_string();
+            let piece = whole_piece(&h, &[&qs]);
+            let mut work = 0;
+            let ms = hash_match_piece(&h, &piece, &idx, &mut work);
+            let hit = ms.iter().find(|m| m.depth == 40).expect("missing root");
+            assert_eq!(hit.target, i as u32, "wrong target despite verification");
+        }
+    }
+
+    #[test]
+    fn piece_with_nonzero_root_depth() {
+        let h = hasher();
+        let mut idx = HashIndex::new(HashWidth::FULL);
+        // global root string prefix: 70 bits; piece root sits there.
+        let prefix = BitStr::from_bits((0..70).map(|i| i % 2 == 0));
+        let mut stored = prefix.clone();
+        stored.append(&BitStr::from_bin_str("110").as_slice());
+        idx.insert(entry(&h, &stored, 9));
+        // piece: subtree below depth 70 containing "110…"
+        let sub = BitStr::from_bin_str("110011");
+        let qt = trie_core::query::QueryTrie::build(&[sub]);
+        let n = qt.trie.id_bound();
+        let pre_len = 64;
+        let piece = QueryPiece {
+            tags: (0..n as u32).collect(),
+            trie: qt.trie,
+            root_depth: 70,
+            root_pre_hash: h.hash_bits(prefix.slice(0..pre_len)),
+            root_rem: prefix.slice(pre_len..70).to_bitstr(),
+        };
+        let mut work = 0;
+        let ms = hash_match_piece(&h, &piece, &idx, &mut work);
+        assert!(
+            ms.iter().any(|m| m.depth == 73 && m.target == 9),
+            "missed root below piece boundary: {ms:?}"
+        );
+    }
+
+    #[test]
+    fn index_insert_remove() {
+        let h = hasher();
+        let mut idx: HashIndex<u32> = HashIndex::new(HashWidth::FULL);
+        let s = BitStr::from_bin_str("10101");
+        let slot = idx.insert(entry(&h, &s, 3));
+        assert_eq!(idx.len(), 1);
+        let e = idx.remove(slot).unwrap();
+        assert_eq!(e.target, 3);
+        assert!(idx.is_empty());
+        assert!(idx.remove(slot).is_none());
+    }
+}

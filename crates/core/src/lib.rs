@@ -1,0 +1,234 @@
+//! **PIM-trie** — a skew-resistant, batch-parallel trie for
+//! Processing-in-Memory systems (Kang et al., SPAA '23).
+//!
+//! The index stores variable-length bit-string keys across the `P` modules
+//! of a [`pim_sim::PimSystem`] and supports four batch operations:
+//!
+//! * [`PimTrie::lcp_batch`] — LongestCommonPrefix for a batch of strings,
+//! * [`PimTrie::insert_batch`] / [`PimTrie::delete_batch`],
+//! * [`PimTrie::subtree_batch`] — SubtreeQuery.
+//!
+//! # How it works (paper §4–5)
+//!
+//! The *data trie* is cut into **blocks** of `O(K_B)` words (§4.2) that are
+//! scattered uniformly at random over the modules; each block's root is
+//! replicated as a *mirror leaf* in its parent block. Block-root metadata
+//! (node hash, PIM address, `S_pre`/`S_rem` pivot decomposition, `S_last`)
+//! lives in the **hash value manager** (§4.4): a *meta-tree* over blocks,
+//! itself cut into **meta-blocks**, recursively decomposed by cut nodes
+//! (Lemmas 4.5–4.6) into *meta-block trees* of height `O(log P)`, whose
+//! roots are registered in a **master table** replicated on every module.
+//!
+//! A batch is processed by **trie matching** (§4.1, §4.3): the CPU builds
+//! the *query trie* of the batch (Algorithm 1), then matches it against the
+//! data trie level by level — master table → meta-block trees → blocks —
+//! using **hash comparisons at pivot positions** for coarse elimination and
+//! **bit-by-bit comparison** inside the matched blocks for the exact
+//! result. Work is spread with the **push-pull** rule: small query pieces
+//! are pushed to the module owning the data; large pieces pull the
+//! (bounded-size) data to the CPU instead. All communication flows through
+//! the simulator and is metered in words, rounds, and per-module balance.
+//!
+//! Hash collisions (forced in experiments by narrowing
+//! [`PimTrieConfig::hash_width`]) are caught by the **verification** rules
+//! of §4.4.3 — `S_last` comparisons at hash matches and bit-exact matching
+//! inside critical blocks — and corrected by re-running the affected paths
+//! through the exact [`slowpath`], so results are exact regardless of hash
+//! width.
+//!
+//! ```
+//! use pim_trie::{PimTrie, PimTrieConfig};
+//! use bitstr::BitStr;
+//!
+//! let mut index = PimTrie::new(PimTrieConfig::for_modules(8));
+//! let keys: Vec<BitStr> = ["00001", "10100000", "1010111", "10111"]
+//!     .iter().map(|s| BitStr::from_bin_str(s)).collect();
+//! index.insert_batch(&keys, &[1, 2, 3, 4]);
+//!
+//! let queries = vec![BitStr::from_bin_str("101001")];
+//! assert_eq!(index.lcp_batch(&queries), vec![5]); // Figure 1's example
+//! ```
+
+#![warn(missing_docs)]
+
+mod build;
+mod config;
+mod hvm;
+mod matching;
+mod module;
+mod ops;
+mod refs;
+pub mod slowpath;
+
+pub use config::PimTrieConfig;
+pub use matching::{MatchStats, MatchedTrie};
+pub use module::ModuleState;
+pub use refs::{BlockRef, MetaRef};
+
+use bitstr::hash::PolyHasher;
+use pim_sim::PimSystem;
+
+/// The distributed PIM-trie index (host-side handle).
+pub struct PimTrie {
+    pub(crate) sys: PimSystem<ModuleState>,
+    pub(crate) cfg: PimTrieConfig,
+    pub(crate) hasher: PolyHasher,
+    /// number of keys stored
+    pub(crate) n_keys: usize,
+    /// placement RNG (uniform random block/meta-block distribution)
+    pub(crate) place_rng: rand_chacha::ChaCha8Rng,
+    /// count of verification-triggered redo walks (collision repairs)
+    pub(crate) redo_paths: u64,
+    /// host-side director state: approximate node count per meta-block
+    /// tree (chunk), keyed by the chunk's root meta-block — drives the
+    /// K_MB promotion rule of §5.2
+    pub(crate) chunk_sizes: std::collections::HashMap<refs::MetaRef, usize>,
+    /// the data trie's root block (depth 0); its address is stable across
+    /// repartitions
+    pub(crate) root_block: refs::BlockRef,
+}
+
+impl PimTrie {
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.n_keys
+    }
+
+    /// True iff no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.n_keys == 0
+    }
+
+    /// The underlying simulated PIM system (metrics, module inspection).
+    pub fn system(&self) -> &PimSystem<ModuleState> {
+        &self.sys
+    }
+
+    /// Mutable access to the simulator (metric snapshots etc.).
+    pub fn system_mut(&mut self) -> &mut PimSystem<ModuleState> {
+        &mut self.sys
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &PimTrieConfig {
+        &self.cfg
+    }
+
+    /// Number of query paths that needed a verification-triggered exact
+    /// redo (only nonzero with narrow hash digests).
+    pub fn redo_paths(&self) -> u64 {
+        self.redo_paths
+    }
+
+    /// Total words of PIM memory used by blocks, meta-blocks and master
+    /// replicas (the paper's space metric, Lemma 4.2 / 4.7).
+    pub fn space_words(&self) -> u64 {
+        self.sys.modules().map(|m| m.space_words()).sum()
+    }
+
+    /// Debug-only ground-truth key count: scans every module's blocks
+    /// directly (not costed; assertions/tests only).
+    pub fn count_keys_debug(&self) -> usize {
+        self.sys
+            .modules()
+            .flat_map(|m| m.blocks.iter())
+            .map(|(_, b)| b.n_real_keys())
+            .sum()
+    }
+
+    /// Debug-only structural audit: returns human-readable descriptions of
+    /// every invariant violation found (empty = healthy). Tests call this
+    /// after each batch.
+    pub fn audit_debug(&self) -> Vec<String> {
+        use trie_core::NodeId;
+        let mut issues = Vec::new();
+        for (mi, m) in self.sys.modules().enumerate() {
+            for (slot, b) in m.blocks.iter() {
+                for (node, child) in &b.mirrors {
+                    match b.trie.node(*node).value {
+                        Some(v) if v == module::MIRROR_VALUE => {}
+                        other => issues.push(format!(
+                            "block m{mi}s{slot}: mirror {node:?} -> {child:?} has value {other:?}"
+                        )),
+                    }
+                    if b.trie.node(*node).degree() != 0 {
+                        issues.push(format!(
+                            "block m{mi}s{slot}: mirror {node:?} is not a leaf"
+                        ));
+                    }
+                    let cb = self
+                        .sys
+                        .module(child.module as usize)
+                        .blocks
+                        .get(child.slot);
+                    match cb {
+                        None => issues.push(format!(
+                            "block m{mi}s{slot}: mirror {node:?} -> dangling {child:?}"
+                        )),
+                        Some(cb) => {
+                            let want =
+                                b.root_depth + b.trie.node(*node).depth as u64;
+                            if cb.root_depth != want {
+                                issues.push(format!(
+                                    "block m{mi}s{slot}: mirror {node:?} depth {want} != child root_depth {}",
+                                    cb.root_depth
+                                ));
+                            }
+                        }
+                    }
+                }
+                if b.n_real_keys() == 0 && b.mirrors.is_empty() && b.parent.is_some() {
+                    issues.push(format!(
+                        "block m{mi}s{slot}: unmerged empty block (weight {})",
+                        b.weight()
+                    ));
+                }
+                // every non-mirror MIRROR_VALUE is an orphan sentinel
+                for id in b.trie.node_ids() {
+                    if b.trie.node(id).value == Some(module::MIRROR_VALUE)
+                        && !b.mirrors.contains_key(&id)
+                    {
+                        issues.push(format!(
+                            "block m{mi}s{slot}: orphan mirror sentinel at {id:?}"
+                        ));
+                    }
+                }
+                let _ = NodeId::ROOT;
+            }
+        }
+        issues
+    }
+
+    /// Debug-only ground-truth item dump: walks the block tree from the
+    /// root via mirrors (not costed; tests only). Returns (key, value)
+    /// pairs in no particular order.
+    pub fn items_debug(&self) -> Vec<(bitstr::BitStr, u64)> {
+        use trie_core::NodeId;
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root_block, bitstr::BitStr::new())];
+        while let Some((bref, prefix)) = stack.pop() {
+            let block = self
+                .sys
+                .module(bref.module as usize)
+                .blocks
+                .get(bref.slot)
+                .expect("dangling block ref");
+            let mut walk = vec![(NodeId::ROOT, prefix)];
+            while let Some((id, s)) = walk.pop() {
+                match block.trie.node(id).value {
+                    Some(v) if v != module::MIRROR_VALUE => out.push((s.clone(), v)),
+                    _ => {}
+                }
+                if let Some(child) = block.mirrors.get(&id) {
+                    stack.push((*child, s.clone()));
+                }
+                for c in block.trie.node(id).children.iter().flatten() {
+                    let mut cs = s.clone();
+                    cs.append(&block.trie.node(*c).edge.as_slice());
+                    walk.push((*c, cs));
+                }
+            }
+        }
+        out
+    }
+}

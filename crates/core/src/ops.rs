@@ -1,0 +1,1023 @@
+//! The PIM-trie batch operations (paper §5): LongestCommonPrefix,
+//! Insert, Delete, and SubtreeQuery, plus the structural maintenance
+//! their updates trigger (block re-partitioning, meta-block splits,
+//! undersized merges).
+
+use crate::matching::{Anchor, MatchedTrie};
+use crate::module::{GraftMsg, Req, Resp, MIRROR_VALUE};
+use crate::refs::{BitsMsg, BlockRef, MetaRef, TrieMsg};
+use crate::PimTrie;
+use bitstr::BitStr;
+use std::collections::{HashMap, HashSet};
+use trie_core::{NodeId, Trie};
+
+impl PimTrie {
+    /// LongestCommonPrefix for every query in the batch (§5.1): the length
+    /// in bits of the longest prefix shared with *any* stored key.
+    pub fn lcp_batch(&mut self, queries: &[BitStr]) -> Vec<usize> {
+        let mt = self.match_batch(queries);
+        let mut out: Vec<usize> = (0..queries.len())
+            .map(|i| mt.depth_of[mt.qt.key_node[i].idx()] as usize)
+            .collect();
+        // §4.4.3 redo: recompute flagged paths exactly.
+        let flagged: Vec<usize> = (0..queries.len())
+            .filter(|i| mt.flagged[mt.qt.key_node[*i].idx()])
+            .collect();
+        if !flagged.is_empty() {
+            self.redo_paths += flagged.len() as u64;
+            let qs: Vec<BitStr> = flagged.iter().map(|i| queries[*i].clone()).collect();
+            let rs = self.slow_descend(&qs);
+            for (i, r) in flagged.into_iter().zip(rs) {
+                out[i] = r.depth as usize;
+            }
+        }
+        out
+    }
+
+    /// Insert a batch of (key, value) pairs (§5.2). Duplicate keys within
+    /// the batch collapse to the last value; re-inserting an existing key
+    /// overwrites its value. Values must not equal `u64::MAX` (reserved).
+    pub fn insert_batch(&mut self, keys: &[BitStr], values: &[u64]) {
+        assert_eq!(keys.len(), values.len());
+        assert!(
+            values.iter().all(|v| *v != MIRROR_VALUE),
+            "u64::MAX is reserved for mirror sentinels"
+        );
+        if keys.is_empty() {
+            return;
+        }
+        let mt = self.match_batch(keys);
+        // value per key node: last batch occurrence wins
+        let mut val_of: HashMap<u32, u64> = HashMap::new();
+        for (i, _) in keys.iter().enumerate() {
+            val_of.insert(mt.qt.key_node[i].0, values[i]);
+        }
+        // Split flagged keys out for the exact path.
+        let mut flagged_keys: Vec<(BitStr, u64)> = Vec::new();
+        let mut seen_flagged: HashSet<u32> = HashSet::new();
+        for (i, k) in keys.iter().enumerate() {
+            let node = mt.qt.key_node[i];
+            if mt.flagged[node.idx()] && seen_flagged.insert(node.0) {
+                flagged_keys.push((k.clone(), val_of[&node.0]));
+            }
+        }
+
+        // ---- graft roots over the unflagged portion --------------------
+        // A graft root is a query edge (u → v) where the matched depth of
+        // v's path stops inside the edge (or at u): everything below is new.
+        let qt = &mt.qt.trie;
+        let mut grafts: Vec<(Anchor, Trie)> = Vec::new();
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            if mt.flagged[id.idx()] {
+                continue; // handled by the slow path
+            }
+            let d = mt.depth_of[id.idx()];
+            let depth = qt.node(id).depth as u64;
+            if d >= depth {
+                // fully matched up to here: a key ending here is a
+                // set-value; recurse into children.
+                if let Some(anchor) = mt.anchor_of[id.idx()] {
+                    if let Some(&v) = val_of.get(&id.0) {
+                        if qt.node(id).value.is_some() {
+                            let mut t = Trie::new();
+                            t.set_value(NodeId::ROOT, v);
+                            grafts.push((anchor, t));
+                        }
+                    }
+                }
+                for c in qt.node(id).children.iter().flatten() {
+                    stack.push(*c);
+                }
+                continue;
+            }
+            // path into `id` stops at depth d: graft the subtree below
+            // position (id, d)
+            let Some(anchor) = mt.anchor_of[id.idx()] else {
+                // no anchor at all — defer to slow path
+                collect_keys_below(qt, id, &val_of, keys, &mt, &mut flagged_keys);
+                continue;
+            };
+            let sub = subtree_for_graft(qt, id, d, &val_of);
+            grafts.push((anchor, sub));
+        }
+
+        self.apply_grafts(grafts);
+
+        // ---- flagged keys: exact anchors via one slow descent ----------
+        // Keys sharing an anchor (they diverge from the data at the same
+        // position) merge into one suffix trie, so the whole redo is a
+        // single graft round.
+        if !flagged_keys.is_empty() {
+            self.redo_paths += flagged_keys.len() as u64;
+            let ks: Vec<BitStr> = flagged_keys.iter().map(|(k, _)| k.clone()).collect();
+            let rs = self.slow_descend(&ks);
+            let mut by_anchor: HashMap<(BlockRef, u32, u32), Trie> = HashMap::new();
+            for ((k, v), r) in flagged_keys.into_iter().zip(rs) {
+                let key = (r.anchor.block, r.anchor.node, r.anchor.off);
+                let sub = by_anchor.entry(key).or_default();
+                if r.depth as usize == k.len() {
+                    sub.set_value(NodeId::ROOT, v);
+                } else {
+                    let rest = k.slice(r.depth as usize..k.len()).to_bitstr();
+                    sub.insert(&rest, v);
+                }
+            }
+            let grafts: Vec<(Anchor, Trie)> = by_anchor
+                .into_iter()
+                .map(|((block, node, off), sub)| (Anchor { block, node, off }, sub))
+                .collect();
+            self.apply_grafts(grafts);
+        }
+    }
+
+    /// Apply grafts grouped per block, then run growth maintenance.
+    fn apply_grafts(&mut self, grafts: Vec<(Anchor, Trie)>) {
+        if grafts.is_empty() {
+            return;
+        }
+        let p = self.sys.p();
+        // group per block, sorted by (anchor node, off) for the module's
+        // split-offset adjustment
+        let mut per_block: HashMap<BlockRef, Vec<(Anchor, Trie)>> = HashMap::new();
+        for (a, t) in grafts {
+            per_block.entry(a.block).or_default().push((a, t));
+        }
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        let mut origin: Vec<Vec<BlockRef>> = (0..p).map(|_| Vec::new()).collect();
+        for (block, mut gs) in per_block {
+            gs.sort_by_key(|(a, _)| (a.node, a.off));
+            let msgs = gs
+                .into_iter()
+                .map(|(a, t)| GraftMsg {
+                    anchor_node: a.node,
+                    anchor_off: a.off,
+                    subtree: TrieMsg(t),
+                })
+                .collect();
+            inbox[block.module as usize].push(Req::GraftMany {
+                slot: block.slot,
+                grafts: msgs,
+            });
+            origin[block.module as usize].push(block);
+        }
+        let replies = self.rounds("insert.graft", inbox);
+        let mut oversized: Vec<BlockRef> = Vec::new();
+        for (m, rs) in replies.into_iter().enumerate() {
+            for (j, resp) in rs.into_iter().enumerate() {
+                let block = origin[m][j];
+                let Resp::BlockVitals {
+                    weight,
+                    keys_delta,
+                    collision,
+                    ..
+                } = resp
+                else {
+                    panic!("graft: unexpected response")
+                };
+                assert!(!collision, "graft collision escaped verification");
+                self.n_keys = (self.n_keys as i64 + keys_delta) as usize;
+                if weight > self.cfg.oversize_factor * self.cfg.k_b {
+                    oversized.push(block);
+                }
+            }
+        }
+        self.repartition_blocks(oversized);
+    }
+
+    /// Delete a batch of keys (§5.2); returns how many were present and
+    /// removed. Duplicates in the batch count once.
+    pub fn delete_batch(&mut self, keys: &[BitStr]) -> usize {
+        if keys.is_empty() {
+            return 0;
+        }
+        let mt = self.match_batch(keys);
+        let p = self.sys.p();
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        let mut origin: Vec<Vec<BlockRef>> = (0..p).map(|_| Vec::new()).collect();
+        let mut sent: HashSet<u32> = HashSet::new();
+        let mut slow: Vec<BitStr> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            let node = mt.qt.key_node[i];
+            if !sent.insert(node.0) {
+                continue; // duplicate in batch
+            }
+            if mt.flagged[node.idx()] {
+                slow.push(k.clone());
+                continue;
+            }
+            if mt.depth_of[node.idx()] as usize != k.len() {
+                continue; // not stored
+            }
+            let Some(a) = mt.anchor_of[node.idx()] else {
+                slow.push(k.clone());
+                continue;
+            };
+            // the key must end exactly at a compressed node to be stored
+            // (anchor_off == edge len is checked module-side via value)
+            inbox[a.block.module as usize].push(Req::DeleteKey {
+                slot: a.block.slot,
+                node: a.node,
+                depth: k.len() as u64,
+            });
+            origin[a.block.module as usize].push(a.block);
+        }
+        // exact path for flagged keys
+        if !slow.is_empty() {
+            self.redo_paths += slow.len() as u64;
+            let rs = self.slow_descend(&slow);
+            for (k, r) in slow.iter().zip(rs) {
+                if r.depth as usize == k.len() {
+                    inbox[r.anchor.block.module as usize].push(Req::DeleteKey {
+                        slot: r.anchor.block.slot,
+                        node: r.anchor.node,
+                        depth: k.len() as u64,
+                    });
+                    origin[r.anchor.block.module as usize].push(r.anchor.block);
+                }
+            }
+        }
+        if inbox.iter().all(|v| v.is_empty()) {
+            return 0;
+        }
+        let replies = self.rounds("delete.keys", inbox);
+        let mut removed = 0usize;
+        let mut shrunk: Vec<(BlockRef, u64, u64, u64)> = Vec::new();
+        for (m, rs) in replies.into_iter().enumerate() {
+            for (j, resp) in rs.into_iter().enumerate() {
+                let block = origin[m][j];
+                let Resp::BlockVitals {
+                    weight,
+                    keys,
+                    children,
+                    keys_delta,
+                    collision,
+                } = resp
+                else {
+                    panic!("delete: unexpected response")
+                };
+                if !collision {
+                    removed += 1;
+                    self.n_keys = (self.n_keys as i64 + keys_delta) as usize;
+                }
+                shrunk.push((block, weight, keys, children));
+            }
+        }
+        self.maintain_after_shrink(shrunk);
+        removed
+    }
+
+    /// SubtreeQuery (§5.3): for every prefix, the trie of all stored keys
+    /// extending it (full keys + values), or `None` if no stored key does.
+    pub fn subtree_batch(&mut self, prefixes: &[BitStr]) -> Vec<Option<Trie>> {
+        if prefixes.is_empty() {
+            return Vec::new();
+        }
+        let mt = self.match_batch(prefixes);
+        let p = self.sys.p();
+        let mut out: Vec<Option<Trie>> = (0..prefixes.len()).map(|_| None).collect();
+        // frontier entries: (query idx, block, node, off, absolute prefix)
+        let mut frontier: Vec<(usize, BlockRef, u32, u32, BitStr)> = Vec::new();
+        for (i, prefix) in prefixes.iter().enumerate() {
+            let node = mt.qt.key_node[i];
+            let (depth, anchor) = if mt.flagged[node.idx()] {
+                self.redo_paths += 1;
+                let r = self.slow_descend(std::slice::from_ref(prefix))[0];
+                (r.depth, Some(r.anchor))
+            } else {
+                (mt.depth_of[node.idx()], mt.anchor_of[node.idx()])
+            };
+            if depth as usize != prefix.len() {
+                continue; // nothing extends this prefix
+            }
+            let Some(a) = anchor else { continue };
+            out[i] = Some(Trie::new());
+            frontier.push((i, a.block, a.node, a.off, prefix.clone()));
+        }
+        // BFS over the block tree, one round per level
+        let mut guard = 0;
+        while !frontier.is_empty() {
+            guard += 1;
+            assert!(guard < 100_000, "subtree assembly did not terminate");
+            let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+            let mut origin: Vec<Vec<(usize, BitStr)>> = (0..p).map(|_| Vec::new()).collect();
+            for (qi, block, node, off, prefix) in frontier.drain(..) {
+                inbox[block.module as usize].push(Req::FetchSubtree { slot: block.slot, node, off });
+                origin[block.module as usize].push((qi, prefix));
+            }
+            let replies = self.rounds("subtree.fetch", inbox);
+            for (m, rs) in replies.into_iter().enumerate() {
+                for (j, resp) in rs.into_iter().enumerate() {
+                    let (qi, prefix) = origin[m][j].clone();
+                    let Resp::Subtree { trie, children, depth } = resp else {
+                        panic!("subtree: unexpected response")
+                    };
+                    debug_assert!(depth as usize >= prefix.len());
+                    let piece = trie.0;
+                    // splice items into the result under `prefix`
+                    let result = out[qi].as_mut().unwrap();
+                    for (rel, v) in piece.items() {
+                        let mut full = prefix.clone();
+                        full.append(&rel.as_slice());
+                        result.insert(&full, v);
+                    }
+                    // recurse into child blocks with their absolute prefixes
+                    for (piece_node, child) in children {
+                        let mut child_prefix = prefix.clone();
+                        child_prefix
+                            .append(&piece.node_string(NodeId(piece_node)).as_slice());
+                        frontier.push((qi, child, NodeId::ROOT.0, 0, child_prefix));
+                    }
+                }
+            }
+        }
+        // mark empty results as None (prefix on a path but no stored key
+        // extends it — possible when the anchor only led to mirrors that
+        // are themselves empty; items() was empty throughout)
+        for r in out.iter_mut() {
+            if r.as_ref().map(|t| t.n_keys() == 0).unwrap_or(false) {
+                *r = None;
+            }
+        }
+        out
+    }
+
+    /// Exact-key point lookup: one trie-matching pass, then one round of
+    /// `O(1)`-word value reads at the matched anchors.
+    pub fn get_batch(&mut self, keys: &[BitStr]) -> Vec<Option<u64>> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let mt = self.match_batch(keys);
+        let p = self.sys.p();
+        let mut out: Vec<Option<u64>> = vec![None; keys.len()];
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        let mut origin: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        let mut slow: Vec<(usize, BitStr)> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            let node = mt.qt.key_node[i];
+            if mt.flagged[node.idx()] {
+                slow.push((i, k.clone()));
+                continue;
+            }
+            if mt.depth_of[node.idx()] as usize != k.len() {
+                continue; // not stored
+            }
+            let Some(a) = mt.anchor_of[node.idx()] else {
+                slow.push((i, k.clone()));
+                continue;
+            };
+            inbox[a.block.module as usize].push(Req::ReadKey {
+                slot: a.block.slot,
+                node: a.node,
+                depth: k.len() as u64,
+            });
+            origin[a.block.module as usize].push(i);
+        }
+        if !slow.is_empty() {
+            self.redo_paths += slow.len() as u64;
+            let qs: Vec<BitStr> = slow.iter().map(|(_, k)| k.clone()).collect();
+            for ((i, k), r) in slow.iter().zip(self.slow_descend(&qs)) {
+                if r.depth as usize == k.len() {
+                    inbox[r.anchor.block.module as usize].push(Req::ReadKey {
+                        slot: r.anchor.block.slot,
+                        node: r.anchor.node,
+                        depth: k.len() as u64,
+                    });
+                    origin[r.anchor.block.module as usize].push(*i);
+                }
+            }
+        }
+        if inbox.iter().all(|v| v.is_empty()) {
+            return out;
+        }
+        let replies = self.rounds("get.read", inbox);
+        for (m, rs) in replies.into_iter().enumerate() {
+            for (j, resp) in rs.into_iter().enumerate() {
+                let Resp::Value(v) = resp else {
+                    panic!("get: unexpected response")
+                };
+                out[origin[m][j]] = v;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // maintenance
+    // ------------------------------------------------------------------
+
+    /// Re-partition oversized blocks: pull them, cut each with the §4.2
+    /// blocking algorithm, keep every root piece in place, scatter the
+    /// rest — all blocks advance together through shared BSP rounds, so a
+    /// batch of overflows costs O(1) extra rounds, not O(#blocks).
+    pub(crate) fn repartition_blocks(&mut self, brefs: Vec<BlockRef>) {
+        if brefs.is_empty() {
+            return;
+        }
+        let p = self.sys.p();
+        // Round 1: fetch all oversized blocks.
+        let bds = self.fetch_blocks(&brefs, "repart.fetch");
+
+        struct Piece {
+            target: BlockRef,
+            meta: crate::build::RootMeta,
+        }
+        struct Plan {
+            bref: BlockRef,
+            bd: crate::module::BlockDataOut,
+            pieces: Vec<trie_core::partition::Block>,
+            root_idx: usize,
+            placed: Vec<Option<Piece>>,
+            old_mirrors: HashMap<NodeId, BlockRef>,
+        }
+        let mut plans: Vec<Plan> = Vec::new();
+        for (bref, bd) in brefs.into_iter().zip(bds) {
+            let mut trie = bd.trie.0.clone();
+            let old_mirrors: HashMap<NodeId, BlockRef> =
+                bd.mirrors.iter().map(|(n, r)| (NodeId(*n), *r)).collect();
+            // long-edge cutting before partitioning (§4.2)
+            trie.split_long_edges((self.cfg.k_b as usize * 64 / 4).max(64));
+            let mut roots = trie_core::partition::partition_roots(&trie, self.cfg.k_b);
+            // Never cut at an existing mirror leaf: the piece rooted there
+            // would be an empty shell in front of the old child block.
+            roots.retain(|r| *r == NodeId::ROOT || !old_mirrors.contains_key(r));
+            if roots.len() <= 1 {
+                continue;
+            }
+            let pieces = trie_core::partition::decompose(&trie, &roots);
+            let root_idx = pieces
+                .iter()
+                .position(|b| b.orig_root == NodeId::ROOT)
+                .expect("root piece missing");
+            // compute every piece's root metadata now, while the
+            // edge-split trie (which the piece ids refer to) is alive
+            let mut placed: Vec<Option<Piece>> = (0..pieces.len()).map(|_| None).collect();
+            for (bi, b) in pieces.iter().enumerate() {
+                let local = trie.node_string(b.orig_root);
+                let meta = crate::build::root_meta_with_prefix(
+                    &self.hasher,
+                    bd.root_hash,
+                    bd.root_depth,
+                    bd.pre_hash,
+                    &bd.rem.0,
+                    &bd.s_last.0,
+                    &local,
+                );
+                let target = if bi == root_idx {
+                    bref
+                } else {
+                    BlockRef {
+                        module: u32::MAX,
+                        slot: u32::MAX,
+                    }
+                };
+                placed[bi] = Some(Piece { target, meta });
+            }
+            plans.push(Plan {
+                bref,
+                bd,
+                pieces,
+                root_idx,
+                placed,
+                old_mirrors,
+            });
+        }
+        if plans.is_empty() {
+            return;
+        }
+
+        // Round 2: place all non-root pieces on random modules.
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        let mut origin: Vec<Vec<(usize, usize)>> = (0..p).map(|_| Vec::new()).collect();
+        for (pi, plan) in plans.iter().enumerate() {
+            for (bi, b) in plan.pieces.iter().enumerate() {
+                if bi == plan.root_idx {
+                    continue;
+                }
+                let meta = &plan.placed[bi].as_ref().unwrap().meta;
+                let m = {
+                    use rand::Rng;
+                    self.place_rng.gen_range(0..p as u32)
+                };
+                inbox[m as usize].push(Req::PutBlock(crate::module::PutBlockMsg {
+                    trie: TrieMsg(b.trie.clone()),
+                    root_depth: meta.depth,
+                    root_hash: meta.hash,
+                    s_last: BitsMsg(meta.s_last.clone()),
+                    pre_hash: meta.pre_hash,
+                    rem: BitsMsg(meta.rem.clone()),
+                    parent: Some(plan.bref), // fixed in the wire round
+                    mirrors: Vec::new(),
+                }));
+                origin[m as usize].push((pi, bi));
+            }
+        }
+        let replies = self.rounds("repart.place", inbox);
+        for (m, rs) in replies.into_iter().enumerate() {
+            for (j, resp) in rs.into_iter().enumerate() {
+                let Resp::Placed { slot, .. } = resp else {
+                    panic!("repart.place: unexpected response")
+                };
+                let (pi, bi) = origin[m][j];
+                plans[pi].placed[bi].as_mut().unwrap().target = BlockRef {
+                    module: m as u32,
+                    slot,
+                };
+            }
+        }
+
+        // Round 3: wire mirrors, parents, and replace root pieces.
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        for plan in &plans {
+            let piece_of_orig: HashMap<NodeId, usize> = plan
+                .pieces
+                .iter()
+                .enumerate()
+                .map(|(bi, b)| (b.orig_root, bi))
+                .collect();
+            // parent piece of each piece: the piece holding its boundary
+            // mirror (computed once; the inner position() scan was O(n²))
+            let mut parent_of: HashMap<usize, usize> = HashMap::new();
+            for (pbi, pb) in plan.pieces.iter().enumerate() {
+                for (_, orig) in &pb.mirrors {
+                    if let Some(cbi) = piece_of_orig.get(orig) {
+                        parent_of.insert(*cbi, pbi);
+                    }
+                }
+            }
+            for (bi, b) in plan.pieces.iter().enumerate() {
+                let me = plan.placed[bi].as_ref().unwrap().target;
+                let mut mirrors: Vec<(u32, BlockRef)> = b
+                    .mirrors
+                    .iter()
+                    .map(|(leaf, orig)| {
+                        (
+                            leaf.0,
+                            plan.placed[piece_of_orig[orig]].as_ref().unwrap().target,
+                        )
+                    })
+                    .collect();
+                for (new_id, orig_id) in b
+                    .orig_of
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, o)| o.map(|o| (i, o)))
+                {
+                    if b.mirrors.iter().any(|(l, _)| l.idx() == new_id) {
+                        continue;
+                    }
+                    if let Some(r) = plan.old_mirrors.get(&orig_id) {
+                        mirrors.push((new_id as u32, *r));
+                        inbox[r.module as usize].push(Req::SetParent {
+                            slot: r.slot,
+                            parent: Some(me),
+                        });
+                    }
+                }
+                if bi == plan.root_idx {
+                    inbox[me.module as usize].push(Req::ReplaceBlock {
+                        slot: me.slot,
+                        trie: TrieMsg(b.trie.clone()),
+                        mirrors,
+                    });
+                } else {
+                    for (n, r) in mirrors {
+                        inbox[me.module as usize].push(Req::SetMirror {
+                            slot: me.slot,
+                            node: n,
+                            child: r,
+                        });
+                    }
+                    let parent_bi = *parent_of.get(&bi).expect("orphan piece");
+                    inbox[me.module as usize].push(Req::SetParent {
+                        slot: me.slot,
+                        parent: Some(plan.placed[parent_bi].as_ref().unwrap().target),
+                    });
+                }
+            }
+        }
+        self.rounds("repart.wire", inbox);
+
+        // Round 4: register meta nodes for all new pieces.
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        let mut origin: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        for (pi, plan) in plans.iter().enumerate() {
+            let Some((meta_ref, meta_slot)) = plan.bd.meta else {
+                panic!("repartition: block without meta location")
+            };
+            // pieces in `order`; parents mirror the piece tree so the meta
+            // tree keeps the block tree's bounded degree (a star here would
+            // degenerate the Lemma-4.5 decomposition)
+            let order: Vec<usize> = (0..plan.pieces.len())
+                .filter(|bi| *bi != plan.root_idx)
+                .collect();
+            let order_pos: HashMap<usize, u32> = order
+                .iter()
+                .enumerate()
+                .map(|(i, bi)| (*bi, i as u32))
+                .collect();
+            let mut nodes = Vec::with_capacity(order.len());
+            let mut parents = Vec::with_capacity(order.len());
+            let piece_of_orig: HashMap<NodeId, usize> = plan
+                .pieces
+                .iter()
+                .enumerate()
+                .map(|(bi, b)| (b.orig_root, bi))
+                .collect();
+            let mut parent_of: HashMap<usize, usize> = HashMap::new();
+            for (pbi, pb) in plan.pieces.iter().enumerate() {
+                for (_, orig) in &pb.mirrors {
+                    if let Some(cbi) = piece_of_orig.get(orig) {
+                        parent_of.insert(*cbi, pbi);
+                    }
+                }
+            }
+            for &bi in &order {
+                let piece = plan.placed[bi].as_ref().unwrap();
+                nodes.push(piece.meta.new_meta_node(piece.target));
+                let parent_bi = *parent_of.get(&bi).expect("orphan piece");
+                parents.push(if parent_bi == plan.root_idx {
+                    None
+                } else {
+                    Some(order_pos[&parent_bi])
+                });
+            }
+            inbox[meta_ref.module as usize].push(Req::AddMetaNodes {
+                slot: meta_ref.slot,
+                parent_node: meta_slot,
+                nodes,
+                parents,
+            });
+            origin[meta_ref.module as usize].push(pi);
+        }
+        let replies = self.rounds("repart.meta", inbox);
+        let mut wire_inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        let mut oversized_metas: Vec<MetaRef> = Vec::new();
+        for (m, rs) in replies.into_iter().enumerate() {
+            for (j, resp) in rs.into_iter().enumerate() {
+                let Resp::Placed {
+                    node_slots, count, ..
+                } = resp
+                else {
+                    panic!("repart.meta: unexpected response")
+                };
+                let pi = origin[m][j];
+                let plan = &plans[pi];
+                let meta_ref = plan.bd.meta.unwrap().0;
+                let order: Vec<usize> = (0..plan.pieces.len())
+                    .filter(|bi| *bi != plan.root_idx)
+                    .collect();
+                for (bi, ns) in order.iter().zip(&node_slots) {
+                    let b = plan.placed[*bi].as_ref().unwrap().target;
+                    wire_inbox[b.module as usize].push(Req::SetBlockMeta {
+                        slot: b.slot,
+                        meta: meta_ref,
+                        meta_slot: *ns,
+                    });
+                }
+                if count > self.cfg.k_smb as u64 && !oversized_metas.contains(&meta_ref) {
+                    oversized_metas.push(meta_ref);
+                }
+            }
+        }
+        self.rounds("repart.meta.wire", wire_inbox);
+        self.split_meta_blocks(oversized_metas);
+    }
+
+    /// Round helper: fetch many blocks at once.
+    fn fetch_blocks(
+        &mut self,
+        brefs: &[BlockRef],
+        name: &str,
+    ) -> Vec<crate::module::BlockDataOut> {
+        let p = self.sys.p();
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        let mut origin: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        for (i, b) in brefs.iter().enumerate() {
+            inbox[b.module as usize].push(Req::FetchBlock { slot: b.slot });
+            origin[b.module as usize].push(i);
+        }
+        let replies = self.rounds(name, inbox);
+        let mut out: Vec<Option<crate::module::BlockDataOut>> =
+            brefs.iter().map(|_| None).collect();
+        for (m, rs) in replies.into_iter().enumerate() {
+            for (j, resp) in rs.into_iter().enumerate() {
+                let Resp::BlockData(bd) = resp else {
+                    panic!("{name}: unexpected response")
+                };
+                out[origin[m][j]] = Some(bd);
+            }
+        }
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    /// Merge/drop undersized and emptied blocks after deletions. Each loop
+    /// iteration advances every candidate one level up through shared BSP
+    /// rounds; cascades drain in O(depth) rounds total.
+    fn maintain_after_shrink(&mut self, mut shrunk: Vec<(BlockRef, u64, u64, u64)>) {
+        let p = self.sys.p();
+        let mut guard = 0;
+        while !shrunk.is_empty() {
+            guard += 1;
+            if guard > 64 {
+                break;
+            }
+            // several deletes may hit one block: keep the last vitals
+            let mut latest: HashMap<BlockRef, (u64, u64, u64)> = HashMap::new();
+            for (bref, weight, keys, children) in shrunk.drain(..) {
+                latest.insert(bref, (weight, keys, children));
+            }
+            let candidates: Vec<BlockRef> = latest
+                .into_iter()
+                .filter(|(bref, (weight, keys, children))| {
+                    *bref != self.root_block
+                        && *children == 0
+                        && (*keys == 0 || *weight < self.cfg.k_b / self.cfg.undersize_divisor)
+                })
+                .map(|(b, _)| b)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            // Round A: fetch all candidates.
+            let bds = self.fetch_blocks(&candidates, "merge.fetch");
+            // Round B: splice each into its parent.
+            let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+            let mut origin: Vec<Vec<BlockRef>> = (0..p).map(|_| Vec::new()).collect();
+            let mut merged: Vec<(BlockRef, crate::module::BlockDataOut)> = Vec::new();
+            for (bref, bd) in candidates.iter().zip(bds) {
+                let Some(parent) = bd.parent else { continue };
+                inbox[parent.module as usize].push(Req::MergeChild {
+                    slot: parent.slot,
+                    child: *bref,
+                    subtree: TrieMsg(bd.trie.0.clone()),
+                });
+                origin[parent.module as usize].push(parent);
+                merged.push((*bref, bd));
+            }
+            let replies = self.rounds("merge.apply", inbox);
+            let mut parent_vitals: HashMap<BlockRef, (u64, u64, u64)> = HashMap::new();
+            for (m, rs) in replies.into_iter().enumerate() {
+                for (j, resp) in rs.into_iter().enumerate() {
+                    let Resp::BlockVitals {
+                        weight,
+                        keys,
+                        children,
+                        ..
+                    } = resp
+                    else {
+                        panic!("merge.apply: unexpected response")
+                    };
+                    parent_vitals.insert(origin[m][j], (weight, keys, children));
+                }
+            }
+            // Round C: drop merged blocks + remove their meta nodes.
+            let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+            let mut meta_origin: Vec<Vec<MetaRef>> = (0..p).map(|_| Vec::new()).collect();
+            for (bref, bd) in &merged {
+                inbox[bref.module as usize].push(Req::DropBlock { slot: bref.slot });
+                meta_origin[bref.module as usize].push(MetaRef {
+                    module: u32::MAX,
+                    slot: 0,
+                }); // placeholder aligning with DropBlock replies
+                if let Some((mref, slot)) = bd.meta {
+                    inbox[mref.module as usize].push(Req::RemoveMetaNode {
+                        slot: mref.slot,
+                        node: slot,
+                    });
+                    meta_origin[mref.module as usize].push(mref);
+                }
+            }
+            let replies = self.rounds("merge.cleanup", inbox);
+            // Round D: drop emptied meta-blocks, detach from parents/master.
+            let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+            let mut master_removals: Vec<MetaRef> = Vec::new();
+            for (m, rs) in replies.into_iter().enumerate() {
+                for (j, resp) in rs.into_iter().enumerate() {
+                    if let Resp::MetaVitals { nodes, parent } = resp {
+                        let mref = meta_origin[m][j];
+                        if nodes == 0 {
+                            inbox[mref.module as usize].push(Req::DropMeta { slot: mref.slot });
+                            match parent {
+                                Some(pm) => {
+                                    inbox[pm.module as usize].push(Req::RemoveMetaChild {
+                                        slot: pm.slot,
+                                        mref,
+                                    });
+                                }
+                                None => master_removals.push(mref),
+                            }
+                        }
+                    }
+                }
+            }
+            if inbox.iter().any(|v| !v.is_empty()) {
+                self.rounds("merge.meta.drop", inbox);
+            }
+            if !master_removals.is_empty() {
+                let broadcast: Vec<Vec<Req>> = (0..p)
+                    .map(|_| {
+                        master_removals
+                            .iter()
+                            .map(|m| Req::MasterRemove { mref: *m })
+                            .collect()
+                    })
+                    .collect();
+                self.rounds("master.remove", broadcast);
+                for m in &master_removals {
+                    self.chunk_sizes.remove(m);
+                }
+            }
+            // cascade: parents that shrank continue; oversized ones split
+            let mut oversized = Vec::new();
+            let mut next = Vec::new();
+            for (parent, (weight, keys, children)) in parent_vitals {
+                if weight > self.cfg.oversize_factor * self.cfg.k_b {
+                    oversized.push(parent);
+                } else {
+                    next.push((parent, weight, keys, children));
+                }
+            }
+            self.repartition_blocks(oversized);
+            shrunk = next;
+        }
+    }
+
+    /// Split overfull meta-blocks: pull each, re-cut with Lemma 4.5, keep
+    /// every root piece at its address, scatter the children (§4.4.1 / the
+    /// §5.2 CPU-side rebuild). All splits advance through shared rounds.
+    pub(crate) fn split_meta_blocks(&mut self, mrefs: Vec<MetaRef>) {
+        if mrefs.is_empty() {
+            return;
+        }
+        let p = self.sys.p();
+        // Round 1: fetch all full meta-blocks.
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        let mut origin: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        for (i, m) in mrefs.iter().enumerate() {
+            inbox[m.module as usize].push(Req::FetchMetaFull { slot: m.slot });
+            origin[m.module as usize].push(i);
+        }
+        let replies = self.rounds("msplit.fetch", inbox);
+        let mut fulls: Vec<Option<crate::module::MetaFullOut>> =
+            mrefs.iter().map(|_| None).collect();
+        for (m, rs) in replies.into_iter().enumerate() {
+            for (j, resp) in rs.into_iter().enumerate() {
+                let Resp::MetaFull(full) = resp else {
+                    panic!("msplit: unexpected response")
+                };
+                fulls[origin[m][j]] = Some(full);
+            }
+        }
+
+        // CPU: rebuild each chunk piece and cut it.
+        let mut jobs: Vec<crate::build::PlaceJob> = Vec::new();
+        let mut job_mref: Vec<MetaRef> = Vec::new();
+        for (mref, full) in mrefs.iter().zip(fulls) {
+            let full = full.unwrap();
+            let idx_of: HashMap<u32, usize> = full
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.slot, i))
+                .collect();
+            let mut tree: Vec<crate::build::ChunkNode> = full
+                .nodes
+                .iter()
+                .map(|n| crate::build::ChunkNode {
+                    block: n.block,
+                    meta: crate::build::RootMeta {
+                        depth: n.depth,
+                        hash: n.hash,
+                        pre_hash: n.pre_hash,
+                        rem: n.rem.clone(),
+                        s_last: n.s_last.clone(),
+                    },
+                    parent: n.parent.map(|p| idx_of[&p]),
+                    children: Vec::new(),
+                    chunk_children: Vec::new(),
+                })
+                .collect();
+            for (i, n) in full.nodes.iter().enumerate() {
+                if let Some(pslot) = n.parent {
+                    let pi = idx_of[&pslot];
+                    tree[pi].children.push(i);
+                }
+            }
+            for (m, under) in &full.chunk_children {
+                tree[idx_of[under]].chunk_children.push(*m);
+            }
+            let root = idx_of[&full.root_node];
+            let (plans, root_plan, locate) =
+                crate::build::cut_decompose(&mut tree, root, self.cfg.k_smb);
+            if plans.len() <= 1 {
+                continue;
+            }
+            // carry existing meta-block-tree children into the plan that
+            // holds their under_node
+            let extra: Vec<(usize, crate::module::NewMetaChild)> = full
+                .children
+                .iter()
+                .map(|(c, depth, pre, rem, last)| {
+                    (
+                        locate[&idx_of[&c.under_node]],
+                        crate::module::NewMetaChild {
+                            mref: c.mref,
+                            under_node: idx_of[&c.under_node] as u32,
+                            root_block: c.root_block,
+                            root_node_slot: c.root_node_slot,
+                            depth: *depth,
+                            pre_hash: *pre,
+                            rem: BitsMsg(rem.clone()),
+                            s_last: BitsMsg(last.clone()),
+                        },
+                    )
+                })
+                .collect();
+            jobs.push(crate::build::PlaceJob {
+                tree,
+                plans,
+                root_plan,
+                replace_root_at: Some(*mref),
+                extra,
+            });
+            job_mref.push(*mref);
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        let placed = self.place_chunks(&jobs);
+        // Re-wire surviving external children's parent pointers.
+        let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
+        for (ji, job) in jobs.iter().enumerate() {
+            for (plan_idx, child) in &job.extra {
+                let holder = placed[ji][*plan_idx].mref;
+                inbox[child.mref.module as usize].push(Req::SetMetaParent {
+                    slot: child.mref.slot,
+                    parent: Some(holder),
+                });
+            }
+        }
+        self.rounds("msplit.rewire", inbox);
+    }
+}
+
+/// Build the graft subtree hanging below position `(below, depth)` of the
+/// query trie, with real values substituted at key nodes.
+fn subtree_for_graft(
+    qt: &Trie,
+    below: NodeId,
+    depth: u64,
+    val_of: &HashMap<u32, u64>,
+) -> Trie {
+    let mut out = Trie::new();
+    let n = qt.node(below);
+    let start = depth as usize - (n.depth as usize - n.edge.len());
+    let edge = n.edge.slice(start..n.edge.len()).to_bitstr();
+    debug_assert!(!edge.is_empty(), "graft with empty first edge");
+    let id = out.attach_child(NodeId::ROOT, edge, value_for(qt, below, val_of));
+    copy_values_subtree(qt, below, &mut out, id, val_of);
+    out
+}
+
+fn value_for(qt: &Trie, id: NodeId, val_of: &HashMap<u32, u64>) -> Option<u64> {
+    qt.node(id).value.and_then(|_| val_of.get(&id.0).copied())
+}
+
+fn copy_values_subtree(
+    qt: &Trie,
+    src: NodeId,
+    out: &mut Trie,
+    dst: NodeId,
+    val_of: &HashMap<u32, u64>,
+) {
+    for c in qt.node(src).children.iter().flatten() {
+        let cn = qt.node(*c);
+        let id = out.attach_child(dst, cn.edge.clone(), value_for(qt, *c, val_of));
+        copy_values_subtree(qt, *c, out, id, val_of);
+    }
+}
+
+/// Collect all batch keys below a query node for slow-path insertion.
+fn collect_keys_below(
+    qt: &Trie,
+    from: NodeId,
+    val_of: &HashMap<u32, u64>,
+    _keys: &[BitStr],
+    _mt: &MatchedTrie,
+    out: &mut Vec<(BitStr, u64)>,
+) {
+    let mut stack = vec![from];
+    while let Some(id) = stack.pop() {
+        if qt.node(id).value.is_some() {
+            if let Some(&v) = val_of.get(&id.0) {
+                out.push((qt.node_string(id), v));
+            }
+        }
+        for c in qt.node(id).children.iter().flatten() {
+            stack.push(*c);
+        }
+    }
+}
+

@@ -1,0 +1,207 @@
+//! End-to-end differential tests of the PIM-trie against a plain
+//! CPU-resident trie oracle.
+
+use bitstr::BitStr;
+use pim_trie::{PimTrie, PimTrieConfig};
+use rand::{Rng, SeedableRng};
+use trie_core::Trie;
+
+fn b(s: &str) -> BitStr {
+    BitStr::from_bin_str(s)
+}
+
+#[test]
+fn figure1_end_to_end() {
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(1));
+    let keys: Vec<BitStr> = ["00001", "10100000", "1010111", "10111"]
+        .iter()
+        .map(|s| b(s))
+        .collect();
+    t.insert_batch(&keys, &[1, 2, 3, 4]);
+    assert_eq!(t.len(), 4);
+    let queries: Vec<BitStr> = ["00001001", "101001", "101011", "11", "0101"]
+        .iter()
+        .map(|s| b(s))
+        .collect();
+    assert_eq!(t.lcp_batch(&queries), vec![5, 5, 6, 1, 1]);
+    // slow path agrees
+    assert_eq!(t.lcp_batch_slow(&queries), vec![5, 5, 6, 1, 1]);
+}
+
+#[test]
+fn random_lcp_matches_oracle() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    for p in [2usize, 8] {
+        let mut t = PimTrie::new(PimTrieConfig::for_modules(p).with_seed(p as u64));
+        let mut oracle = Trie::new();
+        let keys: Vec<BitStr> = (0..400)
+            .map(|_| {
+                let len = rng.gen_range(1..120);
+                BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)))
+            })
+            .collect();
+        let values: Vec<u64> = (0..keys.len() as u64).collect();
+        t.insert_batch(&keys, &values);
+        for (k, v) in keys.iter().zip(&values) {
+            oracle.insert(k, *v);
+        }
+        assert_eq!(t.len(), oracle.n_keys(), "key count p={p}");
+        let queries: Vec<BitStr> = (0..300)
+            .map(|_| {
+                let len = rng.gen_range(0..140);
+                BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)))
+            })
+            .collect();
+        let want: Vec<usize> = queries
+            .iter()
+            .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+            .collect();
+        assert_eq!(t.lcp_batch(&queries), want, "fast path p={p}");
+        assert_eq!(t.lcp_batch_slow(&queries), want, "slow path p={p}");
+    }
+}
+
+#[test]
+fn incremental_inserts_across_batches() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(3));
+    let mut oracle = Trie::new();
+    for round in 0..5 {
+        let keys: Vec<BitStr> = (0..150)
+            .map(|_| {
+                let len = rng.gen_range(1..90);
+                BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)))
+            })
+            .collect();
+        let values: Vec<u64> = (0..keys.len() as u64).map(|i| i + round * 1000).collect();
+        t.insert_batch(&keys, &values);
+        for (k, v) in keys.iter().zip(&values) {
+            oracle.insert(k, *v);
+        }
+        assert_eq!(t.len(), oracle.n_keys(), "round {round}");
+        let queries: Vec<BitStr> = keys.iter().take(50).cloned().collect();
+        let want: Vec<usize> = queries.iter().map(|q| q.len()).collect();
+        assert_eq!(t.lcp_batch(&queries), want, "round {round}");
+    }
+}
+
+#[test]
+fn deletes_match_oracle() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(9));
+    let mut oracle = Trie::new();
+    let keys: Vec<BitStr> = (0..300)
+        .map(|_| {
+            let len = rng.gen_range(1..80);
+            BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)))
+        })
+        .collect();
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    t.insert_batch(&keys, &values);
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    // delete a third
+    let dels: Vec<BitStr> = keys.iter().step_by(3).cloned().collect();
+    let removed = t.delete_batch(&dels);
+    let mut oracle_removed = 0;
+    for k in &dels {
+        if oracle.delete(k.as_slice()).is_some() {
+            oracle_removed += 1;
+        }
+    }
+    assert_eq!(removed, oracle_removed);
+    assert_eq!(t.len(), oracle.n_keys());
+    // queries still exact
+    let queries: Vec<BitStr> = keys.iter().take(100).cloned().collect();
+    let want: Vec<usize> = queries
+        .iter()
+        .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+        .collect();
+    assert_eq!(t.lcp_batch(&queries), want);
+    assert_eq!(t.lcp_batch_slow(&queries), want);
+}
+
+#[test]
+fn subtree_query_matches_oracle() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(17));
+    let mut oracle = Trie::new();
+    let keys: Vec<BitStr> = (0..200)
+        .map(|_| {
+            let len = rng.gen_range(4..60);
+            BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)))
+        })
+        .collect();
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    t.insert_batch(&keys, &values);
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    // prefixes of stored keys + random misses
+    let mut prefixes: Vec<BitStr> = keys
+        .iter()
+        .step_by(7)
+        .map(|k| k.slice(0..k.len().min(rng.gen_range(1..8))).to_bitstr())
+        .collect();
+    prefixes.push(b("0"));
+    prefixes.push(b("1"));
+    prefixes.push(BitStr::new());
+    let got = t.subtree_batch(&prefixes);
+    for (pfx, sub) in prefixes.iter().zip(got) {
+        let want = oracle.subtree(pfx.as_slice());
+        match (sub, want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => {
+                let mut gi = g.items();
+                let mut wi = w.items();
+                gi.sort();
+                wi.sort();
+                assert_eq!(gi, wi, "subtree of {pfx}");
+            }
+            (g, w) => panic!(
+                "subtree of {pfx}: presence mismatch (got {:?}, want {:?})",
+                g.map(|t| t.n_keys()),
+                w.map(|t| t.n_keys())
+            ),
+        }
+    }
+}
+
+#[test]
+fn skewed_shared_prefix_workload() {
+    // adversarial: all keys share a long prefix (the range-partition
+    // killer); PIM-trie must stay correct and balanced-ish
+    let keys = workloads::shared_prefix(500, 96, 160, 3);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(8).with_seed(5));
+    t.insert_batch(&keys, &values);
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    assert_eq!(t.len(), oracle.n_keys());
+    let queries = workloads::shared_prefix(200, 96, 170, 4);
+    let want: Vec<usize> = queries
+        .iter()
+        .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+        .collect();
+    assert_eq!(t.lcp_batch(&queries), want);
+}
+
+#[test]
+fn path_chain_adversary() {
+    // degenerate path trie: every key extends the previous one
+    let keys = workloads::path_chain(200, 3, 9);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(21));
+    t.insert_batch(&keys, &values);
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    assert_eq!(t.len(), oracle.n_keys());
+    let queries: Vec<BitStr> = keys.iter().step_by(5).cloned().collect();
+    let want: Vec<usize> = queries.iter().map(|q| q.len()).collect();
+    assert_eq!(t.lcp_batch(&queries), want);
+}

@@ -1,0 +1,351 @@
+//! Stress, verification and cost-metric tests of the PIM-trie.
+
+use bitstr::hash::HashWidth;
+use bitstr::{BitStr, Bits};
+use pim_trie::{PimTrie, PimTrieConfig};
+use rand::{Rng, SeedableRng};
+use trie_core::Trie;
+
+fn random_keys(rng: &mut rand_chacha::ChaCha8Rng, n: usize, max_len: usize) -> Vec<BitStr> {
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..max_len);
+            BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)))
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_churn_against_oracle() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(101);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(8).with_seed(2));
+    let mut oracle = Trie::new();
+    let mut pool: Vec<BitStr> = Vec::new();
+    for round in 0..8 {
+        // insert
+        let ins = random_keys(&mut rng, 120, 100);
+        let vals: Vec<u64> = (0..ins.len() as u64).map(|i| i + round * 10_000).collect();
+        t.insert_batch(&ins, &vals);
+        for (k, v) in ins.iter().zip(&vals) {
+            oracle.insert(k, *v);
+        }
+        pool.extend(ins);
+        // delete some of the pool
+        let dels: Vec<BitStr> = pool.iter().step_by(5).cloned().collect();
+        let removed = t.delete_batch(&dels);
+        let mut want_removed = 0;
+        for k in &dels {
+            if oracle.delete(k.as_slice()).is_some() {
+                want_removed += 1;
+            }
+        }
+        assert_eq!(removed, want_removed, "round {round}");
+        assert_eq!(t.len(), oracle.n_keys(), "round {round}");
+        assert_eq!(t.count_keys_debug(), oracle.n_keys(), "round {round}");
+        let audit = t.audit_debug();
+        assert!(audit.is_empty(), "round {round}: {audit:?}");
+        // query a mix of present/absent keys
+        let queries: Vec<BitStr> = pool
+            .iter()
+            .step_by(3)
+            .cloned()
+            .chain(random_keys(&mut rng, 60, 110))
+            .collect();
+        let want: Vec<usize> = queries
+            .iter()
+            .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+            .collect();
+        assert_eq!(t.lcp_batch(&queries), want, "round {round}");
+    }
+}
+
+#[test]
+fn narrow_hash_width_verification_corrects_collisions() {
+    // 10-bit digests at 1000+ stored roots: first-layer collisions are
+    // plentiful; verification (§4.4.3) must keep every answer exact.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(55);
+    let cfg = PimTrieConfig::for_modules(8)
+        .with_seed(4)
+        .with_hash_width(HashWidth(10));
+    let mut t = PimTrie::new(cfg);
+    let mut oracle = Trie::new();
+    let keys = random_keys(&mut rng, 800, 90);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    t.insert_batch(&keys, &values);
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    assert_eq!(t.len(), oracle.n_keys());
+    let queries = random_keys(&mut rng, 500, 100);
+    let want: Vec<usize> = queries
+        .iter()
+        .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+        .collect();
+    assert_eq!(t.lcp_batch(&queries), want, "narrow digests broke exactness");
+}
+
+#[test]
+fn larger_scale_uniform() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(16).with_seed(6));
+    let keys = random_keys(&mut rng, 5000, 64);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    t.insert_batch(&keys, &values);
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    assert_eq!(t.len(), oracle.n_keys());
+    let queries = random_keys(&mut rng, 2000, 70);
+    let want: Vec<usize> = queries
+        .iter()
+        .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+        .collect();
+    let snap = t.system().metrics().snapshot();
+    assert_eq!(t.lcp_batch(&queries), want);
+    let d = t.system().metrics().since(&snap);
+    // Theorem 4.3 sanity: bounded rounds, reasonable balance on a large
+    // uniform batch.
+    assert!(
+        d.io_rounds < 40,
+        "too many rounds for one LCP batch: {}",
+        d.io_rounds
+    );
+    assert!(
+        d.io_balance() < 6.0,
+        "uniform batch badly imbalanced: {:.2}",
+        d.io_balance()
+    );
+}
+
+#[test]
+fn space_is_linear() {
+    // Lemma 4.2 + 4.7: total PIM space = O(L_D/w + n_D)
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(8).with_seed(8));
+    let keys = random_keys(&mut rng, 3000, 128);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    t.insert_batch(&keys, &values);
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    let ideal = oracle.size_words() as u64;
+    let actual = t.space_words();
+    assert!(
+        actual < 8 * ideal,
+        "space blow-up: {actual} words vs ideal {ideal}"
+    );
+}
+
+#[test]
+fn values_retrievable_via_get() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(111);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(10));
+    let keys = random_keys(&mut rng, 200, 50);
+    let values: Vec<u64> = (0..keys.len() as u64).map(|i| i * 7 + 1).collect();
+    t.insert_batch(&keys, &values);
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    let got = t.get_batch(&keys);
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(got[i], oracle.get(k.as_slice()), "key {k}");
+    }
+    // absent keys
+    let absent = random_keys(&mut rng, 50, 60);
+    for (k, g) in absent.iter().zip(t.get_batch(&absent)) {
+        assert_eq!(g, oracle.get(k.as_slice()), "absent {k}");
+    }
+}
+
+#[test]
+fn empty_and_tiny_batches() {
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(12));
+    assert!(t.lcp_batch(&[]).is_empty());
+    assert_eq!(t.delete_batch(&[]), 0);
+    t.insert_batch(&[], &[]);
+    let one = vec![BitStr::from_bin_str("1")];
+    t.insert_batch(&one, &[5]);
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.lcp_batch(&one), vec![1]);
+    assert_eq!(t.delete_batch(&one), 1);
+    assert!(t.is_empty());
+    // deleting again is a no-op
+    assert_eq!(t.delete_batch(&one), 0);
+}
+
+#[test]
+fn duplicate_keys_in_batch() {
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(14));
+    let k = BitStr::from_bin_str("101010");
+    t.insert_batch(&[k.clone(), k.clone(), k.clone()], &[1, 2, 3]);
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.get_batch(std::slice::from_ref(&k)), vec![Some(3)]);
+    // overwrite in a later batch
+    t.insert_batch(std::slice::from_ref(&k), &[9]);
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.get_batch(std::slice::from_ref(&k)), vec![Some(9)]);
+}
+
+#[test]
+fn single_module_degenerate() {
+    // P = 1: everything lands on one module; algorithms must still work.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(131);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(1).with_seed(16));
+    let keys = random_keys(&mut rng, 300, 60);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    t.insert_batch(&keys, &values);
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    assert_eq!(t.len(), oracle.n_keys());
+    let queries = random_keys(&mut rng, 100, 70);
+    let want: Vec<usize> = queries
+        .iter()
+        .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+        .collect();
+    assert_eq!(t.lcp_batch(&queries), want);
+}
+
+#[test]
+fn long_keys_multiword() {
+    // keys far longer than one machine word exercise the pivot machinery
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(151);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(8).with_seed(18));
+    let keys = random_keys(&mut rng, 300, 2000);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    t.insert_batch(&keys, &values);
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    assert_eq!(t.len(), oracle.n_keys());
+    // queries that extend stored keys (deep matches across many words)
+    let queries: Vec<BitStr> = keys
+        .iter()
+        .step_by(4)
+        .map(|k| {
+            let mut q = k.clone();
+            q.push(true);
+            q.push(false);
+            q
+        })
+        .collect();
+    let want: Vec<usize> = queries
+        .iter()
+        .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+        .collect();
+    assert_eq!(t.lcp_batch(&queries), want);
+}
+
+#[test]
+fn delete_everything_then_reuse() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(171);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(4).with_seed(20));
+    let keys = random_keys(&mut rng, 400, 70);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    t.insert_batch(&keys, &values);
+    let mut uniq = keys.clone();
+    uniq.sort();
+    uniq.dedup();
+    assert_eq!(t.delete_batch(&keys), uniq.len());
+    assert!(t.is_empty());
+    assert!(t.audit_debug().is_empty(), "{:?}", t.audit_debug());
+    // the structure is reusable after total deletion
+    let fresh = random_keys(&mut rng, 200, 50);
+    let fv: Vec<u64> = (0..fresh.len() as u64).collect();
+    t.insert_batch(&fresh, &fv);
+    let mut oracle = Trie::new();
+    for (k, v) in fresh.iter().zip(&fv) {
+        oracle.insert(k, *v);
+    }
+    assert_eq!(t.len(), oracle.n_keys());
+    let want: Vec<usize> = fresh.iter().map(|q| q.len()).collect();
+    assert_eq!(t.lcp_batch(&fresh), want);
+}
+
+#[test]
+fn soak_large_mixed_session() {
+    // a longer session at a more realistic scale: 20k keys, P = 32,
+    // interleaved queries/inserts/deletes/subtrees, exactness + structural
+    // audit at every step
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2023);
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(32).with_seed(99));
+    let mut oracle = Trie::new();
+    let base = random_keys(&mut rng, 20_000, 96);
+    let values: Vec<u64> = (0..base.len() as u64).collect();
+    t.insert_batch(&base, &values);
+    for (k, v) in base.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    assert_eq!(t.len(), oracle.n_keys());
+
+    for round in 0..3 {
+        // query wave (mixed hit/miss)
+        let queries: Vec<BitStr> = base
+            .iter()
+            .skip(round)
+            .step_by(37)
+            .cloned()
+            .chain(random_keys(&mut rng, 500, 100))
+            .collect();
+        let want: Vec<usize> = queries
+            .iter()
+            .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+            .collect();
+        assert_eq!(t.lcp_batch(&queries), want, "round {round} queries");
+        // churn wave
+        let dels: Vec<BitStr> = base.iter().skip(round * 101).step_by(9).take(800).cloned().collect();
+        let removed = t.delete_batch(&dels);
+        let mut want_removed = 0;
+        for k in &dels {
+            if oracle.delete(k.as_slice()).is_some() {
+                want_removed += 1;
+            }
+        }
+        assert_eq!(removed, want_removed, "round {round} deletes");
+        let ins = random_keys(&mut rng, 700, 80);
+        let iv: Vec<u64> = (0..ins.len() as u64).map(|i| i + 1_000_000).collect();
+        t.insert_batch(&ins, &iv);
+        for (k, v) in ins.iter().zip(&iv) {
+            oracle.insert(k, *v);
+        }
+        assert_eq!(t.len(), oracle.n_keys(), "round {round} count");
+        assert!(t.audit_debug().is_empty(), "round {round}: {:?}", t.audit_debug());
+        // subtree spot-checks
+        let prefixes: Vec<BitStr> = base
+            .iter()
+            .skip(round * 71)
+            .step_by(997)
+            .filter(|k| k.len() >= 6)
+            .map(|k| k.slice(0..6).to_bitstr())
+            .collect();
+        for (pfx, sub) in prefixes.iter().zip(t.subtree_batch(&prefixes)) {
+            let want = oracle.subtree(pfx.as_slice());
+            match (sub, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    let mut gi = g.items();
+                    let mut wi = w.items();
+                    gi.sort();
+                    wi.sort();
+                    assert_eq!(gi, wi, "round {round} subtree {pfx}");
+                }
+                (g, w) => panic!(
+                    "round {round} subtree {pfx}: {:?} vs {:?}",
+                    g.map(|t| t.n_keys()),
+                    w.map(|t| t.n_keys())
+                ),
+            }
+        }
+    }
+    // final balance sanity on a uniform query wave
+    let wave = random_keys(&mut rng, 8192, 96);
+    let snap = t.system().metrics().snapshot();
+    let _ = t.lcp_batch(&wave);
+    let d = t.system().metrics().since(&snap);
+    assert!(d.io_balance() < 3.0, "end-of-soak imbalance {:.2}", d.io_balance());
+}

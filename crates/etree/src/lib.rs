@@ -1,0 +1,567 @@
+//! Euler tour trees: a dynamic forest with edge insertion, edge deletion,
+//! and subtree-size queries.
+//!
+//! PIM-trie (§4.4.2, "Efficient Block Partition") maintains query-trie
+//! blocks under recursive division as a dynamic-forest problem — a batch of
+//! `k` edge deletions or subtree-size queries must run in `O(k log n)` work
+//! — and cites the batch-parallel Euler tour trees of Tseng, Dhulipala and
+//! Blelloch \[57\]. This crate implements Euler tour trees over a randomized
+//! balanced BST (a treap, playing the role of \[57\]'s skip lists) with the
+//! same interface: [`EulerForest::batch_link`], [`EulerForest::batch_cut`]
+//! and [`EulerForest::batch_subtree_size`]. Batches are applied
+//! sequentially; each operation is `O(log n)` expected, so a batch of `k`
+//! costs the same `O(k log n)` work bound as \[57\] (without their span
+//! bound, which no experiment here measures).
+//!
+//! Representation: the classic *edges-only* Euler tour — each tree edge
+//! `{u, v}` contributes two directed elements `u→v` and `v→u`; a tree with
+//! `k` vertices has a tour of `2(k−1)` elements, and isolated vertices have
+//! no tour at all. Because the tour of a tree is rotation-invariant as a
+//! cyclic sequence, re-rooting is a split + swap at any out-edge of the new
+//! root. The subtree of `v` under root `r` spans exactly the tour positions
+//! strictly between the first and last elements incident to `v`, giving
+//! `(last − first − 1)/2 + 1` vertices.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct El {
+    pri: u64,
+    left: u32,
+    right: u32,
+    parent: u32,
+    /// number of elements in this treap subtree (including self)
+    size: u32,
+}
+
+/// A dynamic forest over vertices `0..n` with Euler-tour-tree operations.
+pub struct EulerForest {
+    els: Vec<El>,
+    free: Vec<u32>,
+    /// per-vertex: neighbor -> element id of the directed edge v→neighbor
+    out: Vec<HashMap<u32, u32>>,
+    rng: u64,
+    n_edges: usize,
+}
+
+impl EulerForest {
+    /// A forest of `n` isolated vertices; treap priorities seeded by `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        EulerForest {
+            els: Vec::new(),
+            free: Vec::new(),
+            out: vec![HashMap::new(); n],
+            rng: seed | 1,
+            n_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges currently in the forest.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Add a fresh isolated vertex, returning its id.
+    pub fn add_vertex(&mut self) -> u32 {
+        self.out.push(HashMap::new());
+        self.out.len() as u32 - 1
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, v: u32) -> usize {
+        self.out[v as usize].len()
+    }
+
+    fn next_pri(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn alloc(&mut self) -> u32 {
+        let el = El {
+            pri: self.next_pri(),
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            size: 1,
+        };
+        if let Some(id) = self.free.pop() {
+            self.els[id as usize] = el;
+            id
+        } else {
+            self.els.push(el);
+            (self.els.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, x: u32) {
+        let (l, r) = (self.els[x as usize].left, self.els[x as usize].right);
+        let mut size = 1;
+        for c in [l, r] {
+            if c != NIL {
+                size += self.els[c as usize].size;
+                self.els[c as usize].parent = x;
+            }
+        }
+        self.els[x as usize].size = size;
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.els[a as usize].pri > self.els[b as usize].pri {
+            let ar = self.els[a as usize].right;
+            let m = self.merge(ar, b);
+            self.els[a as usize].right = m;
+            self.pull(a);
+            self.els[a as usize].parent = NIL;
+            a
+        } else {
+            let bl = self.els[b as usize].left;
+            let m = self.merge(a, bl);
+            self.els[b as usize].left = m;
+            self.pull(b);
+            self.els[b as usize].parent = NIL;
+            b
+        }
+    }
+
+    /// Split into ([0, k), [k, n)).
+    fn split(&mut self, root: u32, k: u32) -> (u32, u32) {
+        if root == NIL {
+            return (NIL, NIL);
+        }
+        let lsz = self.size_of(self.els[root as usize].left);
+        if k <= lsz {
+            let l = self.els[root as usize].left;
+            let (a, b) = self.split(l, k);
+            self.els[root as usize].left = b;
+            self.pull(root);
+            self.els[root as usize].parent = NIL;
+            if a != NIL {
+                self.els[a as usize].parent = NIL;
+            }
+            (a, root)
+        } else {
+            let r = self.els[root as usize].right;
+            let (a, b) = self.split(r, k - lsz - 1);
+            self.els[root as usize].right = a;
+            self.pull(root);
+            self.els[root as usize].parent = NIL;
+            if b != NIL {
+                self.els[b as usize].parent = NIL;
+            }
+            (root, b)
+        }
+    }
+
+    #[inline]
+    fn size_of(&self, x: u32) -> u32 {
+        if x == NIL {
+            0
+        } else {
+            self.els[x as usize].size
+        }
+    }
+
+    /// Treap root of the element's tour.
+    fn tour_root(&self, mut x: u32) -> u32 {
+        while self.els[x as usize].parent != NIL {
+            x = self.els[x as usize].parent;
+        }
+        x
+    }
+
+    /// Position of element `x` in its tour.
+    fn index_of(&self, x: u32) -> u32 {
+        let mut idx = self.size_of(self.els[x as usize].left);
+        let mut cur = x;
+        while self.els[cur as usize].parent != NIL {
+            let p = self.els[cur as usize].parent;
+            if self.els[p as usize].right == cur {
+                idx += self.size_of(self.els[p as usize].left) + 1;
+            }
+            cur = p;
+        }
+        idx
+    }
+
+    /// Any element of `v`'s tour, or `None` for an isolated vertex.
+    fn any_el(&self, v: u32) -> Option<u32> {
+        self.out[v as usize].values().next().copied()
+    }
+
+    /// Whether `u` and `v` are in the same tree.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        match (self.any_el(u), self.any_el(v)) {
+            (Some(a), Some(b)) => self.tour_root(a) == self.tour_root(b),
+            _ => false,
+        }
+    }
+
+    /// Number of vertices in `u`'s tree.
+    pub fn component_size(&self, u: u32) -> usize {
+        match self.any_el(u) {
+            None => 1,
+            Some(e) => {
+                let r = self.tour_root(e);
+                self.els[r as usize].size as usize / 2 + 1
+            }
+        }
+    }
+
+    /// Rotate `v`'s tour to start at one of `v`'s out-edges; returns the new
+    /// treap root, or `NIL` for an isolated vertex.
+    fn reroot(&mut self, v: u32) -> u32 {
+        let Some(e) = self.any_el(v) else {
+            return NIL;
+        };
+        let root = self.tour_root(e);
+        let i = self.index_of(e);
+        if i == 0 {
+            return root;
+        }
+        let (a, b) = self.split(root, i);
+        self.merge(b, a)
+    }
+
+    /// Add edge (u, v). Panics if already present or if it would close a
+    /// cycle.
+    pub fn link(&mut self, u: u32, v: u32) {
+        assert!(u != v, "self-loop");
+        assert!(!self.connected(u, v), "link({u}, {v}) would create a cycle");
+        let t1 = self.reroot(u);
+        let t2 = self.reroot(v);
+        let euv = self.alloc();
+        let evu = self.alloc();
+        self.out[u as usize].insert(v, euv);
+        self.out[v as usize].insert(u, evu);
+        // tour(root u) ++ [u→v] ++ tour(root v) ++ [v→u]
+        let m = self.merge(t1, euv);
+        let m = self.merge(m, t2);
+        self.merge(m, evu);
+        self.n_edges += 1;
+    }
+
+    /// Remove edge (u, v). Panics if absent.
+    pub fn cut(&mut self, u: u32, v: u32) {
+        let euv = self.out[u as usize]
+            .remove(&v)
+            .unwrap_or_else(|| panic!("cut: edge ({u},{v}) not present"));
+        let evu = self.out[v as usize].remove(&u).expect("twin missing");
+        let root = self.tour_root(euv);
+        let (mut i, mut j) = (self.index_of(euv), self.index_of(evu));
+        let (mut e1, mut e2) = (euv, evu);
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+            std::mem::swap(&mut e1, &mut e2);
+        }
+        // S = A ++ [e1] ++ M ++ [e2] ++ C  →  trees M and A ++ C
+        let (a, rest) = self.split(root, i);
+        let (e1_part, rest) = self.split(rest, 1);
+        debug_assert_eq!(e1_part, e1);
+        let (_m, rest) = self.split(rest, j - i - 1);
+        let (e2_part, c) = self.split(rest, 1);
+        debug_assert_eq!(e2_part, e2);
+        self.merge(a, c);
+        self.free.push(e1);
+        self.free.push(e2);
+        self.n_edges -= 1;
+    }
+
+    /// Size (in vertices) of the subtree of `v` when `v`'s tree is rooted at
+    /// `root`. Expected `O(deg(v) · log n)` (binary tries: `deg <= 3`).
+    pub fn subtree_size(&mut self, root: u32, v: u32) -> usize {
+        assert!(
+            self.connected(root, v),
+            "subtree_size: {root} and {v} not connected"
+        );
+        if root == v {
+            return self.component_size(v);
+        }
+        self.reroot(root);
+        // With the tour rooted at `root`, v's subtree occupies the segment
+        // strictly between the first and the last tour element incident to
+        // v (edge(parent→v) enters right before, edge(v→parent) leaves
+        // right after). Incident elements: v's out-edges and their twins.
+        let mut first = u32::MAX;
+        let mut last = 0u32;
+        let neighbors: Vec<(u32, u32)> = self.out[v as usize]
+            .iter()
+            .map(|(n, e)| (*n, *e))
+            .collect();
+        for (n, e) in neighbors {
+            let twin = self.out[n as usize][&v];
+            for x in [e, twin] {
+                let i = self.index_of(x);
+                first = first.min(i);
+                last = last.max(i);
+            }
+        }
+        ((last - first - 1) / 2 + 1) as usize
+    }
+
+    /// Apply a batch of links (\[57\]'s BatchLink, applied sequentially).
+    pub fn batch_link(&mut self, edges: &[(u32, u32)]) {
+        for &(u, v) in edges {
+            self.link(u, v);
+        }
+    }
+
+    /// Apply a batch of cuts.
+    pub fn batch_cut(&mut self, edges: &[(u32, u32)]) {
+        for &(u, v) in edges {
+            self.cut(u, v);
+        }
+    }
+
+    /// Subtree sizes of many vertices under a common root.
+    pub fn batch_subtree_size(&mut self, root: u32, vs: &[u32]) -> Vec<usize> {
+        vs.iter().map(|&v| self.subtree_size(root, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// Naive forest for differential testing.
+    struct Naive {
+        adj: Vec<Vec<u32>>,
+    }
+
+    impl Naive {
+        fn new(n: usize) -> Self {
+            Naive {
+                adj: vec![Vec::new(); n],
+            }
+        }
+        fn link(&mut self, u: u32, v: u32) {
+            self.adj[u as usize].push(v);
+            self.adj[v as usize].push(u);
+        }
+        fn cut(&mut self, u: u32, v: u32) {
+            self.adj[u as usize].retain(|&x| x != v);
+            self.adj[v as usize].retain(|&x| x != u);
+        }
+        fn component(&self, u: u32) -> Vec<u32> {
+            let mut seen = vec![false; self.adj.len()];
+            let mut stack = vec![u];
+            let mut out = Vec::new();
+            seen[u as usize] = true;
+            while let Some(x) = stack.pop() {
+                out.push(x);
+                for &y in &self.adj[x as usize] {
+                    if !seen[y as usize] {
+                        seen[y as usize] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            out
+        }
+        fn connected(&self, u: u32, v: u32) -> bool {
+            self.component(u).contains(&v)
+        }
+        fn subtree_size(&self, root: u32, v: u32) -> usize {
+            if root == v {
+                return self.component(root).len();
+            }
+            // parent of v on the path v..root: backtrack BFS from v
+            let mut prev = vec![NIL; self.adj.len()];
+            let mut q = std::collections::VecDeque::from([v]);
+            prev[v as usize] = v;
+            while let Some(x) = q.pop_front() {
+                if x == root {
+                    break;
+                }
+                for &y in &self.adj[x as usize] {
+                    if prev[y as usize] == NIL {
+                        prev[y as usize] = x;
+                        q.push_back(y);
+                    }
+                }
+            }
+            // walk root -> v; parent of v is the hop before v
+            let mut cur = root;
+            while prev[cur as usize] != v {
+                cur = prev[cur as usize];
+            }
+            let parent = cur;
+            let mut seen = vec![false; self.adj.len()];
+            seen[parent as usize] = true;
+            seen[v as usize] = true;
+            let mut stack = vec![v];
+            let mut cnt = 0;
+            while let Some(x) = stack.pop() {
+                cnt += 1;
+                for &y in &self.adj[x as usize] {
+                    if !seen[y as usize] {
+                        seen[y as usize] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            cnt
+        }
+    }
+
+    #[test]
+    fn link_cut_connectivity() {
+        let mut f = EulerForest::new(6, 1);
+        assert!(!f.connected(0, 1));
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(3, 4);
+        assert!(f.connected(0, 2));
+        assert!(!f.connected(0, 3));
+        assert_eq!(f.component_size(0), 3);
+        assert_eq!(f.component_size(3), 2);
+        assert_eq!(f.component_size(5), 1);
+        f.cut(1, 2);
+        assert!(!f.connected(0, 2));
+        assert_eq!(f.component_size(2), 1);
+        assert_eq!(f.n_edges(), 2);
+    }
+
+    #[test]
+    fn subtree_sizes_on_path() {
+        // path 0-1-2-3-4 rooted at 0: subtree(2) = {2,3,4}
+        let mut f = EulerForest::new(5, 7);
+        for i in 0..4 {
+            f.link(i, i + 1);
+        }
+        assert_eq!(f.subtree_size(0, 2), 3);
+        assert_eq!(f.subtree_size(0, 4), 1);
+        assert_eq!(f.subtree_size(0, 0), 5);
+        // rerooted at 4: subtree(2) = {2,1,0}
+        assert_eq!(f.subtree_size(4, 2), 3);
+    }
+
+    #[test]
+    fn subtree_sizes_on_star() {
+        let mut f = EulerForest::new(5, 3);
+        for i in 1..5 {
+            f.link(0, i);
+        }
+        for i in 1..5 {
+            assert_eq!(f.subtree_size(0, i), 1);
+        }
+        assert_eq!(f.subtree_size(1, 0), 4);
+    }
+
+    #[test]
+    fn differential_random_ops() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let n = 40;
+        let mut f = EulerForest::new(n, 5);
+        let mut naive = Naive::new(n);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for step in 0..3000 {
+            let op = rng.gen_range(0..10);
+            if op < 4 || edges.is_empty() {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u != v && !naive.connected(u, v) {
+                    f.link(u, v);
+                    naive.link(u, v);
+                    edges.push((u, v));
+                }
+            } else if op < 7 {
+                let i = rng.gen_range(0..edges.len());
+                let (u, v) = edges.swap_remove(i);
+                f.cut(u, v);
+                naive.cut(u, v);
+            } else {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                assert_eq!(f.connected(u, v), naive.connected(u, v), "step {step}");
+                assert_eq!(
+                    f.component_size(u),
+                    naive.component(u).len(),
+                    "size at step {step}"
+                );
+                if naive.connected(u, v) {
+                    assert_eq!(
+                        f.subtree_size(u, v),
+                        naive.subtree_size(u, v),
+                        "subtree({u},{v}) at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_ops() {
+        let mut f = EulerForest::new(8, 11);
+        f.batch_link(&[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]);
+        assert_eq!(f.batch_subtree_size(0, &[1, 2, 3]), vec![3, 2, 1]);
+        f.batch_cut(&[(1, 2), (5, 6)]);
+        assert!(!f.connected(0, 3));
+        assert!(!f.connected(4, 6));
+        assert_eq!(f.n_edges(), 3);
+    }
+
+    #[test]
+    fn add_vertex_grows_forest() {
+        let mut f = EulerForest::new(2, 13);
+        let v = f.add_vertex();
+        assert_eq!(v, 2);
+        f.link(0, v);
+        assert!(f.connected(0, 2));
+        assert_eq!(f.n_vertices(), 3);
+        assert_eq!(f.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_rejected() {
+        let mut f = EulerForest::new(3, 17);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.link(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn cut_missing_edge_panics() {
+        let mut f = EulerForest::new(3, 19);
+        f.cut(0, 1);
+    }
+
+    #[test]
+    fn relink_after_cut() {
+        let mut f = EulerForest::new(4, 23);
+        f.link(0, 1);
+        f.link(1, 2);
+        f.cut(0, 1);
+        f.link(0, 2);
+        assert!(f.connected(0, 1));
+        assert_eq!(f.component_size(3), 1);
+        assert_eq!(f.subtree_size(0, 2), 2);
+    }
+}

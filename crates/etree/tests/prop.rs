@@ -1,0 +1,136 @@
+//! Property-based differential test: Euler tour forest vs a naive
+//! adjacency-list forest.
+
+use etree::EulerForest;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Link(u8, u8),
+    Cut(u8),       // index into the live edge list
+    Subtree(u8, u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+            any::<u8>().prop_map(Op::Cut),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Subtree(a, b)),
+        ],
+        1..250,
+    )
+}
+
+fn naive_connected(adj: &[Vec<u32>], u: u32, v: u32) -> bool {
+    let mut seen = vec![false; adj.len()];
+    let mut stack = vec![u];
+    seen[u as usize] = true;
+    while let Some(x) = stack.pop() {
+        if x == v {
+            return true;
+        }
+        for &y in &adj[x as usize] {
+            if !seen[y as usize] {
+                seen[y as usize] = true;
+                stack.push(y);
+            }
+        }
+    }
+    false
+}
+
+fn naive_subtree(adj: &[Vec<u32>], root: u32, v: u32) -> usize {
+    if root == v {
+        let mut seen = vec![false; adj.len()];
+        let mut stack = vec![root];
+        seen[root as usize] = true;
+        let mut n = 0;
+        while let Some(x) = stack.pop() {
+            n += 1;
+            for &y in &adj[x as usize] {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        return n;
+    }
+    // parent of v on the path to root
+    let mut prev = vec![u32::MAX; adj.len()];
+    let mut q = std::collections::VecDeque::from([v]);
+    prev[v as usize] = v;
+    while let Some(x) = q.pop_front() {
+        if x == root {
+            break;
+        }
+        for &y in &adj[x as usize] {
+            if prev[y as usize] == u32::MAX {
+                prev[y as usize] = x;
+                q.push_back(y);
+            }
+        }
+    }
+    let mut cur = root;
+    while prev[cur as usize] != v {
+        cur = prev[cur as usize];
+    }
+    let parent = cur;
+    let mut seen = vec![false; adj.len()];
+    seen[parent as usize] = true;
+    seen[v as usize] = true;
+    let mut stack = vec![v];
+    let mut n = 0;
+    while let Some(x) = stack.pop() {
+        n += 1;
+        for &y in &adj[x as usize] {
+            if !seen[y as usize] {
+                seen[y as usize] = true;
+                stack.push(y);
+            }
+        }
+    }
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_naive_forest(ops in arb_ops()) {
+        const N: usize = 24;
+        let mut f = EulerForest::new(N, 7);
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); N];
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Link(a, b) => {
+                    let (u, v) = (a as u32 % N as u32, b as u32 % N as u32);
+                    if u != v && !naive_connected(&adj, u, v) {
+                        f.link(u, v);
+                        adj[u as usize].push(v);
+                        adj[v as usize].push(u);
+                        edges.push((u, v));
+                    }
+                }
+                Op::Cut(i) => {
+                    if !edges.is_empty() {
+                        let (u, v) = edges.swap_remove(i as usize % edges.len());
+                        f.cut(u, v);
+                        adj[u as usize].retain(|x| *x != v);
+                        adj[v as usize].retain(|x| *x != u);
+                    }
+                }
+                Op::Subtree(a, b) => {
+                    let (r, v) = (a as u32 % N as u32, b as u32 % N as u32);
+                    prop_assert_eq!(f.connected(r, v), naive_connected(&adj, r, v));
+                    if naive_connected(&adj, r, v) {
+                        prop_assert_eq!(f.subtree_size(r, v), naive_subtree(&adj, r, v));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(f.n_edges(), edges.len());
+    }
+}

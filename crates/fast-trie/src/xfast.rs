@@ -1,0 +1,333 @@
+//! Willard's x-fast trie over fixed-width integer keys.
+//!
+//! Levels `0..=w` each keep a hash table of the key prefixes present at
+//! that length, storing the minimum and maximum key of the corresponding
+//! subtree; leaves form a doubly-linked sorted list. Predecessor /
+//! successor binary-search the *longest matching prefix level* in
+//! `O(log w)` table probes, then resolve through the subtree min/max and
+//! the leaf links. Updates touch every level: `O(w)`.
+
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug)]
+struct SubtreeInfo {
+    min: u64,
+    max: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Leaf {
+    prev: Option<u64>,
+    next: Option<u64>,
+}
+
+/// An x-fast trie over `width`-bit integers.
+pub struct XFastTrie {
+    width: u32,
+    /// `levels[l]` maps an `l`-bit prefix (right-aligned) to its subtree
+    /// min/max. `levels[0]` holds at most the single root entry.
+    levels: Vec<HashMap<u64, SubtreeInfo>>,
+    leaves: HashMap<u64, Leaf>,
+    len: usize,
+}
+
+impl XFastTrie {
+    /// Empty trie over keys of `width` bits (1..=64).
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width));
+        XFastTrie {
+            width,
+            levels: (0..=width).map(|_| HashMap::new()).collect(),
+            leaves: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Key width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, x: u64) {
+        assert!(
+            self.width == 64 || x < (1u64 << self.width),
+            "key {x} exceeds width {}",
+            self.width
+        );
+    }
+
+    /// The `l`-bit prefix of `x`, right-aligned.
+    #[inline]
+    fn prefix(&self, x: u64, l: u32) -> u64 {
+        if l == 0 {
+            0
+        } else {
+            x >> (self.width - l)
+        }
+    }
+
+    /// Smallest stored key, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.levels[0].get(&0).map(|i| i.min)
+    }
+
+    /// Largest stored key, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.levels[0].get(&0).map(|i| i.max)
+    }
+
+    /// Membership test, O(1).
+    pub fn contains(&self, x: u64) -> bool {
+        self.check(x);
+        self.leaves.contains_key(&x)
+    }
+
+    /// Length of the longest prefix of `x` present in the level tables —
+    /// the binary search at the heart of every x-fast query. `O(log w)`.
+    pub fn longest_prefix_level(&self, x: u64) -> u32 {
+        self.check(x);
+        if self.levels[0].is_empty() {
+            return 0; // empty trie: only the (absent) root matches trivially
+        }
+        let (mut lo, mut hi) = (0u32, self.width); // levels[lo] always matches
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.levels[mid as usize].contains_key(&self.prefix(x, mid)) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
+    /// Largest stored key `<= x`.
+    pub fn pred_or_eq(&self, x: u64) -> Option<u64> {
+        self.check(x);
+        if self.is_empty() {
+            return None;
+        }
+        let l = self.longest_prefix_level(x);
+        if l == self.width {
+            return Some(x);
+        }
+        let info = self.levels[l as usize].get(&self.prefix(x, l))?;
+        // The child of the matched node on x's side is absent, so every key
+        // in the subtree differs from x at bit position l.
+        let bit = (x >> (self.width - l - 1)) & 1;
+        if bit == 1 {
+            // subtree keys all have 0 there: all < x
+            Some(info.max)
+        } else {
+            // subtree keys all have 1 there: all > x — step left from min
+            self.leaves[&info.min].prev
+        }
+    }
+
+    /// Smallest stored key `>= x`.
+    pub fn succ_or_eq(&self, x: u64) -> Option<u64> {
+        self.check(x);
+        if self.is_empty() {
+            return None;
+        }
+        let l = self.longest_prefix_level(x);
+        if l == self.width {
+            return Some(x);
+        }
+        let info = self.levels[l as usize].get(&self.prefix(x, l))?;
+        let bit = (x >> (self.width - l - 1)) & 1;
+        if bit == 0 {
+            Some(info.min)
+        } else {
+            self.leaves[&info.max].next
+        }
+    }
+
+    /// Largest stored key strictly `< x`.
+    pub fn pred(&self, x: u64) -> Option<u64> {
+        match self.pred_or_eq(x) {
+            Some(y) if y == x => self.leaves[&x].prev,
+            r => r,
+        }
+    }
+
+    /// Smallest stored key strictly `> x`.
+    pub fn succ(&self, x: u64) -> Option<u64> {
+        match self.succ_or_eq(x) {
+            Some(y) if y == x => self.leaves[&x].next,
+            r => r,
+        }
+    }
+
+    /// Insert `x`; returns false if already present. `O(w)`.
+    pub fn insert(&mut self, x: u64) -> bool {
+        self.check(x);
+        if self.contains(x) {
+            return false;
+        }
+        let prev = self.pred_or_eq(x); // x not present: strict pred
+        let next = self.succ_or_eq(x);
+        if let Some(p) = prev {
+            self.leaves.get_mut(&p).unwrap().next = Some(x);
+        }
+        if let Some(n) = next {
+            self.leaves.get_mut(&n).unwrap().prev = Some(n).and(Some(x));
+        }
+        self.leaves.insert(x, Leaf { prev, next });
+        for l in 0..=self.width {
+            let p = self.prefix(x, l);
+            self.levels[l as usize]
+                .entry(p)
+                .and_modify(|i| {
+                    i.min = i.min.min(x);
+                    i.max = i.max.max(x);
+                })
+                .or_insert(SubtreeInfo { min: x, max: x });
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Remove `x`; returns false if absent. `O(w)`.
+    pub fn remove(&mut self, x: u64) -> bool {
+        self.check(x);
+        let Some(leaf) = self.leaves.remove(&x) else {
+            return false;
+        };
+        if let Some(p) = leaf.prev {
+            self.leaves.get_mut(&p).unwrap().next = leaf.next;
+        }
+        if let Some(n) = leaf.next {
+            self.leaves.get_mut(&n).unwrap().prev = leaf.prev;
+        }
+        // Fix levels bottom-up from the children present one level deeper.
+        self.levels[self.width as usize].remove(&x);
+        for l in (0..self.width).rev() {
+            let p = self.prefix(x, l);
+            let c0 = self.levels[(l + 1) as usize].get(&(p << 1)).copied();
+            let c1 = self.levels[(l + 1) as usize].get(&((p << 1) | 1)).copied();
+            match (c0, c1) {
+                (None, None) => {
+                    self.levels[l as usize].remove(&p);
+                }
+                (a, b) => {
+                    let min = a.map(|i| i.min).into_iter().chain(b.map(|i| i.min)).min().unwrap();
+                    let max = a.map(|i| i.max).into_iter().chain(b.map(|i| i.max)).max().unwrap();
+                    self.levels[l as usize].insert(p, SubtreeInfo { min, max });
+                }
+            }
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Iterate keys ascending (via the leaf list).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut cur = self.min();
+        std::iter::from_fn(move || {
+            let x = cur?;
+            cur = self.leaves[&x].next;
+            Some(x)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn basic_insert_contains() {
+        let mut t = XFastTrie::new(8);
+        assert!(t.insert(5));
+        assert!(!t.insert(5));
+        assert!(t.insert(200));
+        assert!(t.contains(5));
+        assert!(!t.contains(6));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.min(), Some(5));
+        assert_eq!(t.max(), Some(200));
+    }
+
+    #[test]
+    fn pred_succ_small() {
+        let mut t = XFastTrie::new(4);
+        for x in [2u64, 7, 11] {
+            t.insert(x);
+        }
+        assert_eq!(t.pred_or_eq(7), Some(7));
+        assert_eq!(t.pred(7), Some(2));
+        assert_eq!(t.pred_or_eq(6), Some(2));
+        assert_eq!(t.pred_or_eq(1), None);
+        assert_eq!(t.succ_or_eq(8), Some(11));
+        assert_eq!(t.succ(11), None);
+        assert_eq!(t.succ_or_eq(0), Some(2));
+    }
+
+    #[test]
+    fn matches_btreeset_under_churn() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for width in [8u32, 16, 64] {
+            let mut t = XFastTrie::new(width);
+            let mut set = BTreeSet::new();
+            let lim = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            for _ in 0..2000 {
+                let x = rng.gen_range(0..=lim.min(500));
+                if rng.gen_bool(0.6) {
+                    assert_eq!(t.insert(x), set.insert(x));
+                } else {
+                    assert_eq!(t.remove(x), set.remove(&x));
+                }
+                let q = rng.gen_range(0..=lim.min(500));
+                assert_eq!(t.pred_or_eq(q), set.range(..=q).next_back().copied(), "pred_or_eq({q}) w={width}");
+                assert_eq!(t.succ_or_eq(q), set.range(q..).next().copied(), "succ_or_eq({q}) w={width}");
+                assert_eq!(t.pred(q), set.range(..q).next_back().copied());
+                assert_eq!(t.succ(q), set.range(q + 1..).next().copied());
+                assert_eq!(t.len(), set.len());
+            }
+            let got: Vec<u64> = t.iter().collect();
+            let want: Vec<u64> = set.iter().copied().collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn full_width_extremes() {
+        let mut t = XFastTrie::new(64);
+        t.insert(0);
+        t.insert(u64::MAX);
+        assert_eq!(t.pred_or_eq(u64::MAX - 1), Some(0));
+        assert_eq!(t.succ_or_eq(1), Some(u64::MAX));
+        assert!(t.remove(0));
+        assert_eq!(t.min(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn empty_queries() {
+        let t = XFastTrie::new(16);
+        assert_eq!(t.pred_or_eq(3), None);
+        assert_eq!(t.succ_or_eq(3), None);
+        assert_eq!(t.min(), None);
+        assert!(t.iter().next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn oversized_key_panics() {
+        let mut t = XFastTrie::new(4);
+        t.insert(16);
+    }
+}

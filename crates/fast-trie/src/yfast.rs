@@ -1,0 +1,253 @@
+//! y-fast trie: an x-fast trie over bucket representatives.
+//!
+//! Keys are grouped into buckets of `Θ(w)` elements held in a
+//! comparison-based structure; only each bucket's minimum (its
+//! *representative*) enters the x-fast trie. This restores `O(n)` space and
+//! amortised `O(log w)` updates while keeping `O(log w)` queries.
+
+use crate::xfast::XFastTrie;
+use std::collections::{BTreeSet, HashMap};
+
+/// A y-fast trie over `width`-bit integers.
+pub struct YFastTrie {
+    width: u32,
+    reps: XFastTrie,
+    buckets: HashMap<u64, BTreeSet<u64>>,
+    len: usize,
+    /// Bucket split threshold (2·w by default).
+    cap: usize,
+}
+
+impl YFastTrie {
+    /// Empty trie over `width`-bit keys.
+    pub fn new(width: u32) -> Self {
+        YFastTrie {
+            width,
+            reps: XFastTrie::new(width),
+            buckets: HashMap::new(),
+            len: 0,
+            cap: 2 * width as usize,
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Key width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The bucket that would contain `x` (the one whose representative is
+    /// the largest rep `<= x`, else the first bucket).
+    fn bucket_rep_for(&self, x: u64) -> Option<u64> {
+        self.reps.pred_or_eq(x).or_else(|| self.reps.min())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: u64) -> bool {
+        self.bucket_rep_for(x)
+            .map(|r| self.buckets[&r].contains(&x))
+            .unwrap_or(false)
+    }
+
+    /// Insert; returns false if already present.
+    pub fn insert(&mut self, x: u64) -> bool {
+        match self.bucket_rep_for(x) {
+            None => {
+                self.reps.insert(x);
+                self.buckets.insert(x, BTreeSet::from([x]));
+            }
+            Some(r) => {
+                let b = self.buckets.get_mut(&r).unwrap();
+                if !b.insert(x) {
+                    return false;
+                }
+                if x < r {
+                    // maintain rep == bucket min
+                    let set = self.buckets.remove(&r).unwrap();
+                    self.reps.remove(r);
+                    self.reps.insert(x);
+                    self.buckets.insert(x, set);
+                }
+                let r = r.min(x);
+                if self.buckets[&r].len() > self.cap {
+                    self.split(r);
+                }
+            }
+        }
+        self.len += 1;
+        true
+    }
+
+    fn split(&mut self, r: u64) {
+        let set = self.buckets.get_mut(&r).unwrap();
+        let mid = *set.iter().nth(set.len() / 2).unwrap();
+        let upper: BTreeSet<u64> = set.split_off(&mid);
+        self.reps.insert(mid);
+        self.buckets.insert(mid, upper);
+    }
+
+    /// Remove; returns false if absent.
+    pub fn remove(&mut self, x: u64) -> bool {
+        let Some(r) = self.bucket_rep_for(x) else {
+            return false;
+        };
+        let b = self.buckets.get_mut(&r).unwrap();
+        if !b.remove(&x) {
+            return false;
+        }
+        self.len -= 1;
+        if b.is_empty() {
+            self.buckets.remove(&r);
+            self.reps.remove(r);
+        } else if x == r {
+            // new representative = new min
+            let set = self.buckets.remove(&r).unwrap();
+            let new_r = *set.iter().next().unwrap();
+            self.reps.remove(r);
+            self.reps.insert(new_r);
+            self.buckets.insert(new_r, set);
+        } else if self.buckets[&r].len() * 4 < self.width as usize {
+            self.maybe_merge(r);
+        }
+        true
+    }
+
+    fn maybe_merge(&mut self, r: u64) {
+        // merge the undersized bucket into its predecessor bucket (if any)
+        let Some(prev) = self.reps.pred(r) else {
+            return;
+        };
+        let set = self.buckets.remove(&r).unwrap();
+        self.reps.remove(r);
+        let target = self.buckets.get_mut(&prev).unwrap();
+        target.extend(set);
+        if self.buckets[&prev].len() > self.cap {
+            self.split(prev);
+        }
+    }
+
+    /// Largest key `<= x`.
+    pub fn pred_or_eq(&self, x: u64) -> Option<u64> {
+        let r = self.reps.pred_or_eq(x)?;
+        self.buckets[&r].range(..=x).next_back().copied()
+    }
+
+    /// Smallest key `>= x`.
+    pub fn succ_or_eq(&self, x: u64) -> Option<u64> {
+        if let Some(r) = self.reps.pred_or_eq(x) {
+            if let Some(&y) = self.buckets[&r].range(x..).next() {
+                return Some(y);
+            }
+        }
+        // next bucket's representative is its min
+        self.reps.succ(x)
+    }
+
+    /// Largest key strictly `< x`.
+    pub fn pred(&self, x: u64) -> Option<u64> {
+        if x == 0 {
+            return None;
+        }
+        self.pred_or_eq(x - 1)
+    }
+
+    /// Smallest key strictly `> x`.
+    pub fn succ(&self, x: u64) -> Option<u64> {
+        if x == u64::MAX {
+            return None;
+        }
+        self.succ_or_eq(x + 1)
+    }
+
+    /// Iterate keys ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut reps: Vec<u64> = self.buckets.keys().copied().collect();
+        reps.sort_unstable();
+        reps.into_iter().flat_map(|r| self.buckets[&r].iter().copied().collect::<Vec<_>>())
+    }
+
+    /// Number of buckets — exposed for space accounting and tests.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn matches_btreeset_under_churn() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        for width in [16u32, 64] {
+            let mut t = YFastTrie::new(width);
+            let mut set: BTreeSet<u64> = BTreeSet::new();
+            let lim = if width == 64 { 10_000 } else { (1 << width) - 1 };
+            for step in 0..4000 {
+                let x = rng.gen_range(0..=lim);
+                if rng.gen_bool(0.6) {
+                    assert_eq!(t.insert(x), set.insert(x), "insert {x} step {step}");
+                } else {
+                    assert_eq!(t.remove(x), set.remove(&x), "remove {x} step {step}");
+                }
+                let q = rng.gen_range(0..=lim);
+                assert_eq!(t.contains(q), set.contains(&q));
+                assert_eq!(t.pred_or_eq(q), set.range(..=q).next_back().copied());
+                assert_eq!(t.succ_or_eq(q), set.range(q..).next().copied());
+                assert_eq!(t.pred(q), set.range(..q).next_back().copied());
+                assert_eq!(t.succ(q), set.range(q + 1..).next().copied());
+                assert_eq!(t.len(), set.len());
+            }
+            let got: Vec<u64> = t.iter().collect();
+            let want: Vec<u64> = set.iter().copied().collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn buckets_stay_small() {
+        let mut t = YFastTrie::new(16);
+        for x in 0..5000u64 {
+            t.insert(x);
+        }
+        assert!(t.n_buckets() >= 5000 / (2 * 16 + 1));
+        for (r, b) in &t.buckets {
+            assert!(b.len() <= t.cap, "bucket {r} has {}", b.len());
+            assert_eq!(b.iter().next(), Some(r), "rep must be bucket min");
+        }
+    }
+
+    #[test]
+    fn linear_space_vs_xfast() {
+        // The whole point of y-fast: far fewer x-fast entries than keys.
+        let mut t = YFastTrie::new(64);
+        for x in 0..2048u64 {
+            t.insert(x * 7919);
+        }
+        assert!(t.reps.len() * 16 <= 2048 + 16 * 64);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut t = YFastTrie::new(64);
+        t.insert(0);
+        t.insert(u64::MAX);
+        assert_eq!(t.pred(0), None);
+        assert_eq!(t.succ(u64::MAX), None);
+        assert_eq!(t.pred_or_eq(u64::MAX), Some(u64::MAX));
+        assert_eq!(t.succ_or_eq(0), Some(0));
+        assert_eq!(t.pred(u64::MAX), Some(0));
+        assert_eq!(t.succ(0), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,352 @@
+//! z-fast trie: exit-node location over variable-length bit-strings in
+//! `O(log l)` hash probes (Belazzougui–Boldi–Vigna style).
+//!
+//! Layout: a compressed binary trie (reusing `trie_core::Trie`) plus a hash
+//! table mapping each non-root node's *handle* to the node. The handle of a
+//! node with skip interval `(|parent|, |node|]` (string depths in bits) is
+//! the prefix of the node's string whose length is the 2-fattest number in
+//! that interval. A *fat binary search* over prefix lengths of the query
+//! probes `O(log l)` handles to find the exit node — the deepest node whose
+//! string is consistent with the query.
+//!
+//! PIM-trie uses z-fast tries of height `<= w` as per-pivot shortcuts in
+//! HashMatching and local block matching (§4.4.2): they turn an `O(l)` walk
+//! into `O(log w)` probes. Results are *verified* against the underlying
+//! trie, so hash collisions can only cost time, never correctness.
+
+use crate::two_fattest;
+use bitstr::hash::{HashVal, IncrementalHash, PolyHasher};
+use bitstr::{BitSlice, BitStr};
+use std::collections::HashMap;
+use trie_core::{LcpResult, NodeId, Trie, Value};
+
+/// A dynamic z-fast trie over variable-length bit-strings.
+pub struct ZFastTrie {
+    trie: Trie,
+    hasher: PolyHasher,
+    handles: HashMap<HashVal, NodeId>,
+    probes: std::cell::Cell<u64>,
+}
+
+impl ZFastTrie {
+    /// Empty z-fast trie; the hash base is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        ZFastTrie {
+            trie: Trie::new(),
+            hasher: PolyHasher::with_seed(seed),
+            handles: HashMap::new(),
+            probes: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Build from an iterator of (key, value) pairs.
+    pub fn from_iter<'a, I: IntoIterator<Item = (&'a BitStr, Value)>>(seed: u64, items: I) -> Self {
+        let mut z = Self::new(seed);
+        for (k, v) in items {
+            z.insert(k, v);
+        }
+        z
+    }
+
+    /// The underlying compressed trie.
+    pub fn trie(&self) -> &Trie {
+        &self.trie
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.trie.n_keys()
+    }
+
+    /// True iff no keys stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total hash-table probes performed by queries so far (for the
+    /// `O(log l)` experiments).
+    pub fn probes(&self) -> u64 {
+        self.probes.get()
+    }
+
+    fn handle_len(&self, id: NodeId) -> u64 {
+        let n = self.trie.node(id);
+        let b = n.depth as u64;
+        let a = b - n.edge.len() as u64;
+        two_fattest(a, b)
+    }
+
+    fn handle_hash(&self, id: NodeId) -> HashVal {
+        let f = self.handle_len(id) as usize;
+        let s = self.trie.node_string(id);
+        self.hasher.hash_bits(s.slice(0..f))
+    }
+
+    fn add_handle(&mut self, id: NodeId) {
+        if id == NodeId::ROOT {
+            return;
+        }
+        let h = self.handle_hash(id);
+        let prev = self.handles.insert(h, id);
+        debug_assert!(prev.is_none(), "duplicate handle for {id:?} and {prev:?}");
+    }
+
+    fn remove_handle_of(&mut self, h: HashVal) {
+        self.handles.remove(&h);
+    }
+
+    /// Insert a key, maintaining handles incrementally.
+    pub fn insert(&mut self, key: &BitStr, value: Value) -> Option<Value> {
+        // A split changes the skip interval (and thus handle) of the node
+        // whose edge is cut; compute its old handle hash *before* mutating.
+        let pre = self.trie.lcp(key.as_slice());
+        let splits = pre.pos.edge_off < self.trie.node(pre.pos.node).edge.len();
+        let old_below_handle = splits.then(|| self.handle_hash(pre.pos.node));
+
+        let info = self.trie.insert_with_info(key, value);
+        if let (Some(h), Some(below)) = (old_below_handle, info.split_below) {
+            self.remove_handle_of(h);
+            self.add_handle(below);
+        }
+        if let Some(mid) = info.split_mid {
+            self.add_handle(mid);
+        }
+        if let Some(leaf) = info.new_leaf {
+            self.add_handle(leaf);
+        }
+        info.old_value
+    }
+
+    /// Delete a key, maintaining handles incrementally.
+    pub fn remove(&mut self, key: BitSlice<'_>) -> Option<Value> {
+        // Handles of removed/spliced nodes must be dropped; a spliced
+        // child's handle changes. Capture candidates' handles up-front: the
+        // only nodes whose handles can change are on the path near the key
+        // node — delete_with_info tells us exactly which, but their strings
+        // are gone afterwards. So snapshot all handles by node id first.
+        // (Cheap: delete touches O(1) nodes; we snapshot lazily via a
+        // reverse map rebuild only for the touched ids.)
+        let reverse: HashMap<NodeId, HashVal> =
+            self.handles.iter().map(|(h, id)| (*id, *h)).collect();
+        let info = self.trie.delete_with_info(key)?;
+        for id in &info.removed {
+            if let Some(h) = reverse.get(id) {
+                self.handles.remove(h);
+            }
+        }
+        for id in &info.edge_changed {
+            if let Some(h) = reverse.get(id) {
+                self.handles.remove(h);
+            }
+            self.add_handle(*id);
+        }
+        Some(info.value)
+    }
+
+    /// Exact-key lookup (via exit-node search + verification).
+    pub fn get(&self, key: BitSlice<'_>) -> Option<Value> {
+        self.trie.get(key)
+    }
+
+    /// The *exit node* of `q`: the node where a root-to-leaf walk of `q`
+    /// stops (a mid-edge stop exits into the edge's lower endpoint).
+    /// Located by fat binary search, then *verified* against the stored
+    /// strings — a hash collision can only cost a fallback walk, never a
+    /// wrong answer. Expected cost `O(|q|/w + log |q|)` probes/word-ops.
+    pub fn exit_node(&self, q: BitSlice<'_>) -> NodeId {
+        let cand = self.exit_candidate(q);
+        if cand == NodeId::ROOT {
+            return walk_exit(&self.trie, self.trie.lcp(q));
+        }
+        let n = self.trie.node(cand);
+        let depth = n.depth as usize;
+        let parent_depth = depth - n.edge.len();
+        let s = self.trie.node_string(cand);
+        let l0 = q.lcp(&s.as_slice());
+        if l0 <= parent_depth {
+            // Collision: the candidate is not even on q's path.
+            return walk_exit(&self.trie, self.trie.lcp(q));
+        }
+        if l0 < depth {
+            // q stops inside cand's edge (divergence or exhaustion).
+            return cand;
+        }
+        // q passes through cand entirely: finish the walk from there.
+        walk_exit(&self.trie, self.trie.lcp_from(cand, depth, q))
+    }
+
+    /// Longest common prefix of `q` with the stored key set (exact).
+    pub fn lcp(&self, q: BitSlice<'_>) -> LcpResult {
+        self.trie.lcp(q)
+    }
+
+    /// Fat binary search over prefix lengths of `q`: `O(log |q|)` probes.
+    fn exit_candidate(&self, q: BitSlice<'_>) -> NodeId {
+        if q.is_empty() {
+            return NodeId::ROOT;
+        }
+        // prefix hashes of q for O(1) probe hashing at any length
+        let mut pref = Vec::with_capacity(q.len() + 1);
+        pref.push(self.hasher.empty());
+        for i in 0..q.len() {
+            let bit_hash = self
+                .hasher
+                .hash_chunk(if q.get(i) { 1u64 << 63 } else { 0 }, 1);
+            pref.push(self.hasher.combine(pref[i], bit_hash, 1));
+        }
+        let (mut a, mut b) = (0u64, q.len() as u64);
+        let mut exit = NodeId::ROOT;
+        while a < b {
+            let f = two_fattest(a, b);
+            self.probes.set(self.probes.get() + 1);
+            match self.handles.get(&pref[f as usize]) {
+                Some(&node) => {
+                    let e = self.trie.node(node).depth as u64;
+                    exit = node;
+                    if e >= b {
+                        break;
+                    }
+                    a = e;
+                }
+                None => b = f - 1,
+            }
+        }
+        exit
+    }
+}
+
+/// Convert a trie walk result to the exit *node*: the stop node itself if
+/// the walk consumed its whole edge, else its parent side — by convention
+/// the deepest compressed node fully on the query path.
+fn walk_exit(trie: &Trie, r: LcpResult) -> NodeId {
+    let n = trie.node(r.pos.node);
+    if r.pos.edge_off == n.edge.len() {
+        r.pos.node
+    } else if r.pos.edge_off == 0 {
+        n.parent.unwrap_or(NodeId::ROOT)
+    } else {
+        // stopped mid-edge: the exit node per z-fast convention is the edge's
+        // lower endpoint (the node the blind search "exits" into)
+        r.pos.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn b(s: &str) -> BitStr {
+        BitStr::from_bin_str(s)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut z = ZFastTrie::new(1);
+        z.insert(&b("00001"), 1);
+        z.insert(&b("10100000"), 2);
+        z.insert(&b("1010111"), 3);
+        assert_eq!(z.get(b("00001").as_slice()), Some(1));
+        assert_eq!(z.get(b("1010111").as_slice()), Some(3));
+        assert_eq!(z.get(b("1010").as_slice()), None);
+        assert_eq!(z.len(), 3);
+    }
+
+    #[test]
+    fn exit_node_matches_walk_on_random_sets() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for trial in 0..20 {
+            let mut z = ZFastTrie::new(trial);
+            let n = rng.gen_range(1..80);
+            let mut keys = Vec::new();
+            for i in 0..n {
+                let len = rng.gen_range(1..50);
+                let k = BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)));
+                z.insert(&k, i as u64);
+                keys.push(k);
+            }
+            z.trie().check_invariants(false);
+            for _ in 0..200 {
+                let len = rng.gen_range(0..60);
+                let q = BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)));
+                let got = z.exit_node(q.as_slice());
+                let want = walk_exit(z.trie(), z.trie().lcp(q.as_slice()));
+                assert_eq!(got, want, "query {q} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let mut z = ZFastTrie::new(7);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        // long keys: 4096 bits
+        for i in 0..32 {
+            let k = BitStr::from_bits((0..4096).map(|_| rng.gen_bool(0.5)));
+            z.insert(&k, i);
+        }
+        let q = BitStr::from_bits((0..4096).map(|_| rng.gen_bool(0.5)));
+        let before = z.probes();
+        let _ = z.exit_node(q.as_slice());
+        let used = z.probes() - before;
+        assert!(
+            used <= 2 * 12 + 2,
+            "expected O(log 4096)=12-ish probes, used {used}"
+        );
+    }
+
+    #[test]
+    fn remove_keeps_structure_consistent() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let mut z = ZFastTrie::new(4);
+        let mut keys = Vec::new();
+        for i in 0..100 {
+            let len = rng.gen_range(1..40);
+            let k = BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)));
+            z.insert(&k, i);
+            keys.push(k);
+        }
+        keys.sort();
+        keys.dedup();
+        for (i, k) in keys.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(z.remove(k.as_slice()).is_some(), "remove {k}");
+            }
+        }
+        z.trie().check_invariants(false);
+        // handle table must exactly cover remaining non-root nodes
+        assert_eq!(z.handles.len(), z.trie().n_nodes() - 1);
+        // queries still exact
+        for _ in 0..200 {
+            let len = rng.gen_range(0..45);
+            let q = BitStr::from_bits((0..len).map(|_| rng.gen_bool(0.5)));
+            let got = z.exit_node(q.as_slice());
+            let want = walk_exit(z.trie(), z.trie().lcp(q.as_slice()));
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn prefix_keys() {
+        let mut z = ZFastTrie::new(2);
+        z.insert(&b("1"), 1);
+        z.insert(&b("10"), 2);
+        z.insert(&b("101"), 3);
+        z.insert(&b("1010"), 4);
+        for (q, want_depth) in [("1010", 4), ("101", 3), ("10", 2), ("1", 1), ("0", 0)] {
+            let e = z.exit_node(b(q).as_slice());
+            assert_eq!(z.trie().node(e).depth as usize, want_depth, "query {q}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut z = ZFastTrie::new(0);
+        assert_eq!(z.exit_node(b("0101").as_slice()), NodeId::ROOT);
+        z.insert(&b("0101"), 5);
+        assert_eq!(z.exit_node(b("0101").as_slice()), z.trie().lcp(b("0101").as_slice()).pos.node);
+        assert_eq!(z.remove(b("0101").as_slice()), Some(5));
+        assert!(z.is_empty());
+        assert!(z.handles.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! A deterministic simulator of the **PIM Model** (Kang et al., SPAA '21),
+//! the cost model in which every PIM-trie bound is stated.
+//!
+//! The model: a host CPU plus `P` PIM modules, each pairing a small local
+//! memory with a weak general-purpose processor. Execution proceeds in
+//! BSP-style synchronous rounds; in each round the CPU (1) computes locally,
+//! (2) writes a buffer to each module, (3) launches the module programs and
+//! waits, and (4) reads a buffer back from each module. Modules can only
+//! touch their own memory.
+//!
+//! Measured quantities (paper §2):
+//!
+//! * **IO rounds** — number of BSP super-steps,
+//! * **IO time**   — per round, the *maximum* over modules of words
+//!   written + read; summed over rounds,
+//! * **IO volume** — total words moved (the "communication" columns of
+//!   Table 1 divide this by the batch size),
+//! * **PIM time**  — per round, the maximum over modules of the work
+//!   metered by the module handlers; summed over rounds,
+//! * **CPU work**  — work units charged by host-side code.
+//!
+//! Because IO time and PIM time take per-round maxima, *load balance is the
+//! whole game* — a skewed algorithm can have small total volume yet terrible
+//! IO time. [`MetricsDelta::io_balance`] exposes exactly that ratio.
+//!
+//! Modules run concurrently on the rayon pool; since a module handler only
+//! sees its own state and inbox, execution is data-race-free and the
+//! simulation is deterministic for a fixed input (module RNG must be seeded
+//! per module by the caller).
+//!
+//! # Example
+//!
+//! ```
+//! use pim_sim::PimSystem;
+//!
+//! // 4 modules, each holding a Vec<u64>.
+//! let mut sys = PimSystem::new(4, |_id| Vec::<u64>::new());
+//! // Scatter values to modules, one BSP round.
+//! let inbox: Vec<Vec<u64>> = (0..4).map(|m| vec![m as u64, 100 + m as u64]).collect();
+//! let replies = sys.round("load", inbox, |ctx, msgs| {
+//!     ctx.work(msgs.len() as u64);
+//!     ctx.state.extend(&msgs);
+//!     vec![ctx.state.len() as u64]
+//! });
+//! assert_eq!(replies[3], vec![2]);
+//! assert_eq!(sys.metrics().io_rounds(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod route;
+mod system;
+mod wire;
+
+pub use metrics::{Metrics, MetricsDelta, RoundRecord, Snapshot};
+pub use route::{OriginMap, Routed};
+pub use system::{PimCtx, PimSystem};
+pub use wire::{words_for_bits, Wire};
+
+/// A machine word — the unit of all communication accounting.
+pub type Word = u64;

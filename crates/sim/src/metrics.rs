@@ -1,0 +1,316 @@
+//! PIM Model cost accounting.
+
+use serde::Serialize;
+
+/// Per-round record: who sent/received how much, and per-module PIM work.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoundRecord {
+    /// Round label (for reports / debugging).
+    pub name: String,
+    /// Words written CPU→module, per module.
+    pub sent: Vec<u64>,
+    /// Words read module→CPU, per module.
+    pub received: Vec<u64>,
+    /// Work units metered inside each module handler.
+    pub pim_work: Vec<u64>,
+}
+
+impl RoundRecord {
+    /// The round's IO time: max over modules of sent + received words.
+    pub fn io_time(&self) -> u64 {
+        self.sent
+            .iter()
+            .zip(&self.received)
+            .map(|(s, r)| s + r)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The round's PIM time: max module work.
+    pub fn pim_time(&self) -> u64 {
+        self.pim_work.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total words moved this round.
+    pub fn io_volume(&self) -> u64 {
+        self.sent.iter().sum::<u64>() + self.received.iter().sum::<u64>()
+    }
+}
+
+/// Cumulative metrics of a [`PimSystem`](crate::PimSystem).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    p: usize,
+    rounds: u64,
+    io_time: u64,
+    pim_time: u64,
+    io_per_module: Vec<u64>,
+    pim_per_module: Vec<u64>,
+    cpu_work: u64,
+    /// Detailed per-round log (kept only when `log_rounds` is on).
+    pub round_log: Vec<RoundRecord>,
+    log_rounds: bool,
+}
+
+impl Metrics {
+    pub(crate) fn new(p: usize) -> Self {
+        Metrics {
+            p,
+            io_per_module: vec![0; p],
+            pim_per_module: vec![0; p],
+            ..Default::default()
+        }
+    }
+
+    /// Keep a full per-round log (off by default; aggregates are always on).
+    pub fn set_round_logging(&mut self, on: bool) {
+        self.log_rounds = on;
+    }
+
+    pub(crate) fn record_round(&mut self, rec: RoundRecord) {
+        self.rounds += 1;
+        self.io_time += rec.io_time();
+        self.pim_time += rec.pim_time();
+        for i in 0..self.p {
+            self.io_per_module[i] += rec.sent[i] + rec.received[i];
+            self.pim_per_module[i] += rec.pim_work[i];
+        }
+        if self.log_rounds {
+            self.round_log.push(rec);
+        }
+    }
+
+    /// Charge host-side work units.
+    pub fn charge_cpu(&mut self, units: u64) {
+        self.cpu_work += units;
+    }
+
+    /// Number of modules.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Number of BSP rounds so far.
+    pub fn io_rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Σ over rounds of (max module traffic that round).
+    pub fn io_time(&self) -> u64 {
+        self.io_time
+    }
+
+    /// Total words moved across all rounds and modules.
+    pub fn io_volume(&self) -> u64 {
+        self.io_per_module.iter().sum()
+    }
+
+    /// Σ over rounds of (max module work that round).
+    pub fn pim_time(&self) -> u64 {
+        self.pim_time
+    }
+
+    /// Total PIM work across modules.
+    pub fn pim_work(&self) -> u64 {
+        self.pim_per_module.iter().sum()
+    }
+
+    /// Host work charged so far.
+    pub fn cpu_work(&self) -> u64 {
+        self.cpu_work
+    }
+
+    /// Cumulative per-module IO words.
+    pub fn io_per_module(&self) -> &[u64] {
+        &self.io_per_module
+    }
+
+    /// Cumulative per-module PIM work.
+    pub fn pim_per_module(&self) -> &[u64] {
+        &self.pim_per_module
+    }
+
+    /// Take a snapshot to later compute a [`MetricsDelta`] for one batch.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            rounds: self.rounds,
+            io_time: self.io_time,
+            pim_time: self.pim_time,
+            io_per_module: self.io_per_module.clone(),
+            pim_per_module: self.pim_per_module.clone(),
+            cpu_work: self.cpu_work,
+        }
+    }
+
+    /// Metrics accrued since `snap`.
+    pub fn since(&self, snap: &Snapshot) -> MetricsDelta {
+        MetricsDelta {
+            io_rounds: self.rounds - snap.rounds,
+            io_time: self.io_time - snap.io_time,
+            pim_time: self.pim_time - snap.pim_time,
+            cpu_work: self.cpu_work - snap.cpu_work,
+            io_per_module: self
+                .io_per_module
+                .iter()
+                .zip(&snap.io_per_module)
+                .map(|(a, b)| a - b)
+                .collect(),
+            pim_per_module: self
+                .pim_per_module
+                .iter()
+                .zip(&snap.pim_per_module)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Human-readable per-round-name cost report (requires round logging).
+    pub fn report(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut agg: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        for r in &self.round_log {
+            let e = agg.entry(r.name.as_str()).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += r.io_volume();
+            e.2 += r.io_time();
+        }
+        let mut out = String::from("round name                rounds     volume    io_time
+");
+        for (name, (n, vol, time)) in agg {
+            out.push_str(&format!("{name:24} {n:>8} {vol:>10} {time:>10}
+"));
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of the aggregate counters.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    rounds: u64,
+    io_time: u64,
+    pim_time: u64,
+    io_per_module: Vec<u64>,
+    pim_per_module: Vec<u64>,
+    cpu_work: u64,
+}
+
+/// Metrics accrued over a window (typically one operation batch).
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsDelta {
+    /// BSP rounds in the window.
+    pub io_rounds: u64,
+    /// Σ round maxima of per-module traffic.
+    pub io_time: u64,
+    /// Σ round maxima of per-module work.
+    pub pim_time: u64,
+    /// Host work charged.
+    pub cpu_work: u64,
+    /// Per-module IO words in the window.
+    pub io_per_module: Vec<u64>,
+    /// Per-module PIM work in the window.
+    pub pim_per_module: Vec<u64>,
+}
+
+impl MetricsDelta {
+    /// Total words moved.
+    pub fn io_volume(&self) -> u64 {
+        self.io_per_module.iter().sum()
+    }
+
+    /// Total PIM work.
+    pub fn pim_work(&self) -> u64 {
+        self.pim_per_module.iter().sum()
+    }
+
+    /// Load-balance ratio of IO: (max module) / (mean module). 1.0 is
+    /// perfect balance; ~P means one module carries everything.
+    pub fn io_balance(&self) -> f64 {
+        balance(&self.io_per_module)
+    }
+
+    /// Load-balance ratio of PIM work.
+    pub fn pim_balance(&self) -> f64 {
+        balance(&self.pim_per_module)
+    }
+}
+
+fn balance(v: &[u64]) -> f64 {
+    let total: u64 = v.iter().sum();
+    if total == 0 || v.is_empty() {
+        return 1.0;
+    }
+    let max = *v.iter().max().unwrap() as f64;
+    let mean = total as f64 / v.len() as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, sent: Vec<u64>, received: Vec<u64>, pim: Vec<u64>) -> RoundRecord {
+        RoundRecord {
+            name: name.into(),
+            sent,
+            received,
+            pim_work: pim,
+        }
+    }
+
+    #[test]
+    fn round_record_maxima() {
+        let r = rec("x", vec![3, 0, 1], vec![1, 0, 5], vec![2, 9, 4]);
+        assert_eq!(r.io_time(), 6);
+        assert_eq!(r.pim_time(), 9);
+        assert_eq!(r.io_volume(), 10);
+    }
+
+    #[test]
+    fn metrics_aggregate_and_delta() {
+        let mut m = Metrics::new(2);
+        m.record_round(rec("a", vec![2, 0], vec![0, 0], vec![1, 1]));
+        let snap = m.snapshot();
+        m.record_round(rec("b", vec![0, 4], vec![1, 1], vec![0, 8]));
+        m.charge_cpu(10);
+        assert_eq!(m.io_rounds(), 2);
+        assert_eq!(m.io_time(), 2 + 5);
+        assert_eq!(m.pim_time(), 1 + 8);
+        let d = m.since(&snap);
+        assert_eq!(d.io_rounds, 1);
+        assert_eq!(d.io_time, 5);
+        assert_eq!(d.io_volume(), 6);
+        assert_eq!(d.cpu_work, 10);
+        assert_eq!(d.io_per_module, vec![1, 5]);
+    }
+
+    #[test]
+    fn balance_ratio() {
+        let d = MetricsDelta {
+            io_rounds: 1,
+            io_time: 0,
+            pim_time: 0,
+            cpu_work: 0,
+            io_per_module: vec![10, 10, 10, 10],
+            pim_per_module: vec![40, 0, 0, 0],
+        };
+        assert!((d.io_balance() - 1.0).abs() < 1e-9);
+        assert!((d.pim_balance() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_balance_is_one() {
+        let d = MetricsDelta {
+            io_rounds: 0,
+            io_time: 0,
+            pim_time: 0,
+            cpu_work: 0,
+            io_per_module: vec![0; 4],
+            pim_per_module: vec![],
+        };
+        assert_eq!(d.io_balance(), 1.0);
+        assert_eq!(d.pim_balance(), 1.0);
+    }
+}

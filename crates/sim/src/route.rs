@@ -1,0 +1,138 @@
+//! Scatter/gather bookkeeping for batch operations.
+//!
+//! A batch algorithm typically maps each of `k` items to a target module,
+//! performs a round, and then needs the per-item replies back *in the
+//! original batch order*. [`Routed`] does the index bookkeeping once so
+//! every algorithm doesn't have to.
+
+/// Items scattered into per-module boxes, remembering where each came from.
+pub struct Routed<T> {
+    boxes: Vec<Vec<T>>,
+    origins: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl<T> Routed<T> {
+    /// Scatter `items` into `p` boxes by `target(item) -> module id`.
+    pub fn new(p: usize, items: impl IntoIterator<Item = (usize, T)>) -> Self {
+        let mut boxes: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        let mut origins: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        let mut len = 0;
+        for (idx, (m, item)) in items.into_iter().enumerate() {
+            assert!(m < p, "target module {m} out of range (P={p})");
+            boxes[m].push(item);
+            origins[m].push(idx);
+            len = idx + 1;
+        }
+        Routed { boxes, origins, len }
+    }
+
+    /// Number of routed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no items were routed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-module boxes, consuming the router (pass to
+    /// [`PimSystem::round`](crate::PimSystem::round)); keep the returned
+    /// origin map to [`unroute`](OriginMap::unroute) the replies.
+    pub fn into_parts(self) -> (Vec<Vec<T>>, OriginMap) {
+        (
+            self.boxes,
+            OriginMap {
+                origins: self.origins,
+                len: self.len,
+            },
+        )
+    }
+}
+
+/// Maps per-module reply vectors back to original batch order.
+pub struct OriginMap {
+    origins: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl OriginMap {
+    /// Reorder replies: `replies[m][j]` answers the item that `origins[m][j]`
+    /// points at. Panics if any module returned a different number of
+    /// replies than it received items.
+    pub fn unroute<R>(&self, replies: Vec<Vec<R>>) -> Vec<R> {
+        assert_eq!(replies.len(), self.origins.len());
+        let mut out: Vec<Option<R>> = (0..self.len).map(|_| None).collect();
+        for (m, rs) in replies.into_iter().enumerate() {
+            assert_eq!(
+                rs.len(),
+                self.origins[m].len(),
+                "module {m} replied {} times to {} items",
+                rs.len(),
+                self.origins[m].len()
+            );
+            for (j, r) in rs.into_iter().enumerate() {
+                out[self.origins[m][j]] = Some(r);
+            }
+        }
+        out.into_iter().map(|o| o.expect("reply missing")).collect()
+    }
+
+    /// Number of items routed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no items were routed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_and_unroute_restores_order() {
+        let items = vec![(2usize, "a"), (0, "b"), (2, "c"), (1, "d"), (0, "e")];
+        let routed = Routed::new(3, items);
+        assert_eq!(routed.len(), 5);
+        let (boxes, map) = routed.into_parts();
+        assert_eq!(boxes[0], vec!["b", "e"]);
+        assert_eq!(boxes[1], vec!["d"]);
+        assert_eq!(boxes[2], vec!["a", "c"]);
+        // modules answer by uppercasing
+        let replies: Vec<Vec<String>> = boxes
+            .iter()
+            .map(|b| b.iter().map(|s| s.to_uppercase()).collect())
+            .collect();
+        assert_eq!(map.unroute(replies), vec!["A", "B", "C", "D", "E"]);
+    }
+
+    #[test]
+    fn empty_route() {
+        let routed = Routed::new(4, Vec::<(usize, u64)>::new());
+        assert!(routed.is_empty());
+        let (boxes, map) = routed.into_parts();
+        assert!(boxes.iter().all(Vec::is_empty));
+        let out: Vec<u64> = map.unroute(vec![vec![], vec![], vec![], vec![]]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let _ = Routed::new(2, vec![(5usize, ())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replied")]
+    fn mismatched_replies_panic() {
+        let routed = Routed::new(2, vec![(0usize, 1u64)]);
+        let (_, map) = routed.into_parts();
+        let _ = map.unroute(vec![Vec::<u64>::new(), Vec::new()]);
+    }
+}

@@ -1,0 +1,218 @@
+//! The simulated PIM machine: `P` module states plus metric accounting.
+
+use crate::metrics::{Metrics, RoundRecord};
+use crate::wire::Wire;
+use rayon::prelude::*;
+
+/// Execution context handed to a module handler for one round.
+pub struct PimCtx<'a, M> {
+    /// This module's id in `0..P`.
+    pub id: usize,
+    /// The module's local state (its PIM memory).
+    pub state: &'a mut M,
+    work: u64,
+}
+
+impl<M> PimCtx<'_, M> {
+    /// Meter `units` of PIM work (instructions executed on this module).
+    #[inline]
+    pub fn work(&mut self, units: u64) {
+        self.work += units;
+    }
+}
+
+/// A host CPU plus `P` PIM modules with per-round cost accounting.
+///
+/// `M` is the module-local state type — the contents of one module's PIM
+/// memory. The host may inspect module state directly through
+/// [`PimSystem::module`] for assertions and debugging, but *algorithm* code
+/// must only touch modules through [`PimSystem::round`], which is what gets
+/// costed.
+pub struct PimSystem<M> {
+    modules: Vec<M>,
+    metrics: Metrics,
+}
+
+impl<M: Send> PimSystem<M> {
+    /// Build a system of `p` modules, initialising each with `init(id)`.
+    pub fn new(p: usize, init: impl FnMut(usize) -> M) -> Self {
+        assert!(p > 0, "need at least one PIM module");
+        PimSystem {
+            modules: (0..p).map(init).collect(),
+            metrics: Metrics::new(p),
+        }
+    }
+
+    /// Number of PIM modules.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Cost metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics (for `charge_cpu`, logging toggles, snapshots).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Host-side debug access to a module's state — **not costed**; never
+    /// use this on an algorithm's data path.
+    pub fn module(&self, id: usize) -> &M {
+        &self.modules[id]
+    }
+
+    /// Host-side debug mutation — **not costed**; for test setup only.
+    pub fn module_mut(&mut self, id: usize) -> &mut M {
+        &mut self.modules[id]
+    }
+
+    /// Iterate module states (debug/assertions only).
+    pub fn modules(&self) -> impl Iterator<Item = &M> {
+        self.modules.iter()
+    }
+
+    /// Execute one BSP round.
+    ///
+    /// `inbox[i]` is the buffer written to module `i` (CPU→PIM). Every
+    /// module runs `f` concurrently on its own state and inbox; the returned
+    /// buffers are read back (PIM→CPU). Wire sizes of both directions are
+    /// charged to the round; the round's IO time is the max per-module
+    /// total.
+    pub fn round<In, Out, F>(&mut self, name: &str, inbox: Vec<Vec<In>>, f: F) -> Vec<Vec<Out>>
+    where
+        In: Wire + Send,
+        Out: Wire + Send,
+        F: Fn(&mut PimCtx<'_, M>, Vec<In>) -> Vec<Out> + Sync,
+    {
+        let p = self.p();
+        assert_eq!(inbox.len(), p, "inbox must have one entry per module");
+        let sent: Vec<u64> = inbox
+            .iter()
+            .map(|msgs| msgs.iter().map(Wire::wire_words).sum())
+            .collect();
+
+        let results: Vec<(Vec<Out>, u64)> = self
+            .modules
+            .par_iter_mut()
+            .zip(inbox.into_par_iter())
+            .enumerate()
+            .map(|(id, (state, msgs))| {
+                let mut ctx = PimCtx { id, state, work: 0 };
+                let out = f(&mut ctx, msgs);
+                (out, ctx.work)
+            })
+            .collect();
+
+        let mut outs = Vec::with_capacity(p);
+        let mut received = Vec::with_capacity(p);
+        let mut pim_work = Vec::with_capacity(p);
+        for (out, w) in results {
+            received.push(out.iter().map(Wire::wire_words).sum());
+            pim_work.push(w);
+            outs.push(out);
+        }
+        self.metrics.record_round(RoundRecord {
+            name: name.to_string(),
+            sent,
+            received,
+            pim_work,
+        });
+        outs
+    }
+
+    /// Broadcast the same message to every module (costed `P ×` its size,
+    /// per the model: each module's buffer receives its own copy).
+    pub fn broadcast<In, Out, F>(&mut self, name: &str, msg: In, f: F) -> Vec<Vec<Out>>
+    where
+        In: Wire + Clone + Send,
+        Out: Wire + Send,
+        F: Fn(&mut PimCtx<'_, M>, Vec<In>) -> Vec<Out> + Sync,
+    {
+        let inbox = (0..self.p()).map(|_| vec![msg.clone()]).collect();
+        self.round(name, inbox, f)
+    }
+
+    /// A round that launches modules with *no* CPU→PIM payload and gathers
+    /// their replies (e.g. statistics collection).
+    pub fn gather<Out, F>(&mut self, name: &str, f: F) -> Vec<Vec<Out>>
+    where
+        Out: Wire + Send,
+        F: Fn(&mut PimCtx<'_, M>) -> Vec<Out> + Sync,
+    {
+        let inbox: Vec<Vec<()>> = (0..self.p()).map(|_| Vec::new()).collect();
+        self.round(name, inbox, |ctx, _| f(ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_runs_all_modules_in_isolation() {
+        let mut sys = PimSystem::new(8, |id| id as u64);
+        let inbox: Vec<Vec<u64>> = (0..8).map(|i| vec![i as u64 * 10]).collect();
+        let out = sys.round("t", inbox, |ctx, msgs| {
+            ctx.work(1);
+            vec![*ctx.state + msgs[0]]
+        });
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o[0], i as u64 + i as u64 * 10);
+        }
+        assert_eq!(sys.metrics().io_rounds(), 1);
+        assert_eq!(sys.metrics().pim_time(), 1);
+        assert_eq!(sys.metrics().pim_work(), 8);
+    }
+
+    #[test]
+    fn io_time_is_per_round_max() {
+        let mut sys = PimSystem::new(4, |_| ());
+        let mut inbox: Vec<Vec<u64>> = vec![vec![]; 4];
+        inbox[2] = vec![1, 2, 3, 4, 5]; // 5 words to module 2
+        sys.round("skewed", inbox, |_, msgs| msgs);
+        // 5 in + 5 out on module 2; others zero.
+        assert_eq!(sys.metrics().io_time(), 10);
+        assert_eq!(sys.metrics().io_volume(), 10);
+        assert_eq!(sys.metrics().io_per_module(), &[0, 0, 10, 0]);
+    }
+
+    #[test]
+    fn broadcast_costs_p_copies() {
+        let mut sys = PimSystem::new(4, |_| ());
+        sys.broadcast("b", 7u64, |_, _| Vec::<u64>::new());
+        assert_eq!(sys.metrics().io_volume(), 4);
+        assert_eq!(sys.metrics().io_time(), 1);
+    }
+
+    #[test]
+    fn gather_collects_from_every_module() {
+        let mut sys = PimSystem::new(3, |id| id as u64);
+        let out = sys.gather("g", |ctx| vec![*ctx.state * 2]);
+        assert_eq!(out, vec![vec![0], vec![2], vec![4]]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut sys = PimSystem::new(16, |id| id as u64);
+            let inbox: Vec<Vec<u64>> = (0..16).map(|i| (0..i as u64).collect()).collect();
+            let out = sys.round("d", inbox, |ctx, msgs| {
+                ctx.work(msgs.len() as u64);
+                vec![msgs.iter().sum::<u64>() + *ctx.state]
+            });
+            (out, sys.metrics().io_time(), sys.metrics().pim_time())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per module")]
+    fn wrong_inbox_length_panics() {
+        let mut sys = PimSystem::new(2, |_| ());
+        let _ = sys.round("bad", vec![Vec::<u64>::new()], |_, m| m);
+    }
+}

@@ -1,0 +1,123 @@
+//! Sizing of CPU↔PIM messages in machine words.
+//!
+//! The PIM Model counts communication in word-sized messages. Rather than
+//! serialising every message for real, the simulator ships Rust values and
+//! *meters* their wire size through the [`Wire`] trait. Implementations
+//! should return the number of 64-bit words an honest packed encoding would
+//! occupy — sub-word scalars round up to one word, containers add one word
+//! of length header.
+
+/// Number of 64-bit words a packed encoding of `bits` bits occupies.
+#[inline]
+pub fn words_for_bits(bits: usize) -> u64 {
+    bits.div_ceil(64) as u64
+}
+
+/// Types whose CPU↔PIM transfer cost (in 64-bit words) is known.
+pub trait Wire {
+    /// Wire size in words.
+    fn wire_words(&self) -> u64;
+}
+
+macro_rules! scalar_wire {
+    ($($t:ty),*) => {
+        $(impl Wire for $t {
+            #[inline]
+            fn wire_words(&self) -> u64 { 1 }
+        })*
+    };
+}
+
+scalar_wire!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char, f32, f64);
+
+impl Wire for () {
+    #[inline]
+    fn wire_words(&self) -> u64 {
+        0
+    }
+}
+
+impl<T: Wire> Wire for &T {
+    #[inline]
+    fn wire_words(&self) -> u64 {
+        (*self).wire_words()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    /// One length word plus the payloads.
+    fn wire_words(&self) -> u64 {
+        1 + self.iter().map(Wire::wire_words).sum::<u64>()
+    }
+}
+
+impl<T: Wire> Wire for Box<T> {
+    fn wire_words(&self) -> u64 {
+        (**self).wire_words()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    /// One tag word; `Some` adds the payload.
+    fn wire_words(&self) -> u64 {
+        match self {
+            None => 1,
+            Some(v) => 1 + v.wire_words(),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn wire_words(&self) -> u64 {
+        self.0.wire_words() + self.1.wire_words()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn wire_words(&self) -> u64 {
+        self.0.wire_words() + self.1.wire_words() + self.2.wire_words()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn wire_words(&self) -> u64 {
+        self.0.wire_words() + self.1.wire_words() + self.2.wire_words() + self.3.wire_words()
+    }
+}
+
+impl<T: Wire, const N: usize> Wire for [T; N] {
+    fn wire_words(&self) -> u64 {
+        self.iter().map(Wire::wire_words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_one_word() {
+        assert_eq!(7u8.wire_words(), 1);
+        assert_eq!(7u64.wire_words(), 1);
+        assert_eq!(true.wire_words(), 1);
+        assert_eq!(().wire_words(), 0);
+    }
+
+    #[test]
+    fn containers_add_header() {
+        assert_eq!(vec![1u64, 2, 3].wire_words(), 4);
+        assert_eq!(Vec::<u64>::new().wire_words(), 1);
+        assert_eq!(Some(5u64).wire_words(), 2);
+        assert_eq!(Option::<u64>::None.wire_words(), 1);
+        assert_eq!((1u64, vec![1u64]).wire_words(), 3);
+        assert_eq!([1u64; 4].wire_words(), 4);
+    }
+
+    #[test]
+    fn words_for_bits_rounds_up() {
+        assert_eq!(words_for_bits(0), 0);
+        assert_eq!(words_for_bits(1), 1);
+        assert_eq!(words_for_bits(64), 1);
+        assert_eq!(words_for_bits(65), 2);
+    }
+}

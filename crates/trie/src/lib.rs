@@ -1,0 +1,34 @@
+//! Compressed binary tries (Patricia tries) and the tree machinery the
+//! PIM-trie builds on.
+//!
+//! This crate is the *sequential* trie substrate (paper §3.1 and the "Basic
+//! Structures and Terminology" part of §4):
+//!
+//! * [`Trie`] — a binary radix tree with path compression. Only *compressed
+//!   nodes* (branching nodes, key endpoints, and the root) are materialised;
+//!   the prefixes elided by compression are *hidden nodes*, addressed as an
+//!   (edge, offset) pair through [`TriePos`].
+//! * [`query`] — batch query-trie construction (Algorithm 1): sort the
+//!   batch, take adjacent LCPs, and generate the Patricia trie in one linear
+//!   pass.
+//! * [`euler`] — Euler tours of a trie, the backbone of the parallel
+//!   blocking algorithm.
+//! * [`partition`] — the weighted tree-partitioning of §4.2 (base nodes on
+//!   weight-prefix-sum boundaries plus LCAs of adjacent base nodes) and the
+//!   decomposition of a trie into stand-alone blocks with mirror roots.
+//! * [`treefix`] — rootfix/leaffix sweeps (top-down and bottom-up
+//!   aggregation along tree paths), used for node hashing, nearest-marked-
+//!   ancestor computation, and the Delete dead-subtree pass.
+//!
+//! Everything here runs on the host CPU in the PIM Model; the distributed
+//! wrapper lives in the `pim-trie` crate.
+
+#![warn(missing_docs)]
+
+pub mod euler;
+pub mod partition;
+pub mod query;
+mod trie;
+pub mod treefix;
+
+pub use trie::{DeleteInfo, InsertInfo, LcpResult, Node, NodeId, Trie, TriePos, Value};

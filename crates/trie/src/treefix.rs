@@ -1,0 +1,119 @@
+//! Treefix operations: rootfix (top-down) and leaffix (bottom-up) sweeps.
+//!
+//! The paper (§4, "Basic Structures") relies on treefix operations \[53\] for
+//! parallel tree computations: node hashes from prefix hashes (rootfix with
+//! the hash combine), nearest-marked-ancestor for block decomposition
+//! (rootfix), subtree sizes and the completely-deleted-subtree pass of
+//! Delete (leaffix). Results are dense tables indexed by `NodeId`; freed
+//! slots hold `None`.
+
+use crate::trie::{NodeId, Trie};
+
+/// Top-down sweep: `out[node] = f(out[parent], node)`, with
+/// `out[root] = f(&init, root)`.
+pub fn rootfix<T, F>(trie: &Trie, init: T, f: F) -> Vec<Option<T>>
+where
+    F: Fn(&T, NodeId) -> T,
+{
+    let mut out: Vec<Option<T>> = (0..trie.id_bound()).map(|_| None).collect();
+    let mut stack = vec![NodeId::ROOT];
+    out[NodeId::ROOT.idx()] = Some(f(&init, NodeId::ROOT));
+    while let Some(id) = stack.pop() {
+        for c in trie.node(id).children.iter().flatten() {
+            let v = f(out[id.idx()].as_ref().unwrap(), *c);
+            out[c.idx()] = Some(v);
+            stack.push(*c);
+        }
+    }
+    out
+}
+
+/// Bottom-up sweep: `out[node] = f(node, children_results)`.
+pub fn leaffix<T, F>(trie: &Trie, f: F) -> Vec<Option<T>>
+where
+    F: Fn(NodeId, [Option<&T>; 2]) -> T,
+{
+    let mut out: Vec<Option<T>> = (0..trie.id_bound()).map(|_| None).collect();
+    // post-order via two-phase stack
+    let mut stack = vec![(NodeId::ROOT, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if expanded {
+            let n = trie.node(id);
+            let c0 = n.children[0].and_then(|c| out[c.idx()].as_ref());
+            let c1 = n.children[1].and_then(|c| out[c.idx()].as_ref());
+            let v = f(id, [c0, c1]);
+            out[id.idx()] = Some(v);
+        } else {
+            stack.push((id, true));
+            for c in trie.node(id).children.iter().flatten() {
+                stack.push((*c, false));
+            }
+        }
+    }
+    out
+}
+
+/// Subtree weight per node under a per-node weight function (a leaffix).
+pub fn subtree_weights<W: Fn(NodeId) -> u64>(trie: &Trie, w: W) -> Vec<Option<u64>> {
+    leaffix(trie, |id, kids| {
+        w(id) + kids.iter().flatten().copied().sum::<u64>()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitstr::BitStr;
+
+    fn sample() -> Trie {
+        let mut t = Trie::new();
+        for (i, k) in ["00001", "10100000", "1010111", "10111"].iter().enumerate() {
+            t.insert(&BitStr::from_bin_str(k), i as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn rootfix_depth_equals_node_depth() {
+        let t = sample();
+        let d = rootfix(&t, 0usize, |pd, id| pd + t.node(id).edge.len());
+        for id in t.node_ids() {
+            assert_eq!(d[id.idx()], Some(t.node(id).depth as usize));
+        }
+    }
+
+    #[test]
+    fn leaffix_counts_keys() {
+        let t = sample();
+        let k = leaffix(&t, |id, kids| {
+            t.node(id).is_key() as u64 + kids.iter().flatten().copied().sum::<u64>()
+        });
+        assert_eq!(k[NodeId::ROOT.idx()], Some(t.n_keys() as u64));
+    }
+
+    #[test]
+    fn subtree_weights_total() {
+        let t = sample();
+        let w = subtree_weights(&t, |_| 1);
+        assert_eq!(w[NodeId::ROOT.idx()], Some(t.n_nodes() as u64));
+        // leaves weigh exactly 1
+        for id in t.node_ids() {
+            if t.node(id).degree() == 0 {
+                assert_eq!(w[id.idx()], Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn rootfix_reconstructs_strings() {
+        let t = sample();
+        let s = rootfix(&t, BitStr::new(), |prefix, id| {
+            let mut p = prefix.clone();
+            p.append(&t.node(id).edge.as_slice());
+            p
+        });
+        for id in t.node_ids() {
+            assert_eq!(s[id.idx()].as_ref().unwrap(), &t.node_string(id));
+        }
+    }
+}

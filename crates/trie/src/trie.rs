@@ -1,0 +1,1055 @@
+//! The compressed binary trie (Patricia trie).
+
+use bitstr::{BitSlice, BitStr};
+use std::fmt;
+
+/// Value payload stored with a key — the paper assumes `O(1)` words.
+pub type Value = u64;
+
+/// Index of a compressed node inside a [`Trie`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root of every trie.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Index into dense per-node tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A compressed node: the root, a branching node, a key endpoint, or an
+/// artificial cut node introduced by long-edge splitting.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Parent compressed node (`None` for the root and freed slots).
+    pub parent: Option<NodeId>,
+    /// Label of the edge from `parent` to this node (empty for the root).
+    pub edge: BitStr,
+    /// Children by next bit.
+    pub children: [Option<NodeId>; 2],
+    /// Value iff this node ends a stored key.
+    pub value: Option<Value>,
+    /// Bits from the root to (and including) this node's edge.
+    pub depth: u32,
+    pub(crate) free: bool,
+}
+
+impl Node {
+    /// Number of children present.
+    pub fn degree(&self) -> usize {
+        self.children.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether this node ends a stored key.
+    pub fn is_key(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+/// A position in the trie: either exactly at a compressed node
+/// (`edge_off == edge.len()`), or at a *hidden node* `edge_off` bits down
+/// the edge leading into `node` (the paper's host-edge + offset pair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TriePos {
+    /// The compressed node owning the host edge.
+    pub node: NodeId,
+    /// How many bits of `node`'s edge are included, `0..=edge.len()`.
+    pub edge_off: usize,
+}
+
+/// Structural changes made by [`Trie::insert_with_info`].
+#[derive(Clone, Debug)]
+pub struct InsertInfo {
+    /// The node now holding the key.
+    pub node: NodeId,
+    /// Previous value if the key existed.
+    pub old_value: Option<Value>,
+    /// Node created by splitting an edge, if any.
+    pub split_mid: Option<NodeId>,
+    /// The node whose incoming edge was shortened by the split, if any.
+    pub split_below: Option<NodeId>,
+    /// Freshly attached leaf, if any.
+    pub new_leaf: Option<NodeId>,
+}
+
+/// Structural changes made by [`Trie::delete_with_info`].
+#[derive(Clone, Debug)]
+pub struct DeleteInfo {
+    /// The removed key's value.
+    pub value: Value,
+    /// Nodes released (ids are invalid afterwards).
+    pub removed: Vec<NodeId>,
+    /// Surviving nodes whose incoming edge was rewritten by a splice.
+    pub edge_changed: Vec<NodeId>,
+}
+
+/// Result of walking a query string down the trie.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LcpResult {
+    /// Length in bits of the longest common prefix between the query and
+    /// any stored key.
+    pub lcp_bits: usize,
+    /// Where the walk stopped.
+    pub pos: TriePos,
+}
+
+/// A binary radix tree with path compression over [`BitStr`] keys.
+///
+/// Invariants (checked by [`Trie::check_invariants`]):
+/// * node 0 is the root, has an empty edge and no value;
+/// * every non-root live node has a non-empty edge;
+/// * unless `allow_unary`, every non-root live node either branches (two
+///   children) or is a key endpoint — i.e. path compression is maximal;
+/// * `depth` equals the sum of edge lengths from the root.
+#[derive(Clone)]
+pub struct Trie {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    n_keys: usize,
+}
+
+impl Default for Trie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trie {
+    /// An empty trie (just a root).
+    pub fn new() -> Self {
+        Trie {
+            nodes: vec![Node {
+                parent: None,
+                edge: BitStr::new(),
+                children: [None, None],
+                value: None,
+                depth: 0,
+                free: false,
+            }],
+            free: Vec::new(),
+            n_keys: 0,
+        }
+    }
+
+    /// Bulk-build from strictly ascending unique keys (used by both the data
+    /// trie loader and the query-trie constructor; see [`crate::query`]).
+    pub fn from_sorted_unique<'a, I>(keys: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a BitStr, Value)>,
+    {
+        crate::query::build_patricia(keys)
+    }
+
+    /// Number of stored keys.
+    pub fn n_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Number of live compressed nodes (including the root).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Upper bound of node ids ever allocated (for dense side tables).
+    pub fn id_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` names a live (allocated, un-freed) node. Distributed
+    /// callers use this to reject anchors staled by earlier operations in
+    /// the same batch (e.g. a sibling delete's path compression).
+    #[inline]
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.idx())
+            .map(|n| !n.free)
+            .unwrap_or(false)
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        let n = &self.nodes[id.idx()];
+        debug_assert!(!n.free, "access to freed node {id:?}");
+        n
+    }
+
+    #[inline]
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.idx()]
+    }
+
+    /// Iterate live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(move |id| !self.nodes[id.idx()].free)
+    }
+
+    /// Aggregate edge length in bits — the paper's `L_T`.
+    pub fn total_edge_bits(&self) -> usize {
+        self.node_ids().map(|id| self.node(id).edge.len()).sum()
+    }
+
+    /// Size in words — the paper's `Q_T = O(L_T/w + n_T)`: packed edge words
+    /// plus a constant per node (child pointers, value, depth).
+    pub fn size_words(&self) -> usize {
+        self.node_ids()
+            .map(|id| {
+                let n = self.node(id);
+                n.edge.len().div_ceil(64) + 4
+            })
+            .sum()
+    }
+
+    /// Crate-internal: raw node allocation for the Patricia bulk builder.
+    pub(crate) fn push_node_internal(&mut self, node: Node) -> NodeId {
+        self.alloc(node)
+    }
+
+    /// Crate-internal: key counter bump for the Patricia bulk builder.
+    pub(crate) fn bump_keys_internal(&mut self) {
+        self.n_keys += 1;
+    }
+
+    /// Attach a fresh child under `parent` with the given edge label and
+    /// optional value, returning the new node. The child slot selected by
+    /// the edge's first bit must be free (panics otherwise). This is the
+    /// raw-construction API used by block copy/graft routines; callers are
+    /// responsible for overall invariants ([`Trie::check_invariants`]).
+    pub fn attach_child(&mut self, parent: NodeId, edge: BitStr, value: Option<Value>) -> NodeId {
+        assert!(!edge.is_empty(), "attach_child: empty edge");
+        let bit = edge.get(0) as usize;
+        assert!(
+            self.node(parent).children[bit].is_none(),
+            "attach_child: slot {bit} under {parent:?} occupied"
+        );
+        let depth = self.node(parent).depth as usize + edge.len();
+        let id = self.alloc(Node {
+            parent: Some(parent),
+            edge,
+            children: [None, None],
+            value,
+            depth: depth as u32,
+            free: false,
+        });
+        if value.is_some() {
+            self.n_keys += 1;
+        }
+        self.node_mut(parent).children[bit] = Some(id);
+        id
+    }
+
+    /// Set (or overwrite) the value at a node, returning the old value.
+    pub fn set_value(&mut self, id: NodeId, value: Value) -> Option<Value> {
+        let old = self.node(id).value;
+        self.node_mut(id).value = Some(value);
+        if old.is_none() {
+            self.n_keys += 1;
+        }
+        old
+    }
+
+    /// Remove the value at a node *without* recompressing; returns it.
+    /// Pair with [`Trie::recompress_at`].
+    pub fn unset_value(&mut self, id: NodeId) -> Option<Value> {
+        let old = self.node_mut(id).value.take();
+        if old.is_some() {
+            self.n_keys -= 1;
+        }
+        old
+    }
+
+    /// Restore maximal path compression at a node after its value or a
+    /// child was removed (public wrapper used by block-local deletion).
+    pub fn recompress_at(&mut self, id: NodeId) {
+        self.compress_at(id);
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id.idx()] = node;
+            id
+        } else {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    fn release(&mut self, id: NodeId) {
+        debug_assert!(id != NodeId::ROOT);
+        let n = &mut self.nodes[id.idx()];
+        n.free = true;
+        n.edge = BitStr::new();
+        n.children = [None, None];
+        n.parent = None;
+        n.value = None;
+        self.free.push(id);
+    }
+
+    /// Reconstruct the full bit-string a node represents (walks to the root:
+    /// `O(depth)`; fine off the hot path).
+    pub fn node_string(&self, id: NodeId) -> BitStr {
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let n = self.node(c);
+            parts.push(&n.edge);
+            cur = n.parent;
+        }
+        let mut s = BitStr::with_capacity(self.node(id).depth as usize);
+        for e in parts.into_iter().rev() {
+            s.append(&e.as_slice());
+        }
+        s
+    }
+
+    /// Depth in bits of a [`TriePos`] (compressed or hidden node).
+    pub fn pos_depth(&self, pos: TriePos) -> usize {
+        let n = self.node(pos.node);
+        n.depth as usize - (n.edge.len() - pos.edge_off)
+    }
+
+    /// Walk `query` from the root: the returned [`LcpResult`] gives the
+    /// longest common prefix between the query and *any* stored key, plus
+    /// the position where matching stopped (which may be a hidden node).
+    pub fn lcp(&self, query: BitSlice<'_>) -> LcpResult {
+        self.lcp_from(NodeId::ROOT, 0, query)
+    }
+
+    /// [`Trie::lcp`] resuming at `start` with the first `matched` bits of
+    /// `query` already known to spell `start`'s string — lets shortcut
+    /// structures (z-fast tries) finish a walk without re-reading the
+    /// prefix.
+    pub fn lcp_from(&self, start: NodeId, start_matched: usize, query: BitSlice<'_>) -> LcpResult {
+        debug_assert_eq!(self.node(start).depth as usize, start_matched);
+        let mut node = start;
+        let mut matched = start_matched;
+        loop {
+            let n = self.node(node);
+            debug_assert_eq!(matched, n.depth as usize);
+            if matched == query.len() {
+                return LcpResult {
+                    lcp_bits: matched,
+                    pos: TriePos {
+                        node,
+                        edge_off: n.edge.len(),
+                    },
+                };
+            }
+            let bit = query.get(matched) as usize;
+            match n.children[bit] {
+                None => {
+                    return LcpResult {
+                        lcp_bits: matched,
+                        pos: TriePos {
+                            node,
+                            edge_off: n.edge.len(),
+                        },
+                    }
+                }
+                Some(c) => {
+                    let child = self.node(c);
+                    let rest = query.slice(matched..query.len());
+                    let l = rest.lcp(&child.edge.as_slice());
+                    matched += l;
+                    if l < child.edge.len() {
+                        return LcpResult {
+                            lcp_bits: matched,
+                            pos: TriePos {
+                                node: c,
+                                edge_off: l,
+                            },
+                        };
+                    }
+                    node = c;
+                }
+            }
+        }
+    }
+
+    /// Exact-key lookup.
+    pub fn get(&self, key: BitSlice<'_>) -> Option<Value> {
+        let r = self.lcp(key);
+        if r.lcp_bits != key.len() {
+            return None;
+        }
+        let n = self.node(r.pos.node);
+        if r.pos.edge_off == n.edge.len() {
+            n.value
+        } else {
+            None // stopped at a hidden node: key not stored
+        }
+    }
+
+    /// Insert `key` with `value`; returns the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: &BitStr, value: Value) -> Option<Value> {
+        self.insert_with_info(key, value).old_value
+    }
+
+    /// [`Trie::insert`] reporting the structural changes — consumed by
+    /// structures that maintain per-node metadata (e.g. z-fast handles).
+    pub fn insert_with_info(&mut self, key: &BitStr, value: Value) -> InsertInfo {
+        let r = self.lcp(key.as_slice());
+        let at_node = r.pos.edge_off == self.node(r.pos.node).edge.len();
+        let mut info = InsertInfo {
+            node: NodeId::ROOT,
+            old_value: None,
+            split_mid: None,
+            split_below: None,
+            new_leaf: None,
+        };
+        if r.lcp_bits == key.len() {
+            // Key ends exactly at the stop position.
+            let node = if at_node {
+                r.pos.node
+            } else {
+                let mid = self.split_edge(r.pos);
+                info.split_mid = Some(mid);
+                info.split_below = Some(r.pos.node);
+                mid
+            };
+            info.node = node;
+            info.old_value = self.node(node).value;
+            self.node_mut(node).value = Some(value);
+            if info.old_value.is_none() {
+                self.n_keys += 1;
+            }
+            return info;
+        }
+        // Key continues past the stop position: attach a fresh leaf.
+        let attach = if at_node {
+            r.pos.node
+        } else {
+            let mid = self.split_edge(r.pos);
+            info.split_mid = Some(mid);
+            info.split_below = Some(r.pos.node);
+            mid
+        };
+        let bit = key.get(r.lcp_bits) as usize;
+        debug_assert!(
+            self.node(attach).children[bit].is_none(),
+            "lcp walk should have descended"
+        );
+        let leaf = self.alloc(Node {
+            parent: Some(attach),
+            edge: key.slice(r.lcp_bits..key.len()).to_bitstr(),
+            children: [None, None],
+            value: Some(value),
+            depth: key.len() as u32,
+            free: false,
+        });
+        self.node_mut(attach).children[bit] = Some(leaf);
+        self.n_keys += 1;
+        info.node = leaf;
+        info.new_leaf = Some(leaf);
+        info
+    }
+
+    /// Materialise the hidden node at `pos` as a compressed node, splitting
+    /// the host edge. Returns the new node's id.
+    pub fn split_edge(&mut self, pos: TriePos) -> NodeId {
+        let TriePos { node: below, edge_off } = pos;
+        let n = self.node(below);
+        assert!(
+            edge_off < n.edge.len(),
+            "split position must be strictly inside the edge"
+        );
+        assert!(edge_off > 0 || n.parent.is_some(), "cannot split above root");
+        let parent = n.parent.expect("non-root");
+        let upper = n.edge.slice(0..edge_off).to_bitstr();
+        let lower = n.edge.slice(edge_off..n.edge.len()).to_bitstr();
+        let below_depth = n.depth;
+        let mid_depth = below_depth as usize - lower.len();
+        let branch_bit = lower.get(0) as usize;
+
+        let mid = self.alloc(Node {
+            parent: Some(parent),
+            edge: upper,
+            children: [None, None],
+            value: None,
+            depth: mid_depth as u32,
+            free: false,
+        });
+        self.node_mut(mid).children[branch_bit] = Some(below);
+        // re-point parent at mid
+        let pbit = {
+            let p = self.node(parent);
+            let bit = p
+                .children
+                .iter()
+                .position(|c| *c == Some(below))
+                .expect("parent/child link broken");
+            bit
+        };
+        self.node_mut(parent).children[pbit] = Some(mid);
+        let b = self.node_mut(below);
+        b.parent = Some(mid);
+        b.edge = lower;
+        mid
+    }
+
+    /// Remove `key`; returns its value if present. Splices pass-through
+    /// nodes to restore maximal path compression.
+    pub fn delete(&mut self, key: BitSlice<'_>) -> Option<Value> {
+        self.delete_with_info(key).map(|i| i.value)
+    }
+
+    /// [`Trie::delete`] reporting the structural changes.
+    pub fn delete_with_info(&mut self, key: BitSlice<'_>) -> Option<DeleteInfo> {
+        let r = self.lcp(key);
+        if r.lcp_bits != key.len() {
+            return None;
+        }
+        let node = r.pos.node;
+        if r.pos.edge_off != self.node(node).edge.len() {
+            return None;
+        }
+        let old = self.node_mut(node).value.take()?;
+        self.n_keys -= 1;
+        let mut info = DeleteInfo {
+            value: old,
+            removed: Vec::new(),
+            edge_changed: Vec::new(),
+        };
+        self.compress_at_logged(node, &mut info);
+        Some(info)
+    }
+
+    /// Restore compression at `node` after its value or a child vanished:
+    /// remove childless non-key nodes, splice unary non-key nodes, and
+    /// recurse to the parent when it becomes compressible.
+    pub(crate) fn compress_at(&mut self, node: NodeId) {
+        let mut scratch = DeleteInfo {
+            value: 0,
+            removed: Vec::new(),
+            edge_changed: Vec::new(),
+        };
+        self.compress_at_logged(node, &mut scratch);
+    }
+
+    fn compress_at_logged(&mut self, node: NodeId, info: &mut DeleteInfo) {
+        if node == NodeId::ROOT || self.node(node).is_key() {
+            return;
+        }
+        match self.node(node).degree() {
+            2 => {}
+            1 => self.splice(node, info),
+            0 => {
+                let parent = self.node(node).parent.expect("non-root");
+                let pbit = self
+                    .node(parent)
+                    .children
+                    .iter()
+                    .position(|c| *c == Some(node))
+                    .expect("link broken");
+                self.node_mut(parent).children[pbit] = None;
+                self.release(node);
+                info.removed.push(node);
+                self.compress_at_logged(parent, info);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Splice a unary, non-key, non-root node out of the tree, merging its
+    /// edge into its only child's edge.
+    fn splice(&mut self, node: NodeId, info: &mut DeleteInfo) {
+        debug_assert!(node != NodeId::ROOT);
+        debug_assert_eq!(self.node(node).degree(), 1);
+        debug_assert!(!self.node(node).is_key());
+        let child = self
+            .node(node)
+            .children
+            .iter()
+            .flatten()
+            .next()
+            .copied()
+            .expect("degree 1");
+        let parent = self.node(node).parent.expect("non-root");
+        let mut merged = self.node(node).edge.clone();
+        merged.append(&self.node(child).edge.as_slice());
+        let pbit = self
+            .node(parent)
+            .children
+            .iter()
+            .position(|c| *c == Some(node))
+            .expect("link broken");
+        self.node_mut(parent).children[pbit] = Some(child);
+        let c = self.node_mut(child);
+        c.parent = Some(parent);
+        c.edge = merged;
+        self.release(node);
+        info.removed.push(node);
+        info.edge_changed.push(child);
+    }
+
+    /// Split every edge longer than `max_bits` by inserting artificial cut
+    /// nodes (the paper's long-edge cutting before blocking, §4.2). Returns
+    /// the number of nodes added. The resulting trie has unary nodes — pass
+    /// `allow_unary = true` to [`Trie::check_invariants`].
+    pub fn split_long_edges(&mut self, max_bits: usize) -> usize {
+        assert!(max_bits > 0);
+        let mut added = 0;
+        let ids: Vec<NodeId> = self.node_ids().collect();
+        for id in ids {
+            // Keep the *lower* `max_bits` on `id`; the hoisted upper part
+            // becomes a fresh node which may itself still be too long.
+            let mut cur = id;
+            while self.node(cur).edge.len() > max_bits {
+                let cut = self.node(cur).edge.len() - max_bits;
+                cur = self.split_edge(TriePos {
+                    node: cur,
+                    edge_off: cut,
+                });
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// All (key, value) pairs in lexicographic order.
+    pub fn items(&self) -> Vec<(BitStr, Value)> {
+        let mut out = Vec::with_capacity(self.n_keys);
+        let mut prefix = BitStr::new();
+        self.items_rec(NodeId::ROOT, &mut prefix, &mut out);
+        out
+    }
+
+    fn items_rec(&self, id: NodeId, prefix: &mut BitStr, out: &mut Vec<(BitStr, Value)>) {
+        let n = self.node(id);
+        let before = prefix.len();
+        prefix.append(&n.edge.as_slice());
+        if let Some(v) = n.value {
+            out.push((prefix.clone(), v));
+        }
+        for c in n.children.iter().flatten() {
+            self.items_rec(*c, prefix, out);
+        }
+        prefix.truncate(before);
+    }
+
+    /// The node or hidden position exactly representing `prefix`, if every
+    /// bit of `prefix` lies on a trie path.
+    pub fn locate(&self, prefix: BitSlice<'_>) -> Option<TriePos> {
+        let r = self.lcp(prefix);
+        (r.lcp_bits == prefix.len()).then_some(r.pos)
+    }
+
+    /// Extract the subtree of all keys extending `prefix` as a stand-alone
+    /// trie whose keys are the *full* original keys (paper §5.3's result
+    /// trie). Returns `None` if no stored key has the prefix.
+    pub fn subtree(&self, prefix: BitSlice<'_>) -> Option<Trie> {
+        let pos = self.locate(prefix)?;
+        let mut out = Trie::new();
+        // Root edge: the whole prefix plus the remainder of the host edge.
+        let host = self.node(pos.node);
+        let mut acc = prefix.to_bitstr();
+        acc.append(&host.edge.slice(pos.edge_off..host.edge.len()));
+        // `pos.node`'s subtree hangs below, rooted at string `acc`.
+        let top = if acc.is_empty() {
+            NodeId::ROOT
+        } else {
+            let id = out.alloc(Node {
+                parent: Some(NodeId::ROOT),
+                edge: acc.clone(),
+                children: [None, None],
+                value: None,
+                depth: acc.len() as u32,
+                free: false,
+            });
+            out.node_mut(NodeId::ROOT).children[acc.get(0) as usize] = Some(id);
+            id
+        };
+        self.copy_subtree(pos.node, &mut out, top);
+        // copy value of the subtree root
+        if let Some(v) = self.node(pos.node).value {
+            out.node_mut(top).value = Some(v);
+            out.n_keys += 1;
+        }
+        if out.n_keys == 0 {
+            return None;
+        }
+        // `top` may be unary & valueless if prefix stopped mid-edge of a
+        // unary chain — compress.
+        out.compress_at(top);
+        Some(out)
+    }
+
+    fn copy_subtree(&self, src: NodeId, out: &mut Trie, dst: NodeId) {
+        for bit in 0..2 {
+            if let Some(c) = self.node(src).children[bit] {
+                let cn = self.node(c);
+                let nd = out.node(dst).depth as usize + cn.edge.len();
+                let id = out.alloc(Node {
+                    parent: Some(dst),
+                    edge: cn.edge.clone(),
+                    children: [None, None],
+                    value: cn.value,
+                    depth: nd as u32,
+                    free: false,
+                });
+                if cn.value.is_some() {
+                    out.n_keys += 1;
+                }
+                out.node_mut(dst).children[bit] = Some(id);
+                self.copy_subtree(c, out, id);
+            }
+        }
+    }
+
+    /// Structural sanity check; panics with a description on violation.
+    pub fn check_invariants(&self, allow_unary: bool) {
+        let root = self.node(NodeId::ROOT);
+        assert!(root.edge.is_empty(), "root edge must be empty");
+        assert!(root.parent.is_none());
+        let mut seen_keys = 0;
+        let mut stack = vec![NodeId::ROOT];
+        let mut visited = 0usize;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            let n = self.node(id);
+            if n.is_key() {
+                seen_keys += 1;
+            }
+            if id != NodeId::ROOT {
+                assert!(!n.edge.is_empty(), "{id:?}: empty edge on non-root");
+                let p = self.node(n.parent.unwrap());
+                assert_eq!(
+                    p.depth as usize + n.edge.len(),
+                    n.depth as usize,
+                    "{id:?}: depth mismatch"
+                );
+                if !allow_unary {
+                    assert!(
+                        n.degree() == 2 || n.is_key(),
+                        "{id:?}: unary non-key node breaks path compression"
+                    );
+                }
+            }
+            for (bit, c) in n.children.iter().enumerate() {
+                if let Some(c) = *c {
+                    let cn = self.node(c);
+                    assert_eq!(cn.parent, Some(id), "{c:?}: bad parent link");
+                    assert_eq!(
+                        cn.edge.get(0) as usize,
+                        bit,
+                        "{c:?}: child under wrong bit slot"
+                    );
+                    stack.push(c);
+                }
+            }
+        }
+        assert_eq!(visited, self.n_nodes(), "unreachable or double-linked nodes");
+        assert_eq!(seen_keys, self.n_keys, "n_keys out of sync");
+    }
+}
+
+impl fmt::Debug for Trie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(t: &Trie, id: NodeId, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let n = t.node(id);
+            writeln!(
+                f,
+                "{:indent$}{id:?} edge=\"{}\" depth={} value={:?}",
+                "",
+                n.edge,
+                n.depth,
+                n.value,
+                indent = depth * 2
+            )?;
+            for c in n.children.iter().flatten() {
+                rec(t, *c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        writeln!(f, "Trie({} keys, {} nodes)", self.n_keys, self.n_nodes())?;
+        rec(self, NodeId::ROOT, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> BitStr {
+        BitStr::from_bin_str(s)
+    }
+
+    /// The data trie of Figure 1: keys 00001101 is wrong — the figure's data
+    /// trie stores the strings spelled by root-to-value paths:
+    /// "00001…" etc. We use the edge labels from the figure.
+    fn figure1_data_trie() -> Trie {
+        // Figure 1 edges: root -> "00001" (key), root -> "101" -> {"0" ->
+        // {"0000"(key), "111"(key)}, "11"(key)}
+        let mut t = Trie::new();
+        t.insert(&b("00001"), 1);
+        t.insert(&b("10100000"), 2);
+        t.insert(&b("1010111"), 3);
+        t.insert(&b("10111"), 4);
+        t
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = Trie::new();
+        assert_eq!(t.n_keys(), 0);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.get(b("0").as_slice()), None);
+        assert_eq!(t.lcp(b("0101").as_slice()).lcp_bits, 0);
+        t.check_invariants(false);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let t = figure1_data_trie();
+        t.check_invariants(false);
+        assert_eq!(t.n_keys(), 4);
+        assert_eq!(t.get(b("00001").as_slice()), Some(1));
+        assert_eq!(t.get(b("10100000").as_slice()), Some(2));
+        assert_eq!(t.get(b("1010111").as_slice()), Some(3));
+        assert_eq!(t.get(b("10111").as_slice()), Some(4));
+        assert_eq!(t.get(b("1010").as_slice()), None); // hidden node
+        assert_eq!(t.get(b("101").as_slice()), None); // compressed non-key
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let t = figure1_data_trie();
+        // root has children "00001" and "101"
+        let root = t.node(NodeId::ROOT);
+        let left = t.node(root.children[0].unwrap());
+        assert_eq!(left.edge, b("00001"));
+        assert!(left.is_key());
+        let right = t.node(root.children[1].unwrap());
+        assert_eq!(right.edge, b("101"));
+        assert!(!right.is_key());
+        let r0 = t.node(right.children[0].unwrap());
+        assert_eq!(r0.edge, b("0"));
+        let r1 = t.node(right.children[1].unwrap());
+        assert_eq!(r1.edge, b("11"));
+        assert_eq!(t.node(r0.children[0].unwrap()).edge, b("0000"));
+        assert_eq!(t.node(r0.children[1].unwrap()).edge, b("111"));
+    }
+
+    #[test]
+    fn figure1_lcp_queries() {
+        // Paper Figure 1: query "101001" has LCP length 5 ("10100");
+        // query "00001001" has LCP 5; "101011" → "10101" (5); "101" → 3.
+        let t = figure1_data_trie();
+        assert_eq!(t.lcp(b("101001").as_slice()).lcp_bits, 5);
+        assert_eq!(t.lcp(b("00001001").as_slice()).lcp_bits, 5);
+        assert_eq!(t.lcp(b("101011").as_slice()).lcp_bits, 6);
+        assert_eq!(t.lcp(b("11").as_slice()).lcp_bits, 1);
+        assert_eq!(t.lcp(b("0101").as_slice()).lcp_bits, 1);
+    }
+
+    #[test]
+    fn insert_splits_edges() {
+        let mut t = Trie::new();
+        t.insert(&b("0000"), 1);
+        t.insert(&b("0011"), 2);
+        t.check_invariants(false);
+        // root -> "00" -> {"00", "11"}
+        let mid = t.node(t.node(NodeId::ROOT).children[0].unwrap());
+        assert_eq!(mid.edge, b("00"));
+        assert_eq!(t.n_nodes(), 4);
+        assert_eq!(t.get(b("0000").as_slice()), Some(1));
+        assert_eq!(t.get(b("0011").as_slice()), Some(2));
+    }
+
+    #[test]
+    fn insert_prefix_key() {
+        let mut t = Trie::new();
+        t.insert(&b("0000"), 1);
+        t.insert(&b("00"), 2); // prefix of existing: splits, node gets value
+        t.check_invariants(false);
+        assert_eq!(t.get(b("00").as_slice()), Some(2));
+        assert_eq!(t.get(b("0000").as_slice()), Some(1));
+        assert_eq!(t.n_keys(), 2);
+        // and extension of existing key
+        t.insert(&b("000011"), 3);
+        t.check_invariants(false);
+        assert_eq!(t.get(b("000011").as_slice()), Some(3));
+    }
+
+    #[test]
+    fn insert_duplicate_returns_old() {
+        let mut t = Trie::new();
+        assert_eq!(t.insert(&b("101"), 1), None);
+        assert_eq!(t.insert(&b("101"), 2), Some(1));
+        assert_eq!(t.n_keys(), 1);
+        assert_eq!(t.get(b("101").as_slice()), Some(2));
+    }
+
+    #[test]
+    fn empty_key_on_root() {
+        let mut t = Trie::new();
+        t.insert(&BitStr::new(), 9);
+        assert_eq!(t.get(BitStr::new().as_slice()), Some(9));
+        assert_eq!(t.n_keys(), 1);
+        assert_eq!(t.delete(BitStr::new().as_slice()), Some(9));
+        assert_eq!(t.n_keys(), 0);
+        t.check_invariants(false);
+    }
+
+    #[test]
+    fn delete_leaf_recompresses() {
+        let mut t = Trie::new();
+        t.insert(&b("0000"), 1);
+        t.insert(&b("0011"), 2);
+        assert_eq!(t.delete(b("0000").as_slice()), Some(1));
+        t.check_invariants(false);
+        // "00"+"11" must have merged back into one edge
+        assert_eq!(t.n_nodes(), 2);
+        let only = t.node(t.node(NodeId::ROOT).children[0].unwrap());
+        assert_eq!(only.edge, b("0011"));
+        assert_eq!(t.get(b("0011").as_slice()), Some(2));
+        assert_eq!(t.delete(b("0011").as_slice()), Some(2));
+        assert_eq!(t.n_nodes(), 1);
+        t.check_invariants(false);
+    }
+
+    #[test]
+    fn delete_internal_key_keeps_branch() {
+        let mut t = Trie::new();
+        t.insert(&b("00"), 1);
+        t.insert(&b("0000"), 2);
+        t.insert(&b("0011"), 3);
+        assert_eq!(t.delete(b("00").as_slice()), Some(1));
+        t.check_invariants(false); // branch node stays (2 children)
+        assert_eq!(t.get(b("0000").as_slice()), Some(2));
+        assert_eq!(t.get(b("0011").as_slice()), Some(3));
+    }
+
+    #[test]
+    fn delete_key_with_one_child_splices() {
+        let mut t = Trie::new();
+        t.insert(&b("00"), 1);
+        t.insert(&b("0000"), 2);
+        assert_eq!(t.delete(b("00").as_slice()), Some(1));
+        t.check_invariants(false);
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.get(b("0000").as_slice()), Some(2));
+    }
+
+    #[test]
+    fn delete_missing() {
+        let mut t = figure1_data_trie();
+        assert_eq!(t.delete(b("1010").as_slice()), None); // hidden node
+        assert_eq!(t.delete(b("101").as_slice()), None); // non-key node
+        assert_eq!(t.delete(b("111111").as_slice()), None);
+        assert_eq!(t.n_keys(), 4);
+    }
+
+    #[test]
+    fn items_sorted() {
+        let t = figure1_data_trie();
+        let items = t.items();
+        let keys: Vec<String> = items.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["00001", "10100000", "1010111", "10111"]);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn subtree_query() {
+        let t = figure1_data_trie();
+        let s = t.subtree(b("1010").as_slice()).unwrap();
+        s.check_invariants(false);
+        let keys: Vec<String> = s.items().iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["10100000", "1010111"]);
+        // Prefix matching nothing
+        assert!(t.subtree(b("0101").as_slice()).is_none());
+        // Whole-trie subtree
+        let all = t.subtree(BitStr::new().as_slice()).unwrap();
+        assert_eq!(all.n_keys(), 4);
+        // Single key
+        let one = t.subtree(b("10111").as_slice()).unwrap();
+        assert_eq!(one.items()[0].0, b("10111"));
+    }
+
+    #[test]
+    fn split_long_edges_preserves_content() {
+        let mut t = Trie::new();
+        let long = BitStr::from_bits((0..1000).map(|i| i % 3 == 0));
+        t.insert(&long, 7);
+        t.insert(&b("1"), 8);
+        let before = t.items();
+        let added = t.split_long_edges(64);
+        assert!(added >= 1000 / 64 - 1);
+        t.check_invariants(true);
+        assert_eq!(t.items(), before);
+        assert!(t
+            .node_ids()
+            .all(|id| t.node(id).edge.len() <= 64));
+    }
+
+    #[test]
+    fn pos_depth_of_hidden_node() {
+        let t = figure1_data_trie();
+        let r = t.lcp(b("101001").as_slice());
+        assert_eq!(t.pos_depth(r.pos), 5);
+        let n = t.node(r.pos.node);
+        assert_eq!(n.edge, b("0000")); // stopped inside the "0000" edge
+        assert_eq!(r.pos.edge_off, 1);
+    }
+
+    #[test]
+    fn size_words_tracks_growth() {
+        let mut t = Trie::new();
+        let w0 = t.size_words();
+        t.insert(&BitStr::from_bits((0..256).map(|i| i % 2 == 0)), 1);
+        assert!(t.size_words() >= w0 + 4);
+    }
+
+    #[test]
+    fn node_string_roundtrip() {
+        let t = figure1_data_trie();
+        for id in t.node_ids() {
+            let s = t.node_string(id);
+            assert_eq!(s.len(), t.node(id).depth as usize);
+            if t.node(id).is_key() {
+                assert!(t.get(s.as_slice()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_insert_delete_churn() {
+        let mut t = Trie::new();
+        let keys: Vec<BitStr> = (0u64..500)
+            .map(|i| BitStr::from_u64(i.wrapping_mul(0x9E3779B97F4A7C15), 37))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(k, i as u64);
+        }
+        t.check_invariants(false);
+        // Some keys collide after truncation to 37 bits? They'd overwrite;
+        // verify via items count == unique count.
+        let uniq: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(t.n_keys(), uniq.len());
+        for k in keys.iter().step_by(2) {
+            t.delete(k.as_slice());
+        }
+        t.check_invariants(false);
+        for (i, k) in keys.iter().enumerate() {
+            if i % 2 == 1 && keys[..i].iter().step_by(2).all(|e| e != k) {
+                assert!(t.get(k.as_slice()).is_some() || keys[i + 1..].iter().any(|e| e == k));
+            }
+        }
+    }
+}

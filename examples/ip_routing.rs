@@ -1,0 +1,118 @@
+//! IP routing with longest-prefix match — the classic trie workload the
+//! paper's introduction cites (BSD radix tables, Linux fib tries).
+//!
+//! A routing table stores CIDR prefixes of *variable length* (8–28 bits for
+//! IPv4 here); a lookup is exactly LongestCommonPrefix against the stored
+//! prefix set, batched over an incoming packet burst.
+//!
+//! ```text
+//! cargo run --release --example ip_routing
+//! ```
+
+use bitstr::BitStr;
+use pim_trie::{PimTrie, PimTrieConfig};
+use rand::{Rng, SeedableRng};
+
+fn cidr(a: u8, b: u8, c: u8, d: u8, len: usize) -> BitStr {
+    let ip = u32::from_be_bytes([a, b, c, d]) as u64;
+    BitStr::from_u64(ip >> (32 - len), len)
+}
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> BitStr {
+    BitStr::from_u64(u32::from_be_bytes([a, b, c, d]) as u64, 32)
+}
+
+fn main() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2023);
+    let mut table = PimTrie::new(PimTrieConfig::for_modules(16));
+
+    // A synthetic BGP-like table: a default-ish /8 spine, /16 allocations,
+    // and a long tail of /24s concentrated in a few hot /8s (realistic
+    // prefix-length distribution is heavily /24-skewed).
+    let mut routes: Vec<BitStr> = Vec::new();
+    let mut next_hops: Vec<u64> = Vec::new();
+    let add = |p: BitStr, hop: u64, routes: &mut Vec<BitStr>, hops: &mut Vec<u64>| {
+        routes.push(p);
+        hops.push(hop);
+    };
+    for a in [10u8, 172, 192] {
+        add(cidr(a, 0, 0, 0, 8), a as u64, &mut routes, &mut next_hops);
+    }
+    for i in 0..2_000u64 {
+        let a = [10u8, 172, 192][rng.gen_range(0..3)];
+        let b = rng.gen::<u8>();
+        add(cidr(a, b, 0, 0, 16), 1000 + i, &mut routes, &mut next_hops);
+    }
+    for i in 0..20_000u64 {
+        let a = [10u8, 172][rng.gen_range(0..2)];
+        let b = rng.gen::<u8>();
+        let c = rng.gen::<u8>();
+        add(cidr(a, b, c, 0, 24), 10_000 + i, &mut routes, &mut next_hops);
+    }
+    table.insert_batch(&routes, &next_hops);
+    println!(
+        "routing table: {} prefixes over {} PIM modules, {} words of PIM memory",
+        table.len(),
+        table.config().p,
+        table.space_words()
+    );
+
+    // A burst of packets, heavily skewed toward one hot /16 — the
+    // adversarial case a range-partitioned table would serialize on.
+    let mut burst: Vec<BitStr> = Vec::new();
+    for _ in 0..4096 {
+        if rng.gen_bool(0.7) {
+            burst.push(ip(10, 42, rng.gen(), rng.gen())); // hot subnet
+        } else {
+            burst.push(ip(rng.gen(), rng.gen(), rng.gen(), rng.gen()));
+        }
+    }
+
+    let snap = table.system().metrics().snapshot();
+    let lpm = table.lcp_batch(&burst);
+    let d = table.system().metrics().since(&snap);
+
+    // LongestCommonPrefix gives the matched bit count; a match of >= 8 bits
+    // corresponds to a covering route in this table layout.
+    let routed = lpm.iter().filter(|l| **l >= 8).count();
+    let histo: Vec<usize> = [8usize, 16, 24]
+        .iter()
+        .map(|w| lpm.iter().filter(|l| **l >= *w).count())
+        .collect();
+    println!(
+        "burst of {} lookups: {routed} routed (>= /8: {}, >= /16: {}, >= /24: {})",
+        burst.len(),
+        histo[0],
+        histo[1],
+        histo[2]
+    );
+    println!(
+        "cost: {} BSP rounds, {:.1} words/lookup, per-module balance {:.2} (1.0 = perfect)",
+        d.io_rounds,
+        d.io_volume() as f64 / burst.len() as f64,
+        d.io_balance()
+    );
+
+    // Route withdrawal: drop every /24 under 172.0.0.0/8, then verify with
+    // a SubtreeQuery that the subtree shrank.
+    let before = table
+        .subtree_batch(&[cidr(172, 0, 0, 0, 8)])[0]
+        .as_ref()
+        .map(|t| t.n_keys())
+        .unwrap_or(0);
+    let withdrawals: Vec<BitStr> = routes
+        .iter()
+        .filter(|r| r.len() == 24 && r.slice(0..8).to_u64() == 172)
+        .cloned()
+        .collect();
+    let removed = table.delete_batch(&withdrawals);
+    let after = table
+        .subtree_batch(&[cidr(172, 0, 0, 0, 8)])[0]
+        .as_ref()
+        .map(|t| t.n_keys())
+        .unwrap_or(0);
+    println!(
+        "withdrew {removed} /24 routes under 172/8: subtree {before} -> {after} prefixes"
+    );
+    assert_eq!(before - removed, after);
+}

@@ -1,0 +1,71 @@
+//! A URL-keyed key-value store on the PIM-trie — variable-length string
+//! keys with heavy shared prefixes, batch gets/puts/deletes, and prefix
+//! scans via SubtreeQuery.
+//!
+//! ```text
+//! cargo run --release --example kv_store
+//! ```
+
+use bitstr::BitStr;
+use pim_trie::{PimTrie, PimTrieConfig};
+
+fn main() {
+    let mut store = PimTrie::new(PimTrieConfig::for_modules(8));
+
+    // Load a synthetic URL corpus (workloads::urls mimics the heavy
+    // scheme/domain prefix sharing of real URL sets).
+    let urls = workloads::urls(5000, 7);
+    let values: Vec<u64> = (0..urls.len() as u64).collect();
+    store.insert_batch(&urls, &values);
+    println!(
+        "loaded {} urls ({} words on {} modules, {:.1} words/key)",
+        store.len(),
+        store.space_words(),
+        store.config().p,
+        store.space_words() as f64 / store.len() as f64
+    );
+
+    // Point reads for a sample of keys.
+    let sample: Vec<BitStr> = urls.iter().step_by(97).cloned().collect();
+    let got = store.get_batch(&sample);
+    let hits = got.iter().filter(|g| g.is_some()).count();
+    println!("point reads: {hits}/{} hits", sample.len());
+    assert_eq!(hits, sample.len());
+
+    // Prefix scan: everything under https://api.example.com/ — the trie
+    // version of a key-range scan.
+    let prefix = BitStr::from_ascii("https://api.example.com/");
+    let scan = store.subtree_batch(std::slice::from_ref(&prefix));
+    let count = scan[0].as_ref().map(|t| t.n_keys()).unwrap_or(0);
+    println!("prefix scan of https://api.example.com/ -> {count} keys");
+
+    // Upserts: bump values for one domain, verified by re-reading.
+    let bump: Vec<BitStr> = urls
+        .iter()
+        .filter(|u| u.starts_with(&prefix))
+        .take(100)
+        .cloned()
+        .collect();
+    let new_vals: Vec<u64> = (0..bump.len() as u64).map(|i| 999_000 + i).collect();
+    store.insert_batch(&bump, &new_vals);
+    let reread = store.get_batch(&bump);
+    assert!(reread
+        .iter()
+        .zip(&new_vals)
+        .all(|(g, v)| *g == Some(*v)));
+    println!("upserted {} keys under the api domain", bump.len());
+
+    // Deletes: retire a shard of keys and confirm the count.
+    let retire: Vec<BitStr> = urls.iter().step_by(5).cloned().collect();
+    let removed = store.delete_batch(&retire);
+    println!("retired {removed} keys; store now holds {}", store.len());
+
+    // The simulator kept the books the whole time:
+    let m = store.system().metrics();
+    println!(
+        "lifetime: {} BSP rounds, {} words moved, PIM work {}",
+        m.io_rounds(),
+        m.io_volume(),
+        m.pim_work()
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a PIM-trie, run the paper's Figure-1 example, and look
+//! at the cost metrics the PIM Model cares about.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bitstr::BitStr;
+use pim_trie::{PimTrie, PimTrieConfig};
+
+fn main() {
+    // A simulated PIM machine with 8 modules.
+    let mut index = PimTrie::new(PimTrieConfig::for_modules(8));
+
+    // The data trie of the paper's Figure 1: four bit-string keys.
+    let keys: Vec<BitStr> = ["00001", "10100000", "1010111", "10111"]
+        .iter()
+        .map(|s| BitStr::from_bin_str(s))
+        .collect();
+    index.insert_batch(&keys, &[1, 2, 3, 4]);
+    println!("stored {} keys across {} modules", index.len(), index.config().p);
+
+    // Figure 1's query batch. "101001" shares the 5-bit prefix "10100"
+    // with the stored key "10100000".
+    let queries: Vec<BitStr> = ["00001001", "101001", "101011"]
+        .iter()
+        .map(|s| BitStr::from_bin_str(s))
+        .collect();
+    let snap = index.system().metrics().snapshot();
+    let lcps = index.lcp_batch(&queries);
+    for (q, l) in queries.iter().zip(&lcps) {
+        println!("LCP({q}) = {l} bits");
+    }
+    assert_eq!(lcps, vec![5, 5, 6]);
+
+    // SubtreeQuery: everything under the prefix "1010".
+    let subtrees = index.subtree_batch(&[BitStr::from_bin_str("1010")]);
+    let sub = subtrees[0].as_ref().expect("prefix is populated");
+    println!("subtree of 1010:");
+    for (k, v) in sub.items() {
+        println!("  {k} -> {v}");
+    }
+
+    // Deletions are batched too.
+    index.delete_batch(&[BitStr::from_bin_str("10111")]);
+    println!("after delete: {} keys", index.len());
+
+    // Every CPU↔PIM transfer was metered through the simulator:
+    let d = index.system().metrics().since(&snap);
+    println!(
+        "batch cost: {} BSP rounds, {} words moved, io balance {:.2}",
+        d.io_rounds,
+        d.io_volume(),
+        d.io_balance()
+    );
+}

@@ -1,0 +1,77 @@
+//! Theorem 4.3's skew-resistance, asserted: under the worst-case batch the
+//! PIM-trie's per-module load stays within a small constant of the mean,
+//! while the range-partitioned strawman degenerates to one module.
+
+use baselines::RangePartitioned;
+use pim_trie::{PimTrie, PimTrieConfig};
+
+#[test]
+fn pim_trie_balanced_under_worst_case_skew() {
+    let p = 16;
+    let keys = workloads::uniform_fixed(1 << 13, 96, 31);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    let mut pim = PimTrie::build(PimTrieConfig::for_modules(p).with_seed(32), &keys, &values);
+    let mut range = RangePartitioned::build(p, &keys, &values);
+
+    let batch = workloads::same_path_queries(&keys[42], 1 << 12, 32, 33);
+
+    let snap = pim.system().metrics().snapshot();
+    let _ = pim.lcp_batch(&batch);
+    let d_pim = pim.system().metrics().since(&snap);
+
+    let snap = range.system().metrics().snapshot();
+    let _ = range.lcp_batch(&batch);
+    let d_range = range.system().metrics().since(&snap);
+
+    assert!(
+        d_pim.io_balance() < 4.0,
+        "pim-trie imbalanced under skew: {:.2}",
+        d_pim.io_balance()
+    );
+    assert!(
+        d_range.io_balance() > p as f64 * 0.9,
+        "range partitioning should serialize: {:.2}",
+        d_range.io_balance()
+    );
+}
+
+#[test]
+fn io_time_scales_down_with_p() {
+    // Theorem 4.3: IO time O(Q_Q / P) — doubling modules should shrink the
+    // per-batch IO time substantially.
+    let keys = workloads::uniform_fixed(1 << 12, 128, 41);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    let batch = workloads::uniform_fixed(1 << 12, 128, 42);
+    let mut times = Vec::new();
+    for p in [2usize, 16] {
+        let mut pim =
+            PimTrie::build(PimTrieConfig::for_modules(p).with_seed(43), &keys, &values);
+        let snap = pim.system().metrics().snapshot();
+        let _ = pim.lcp_batch(&batch);
+        times.push(pim.system().metrics().since(&snap).io_time);
+    }
+    assert!(
+        times[1] * 3 < times[0],
+        "8x modules should cut IO time by well over 3x: {times:?}"
+    );
+}
+
+#[test]
+fn rounds_stay_logarithmic_in_p() {
+    let keys = workloads::uniform_fixed(1 << 12, 96, 51);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    let batch = workloads::uniform_fixed(1 << 11, 96, 52);
+    let mut rounds = Vec::new();
+    for p in [4usize, 64] {
+        let mut pim =
+            PimTrie::build(PimTrieConfig::for_modules(p).with_seed(53), &keys, &values);
+        let snap = pim.system().metrics().snapshot();
+        let _ = pim.lcp_batch(&batch);
+        rounds.push(pim.system().metrics().since(&snap).io_rounds);
+    }
+    // 16x more modules must not multiply rounds (O(log P) growth only)
+    assert!(
+        rounds[1] <= rounds[0] + 12,
+        "rounds grew too fast with P: {rounds:?}"
+    );
+}

@@ -1,0 +1,79 @@
+//! Cross-structure agreement: all four index designs answer identical
+//! queries identically (up to each design's documented quantisation).
+
+use baselines::{DistRadixTree, DistXFastTrie, RangePartitioned};
+use bitstr::BitStr;
+use pim_trie::{PimTrie, PimTrieConfig};
+use trie_core::Trie;
+
+#[test]
+fn all_structures_agree_on_lcp() {
+    let keys = workloads::uniform_fixed(1500, 64, 3);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    let queries = workloads::uniform_fixed(800, 64, 4);
+
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    let want: Vec<usize> = queries
+        .iter()
+        .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+        .collect();
+
+    let mut pim = PimTrie::build(PimTrieConfig::for_modules(8).with_seed(5), &keys, &values);
+    assert_eq!(pim.lcp_batch(&queries), want, "pim-trie");
+
+    let mut range = RangePartitioned::build(8, &keys, &values);
+    assert_eq!(range.lcp_batch(&queries), want, "range-partitioned");
+
+    // span-1 radix tree is exact too
+    let mut radix = DistRadixTree::build(8, 1, 7, &keys, &values);
+    assert_eq!(radix.lcp_batch(&queries), want, "dist-radix span 1");
+
+    // the x-fast baseline works on the integer views
+    let ints: Vec<u64> = keys.iter().map(|k| k.to_u64()).collect();
+    let qints: Vec<u64> = queries.iter().map(|q| q.to_u64()).collect();
+    let mut xf = DistXFastTrie::build(8, 64, 9, &ints);
+    assert_eq!(xf.lcp_batch(&qints), want, "dist-xfast");
+}
+
+#[test]
+fn point_lookups_agree() {
+    let keys = workloads::urls(1200, 11);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    let mut oracle = Trie::new();
+    for (k, v) in keys.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    let mut probes: Vec<BitStr> = keys.iter().step_by(3).cloned().collect();
+    probes.extend(workloads::urls(200, 12)); // mostly misses
+
+    let mut pim = PimTrie::build(PimTrieConfig::for_modules(8).with_seed(13), &keys, &values);
+    let mut range = RangePartitioned::build(8, &keys, &values);
+    let mut radix = DistRadixTree::build(8, 4, 15, &keys, &values);
+
+    let want: Vec<Option<u64>> = probes.iter().map(|k| oracle.get(k.as_slice())).collect();
+    assert_eq!(pim.get_batch(&probes), want, "pim-trie");
+    assert_eq!(range.get_batch(&probes), want, "range-partitioned");
+    assert_eq!(radix.get_batch(&probes), want, "dist-radix");
+}
+
+#[test]
+fn genome_workload_end_to_end() {
+    // 2-bit alphabet reads with planted repeats (skewed shared prefixes)
+    let reads = workloads::genome(1000, 60, 0.4, 21);
+    let values: Vec<u64> = (0..reads.len() as u64).collect();
+    let mut oracle = Trie::new();
+    for (k, v) in reads.iter().zip(&values) {
+        oracle.insert(k, *v);
+    }
+    let mut pim = PimTrie::build(PimTrieConfig::for_modules(8).with_seed(23), &reads, &values);
+    assert_eq!(pim.len(), oracle.n_keys());
+    let probes = workloads::genome(500, 60, 0.4, 24);
+    let want: Vec<usize> = probes
+        .iter()
+        .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+        .collect();
+    assert_eq!(pim.lcp_batch(&probes), want);
+}

@@ -1,0 +1,111 @@
+//! Property-based end-to-end tests: arbitrary batches of inserts, deletes
+//! and queries keep the distributed PIM-trie exactly equivalent to a plain
+//! CPU trie.
+
+use bitstr::BitStr;
+use pim_trie::{PimTrie, PimTrieConfig};
+use proptest::prelude::*;
+use trie_core::Trie;
+
+fn arb_key() -> impl Strategy<Value = BitStr> {
+    proptest::collection::vec(any::<bool>(), 1..60).prop_map(BitStr::from_bits)
+}
+
+fn arb_batch(n: usize) -> impl Strategy<Value = Vec<BitStr>> {
+    proptest::collection::vec(arb_key(), 1..n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lcp_matches_oracle(keys in arb_batch(80), queries in arb_batch(60), p in 1usize..6) {
+        let values: Vec<u64> = (0..keys.len() as u64).collect();
+        let mut pim = PimTrie::build(
+            PimTrieConfig::for_modules(p).with_seed(1),
+            &keys,
+            &values,
+        );
+        let mut oracle = Trie::new();
+        for (k, v) in keys.iter().zip(&values) {
+            oracle.insert(k, *v);
+        }
+        prop_assert_eq!(pim.len(), oracle.n_keys());
+        let want: Vec<usize> = queries
+            .iter()
+            .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
+            .collect();
+        prop_assert_eq!(pim.lcp_batch(&queries), want);
+        prop_assert!(pim.audit_debug().is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrip(keys in arb_batch(60), extra in arb_batch(40)) {
+        let values: Vec<u64> = (0..keys.len() as u64).collect();
+        let mut pim = PimTrie::build(
+            PimTrieConfig::for_modules(4).with_seed(2),
+            &keys,
+            &values,
+        );
+        let mut oracle = Trie::new();
+        for (k, v) in keys.iter().zip(&values) {
+            oracle.insert(k, *v);
+        }
+        // delete the extras (some exist, some don't), then delete the keys
+        let removed = pim.delete_batch(&extra);
+        let mut want_removed = 0;
+        for k in &extra {
+            if oracle.delete(k.as_slice()).is_some() {
+                want_removed += 1;
+            }
+        }
+        prop_assert_eq!(removed, want_removed);
+        prop_assert_eq!(pim.len(), oracle.n_keys());
+
+        let removed = pim.delete_batch(&keys);
+        let mut want_removed = 0;
+        for k in &keys {
+            if oracle.delete(k.as_slice()).is_some() {
+                want_removed += 1;
+            }
+        }
+        prop_assert_eq!(removed, want_removed);
+        prop_assert_eq!(pim.len(), 0);
+        prop_assert!(pim.audit_debug().is_empty());
+    }
+
+    #[test]
+    fn subtree_equals_oracle(keys in arb_batch(60), prefixes in arb_batch(12)) {
+        let values: Vec<u64> = (0..keys.len() as u64).collect();
+        let mut pim = PimTrie::build(
+            PimTrieConfig::for_modules(4).with_seed(3),
+            &keys,
+            &values,
+        );
+        let mut oracle = Trie::new();
+        for (k, v) in keys.iter().zip(&values) {
+            oracle.insert(k, *v);
+        }
+        let got = pim.subtree_batch(&prefixes);
+        for (pfx, sub) in prefixes.iter().zip(got) {
+            let want = oracle.subtree(pfx.as_slice());
+            match (sub, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    let mut gi = g.items();
+                    let mut wi = w.items();
+                    gi.sort();
+                    wi.sort();
+                    prop_assert_eq!(gi, wi);
+                }
+                (g, w) => prop_assert!(
+                    false,
+                    "presence mismatch for {}: got {:?} want {:?}",
+                    pfx,
+                    g.map(|t| t.n_keys()),
+                    w.map(|t| t.n_keys())
+                ),
+            }
+        }
+    }
+}
