@@ -109,7 +109,9 @@ impl DistRadixTree {
         }
 
         // Random placement.
-        let placement: Vec<u32> = (0..nodes.len()).map(|_| rng.gen_range(0..p as u32)).collect();
+        let placement: Vec<u32> = (0..nodes.len())
+            .map(|_| rng.gen_range(0..p as u32))
+            .collect();
         let mut sys = PimSystem::new(p, |_| RadixModule { nodes: Vec::new() });
         // ship nodes; slots are per-module dense in placement order
         let mut slot_of: Vec<u32> = vec![0; nodes.len()];
@@ -257,8 +259,7 @@ impl DistRadixTree {
         let keys: Vec<BitStr> = raw_keys.iter().map(|k| pad_key(k, self.span)).collect();
         let p = self.sys.p();
         let span = self.span;
-        let mut states: Vec<(NodeRef, usize)> =
-            keys.iter().map(|_| (self.root, 0usize)).collect();
+        let mut states: Vec<(NodeRef, usize)> = keys.iter().map(|_| (self.root, 0usize)).collect();
         let mut out: Vec<Option<Value>> = vec![None; keys.len()];
         let mut active: Vec<usize> = (0..keys.len()).collect();
         while !active.is_empty() {

@@ -115,12 +115,7 @@ impl DistXFastTrie {
             let mut fresh = 0u64;
             ctx.work(msgs.len() as u64);
             for m in msgs {
-                if ctx
-                    .state
-                    .table
-                    .insert((m.level, m.prefix), ())
-                    .is_none()
-                    && m.level as u32 == 64
+                if ctx.state.table.insert((m.level, m.prefix), ()).is_none() && m.level as u32 == 64
                 {
                     fresh += 1;
                 }
@@ -135,12 +130,7 @@ impl DistXFastTrie {
             // set-free approximation: issue a count round
             let w = self.width as u8;
             let counts = self.sys.gather("xfast.count", |ctx| {
-                vec![ctx
-                    .state
-                    .table
-                    .keys()
-                    .filter(|(l, _)| *l == w)
-                    .count() as u64]
+                vec![ctx.state.table.keys().filter(|(l, _)| *l == w).count() as u64]
             });
             self.n_keys = counts.iter().flatten().sum::<u64>() as usize;
         }
@@ -242,7 +232,9 @@ mod tests {
     #[test]
     fn insert_cost_is_linear_in_width() {
         // Table 1: O(l) words per insert for the x-fast design
-        let keys: Vec<u64> = (0..100u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let keys: Vec<u64> = (0..100u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let mut t = DistXFastTrie::new(4, 64, 17);
         let snap = t.system().metrics().snapshot();
         t.insert_batch(&keys);
@@ -256,7 +248,7 @@ mod tests {
 
     #[test]
     fn space_is_n_times_w() {
-        let keys: Vec<u64> = (0..256).map(|i| i << 32 | i) .collect();
+        let keys: Vec<u64> = (0..256).map(|i| i << 32 | i).collect();
         let t = DistXFastTrie::build(4, 64, 19, &keys);
         let space = t.space_words();
         assert!(

@@ -109,10 +109,7 @@ impl RangePartitioned {
 
     /// Space across modules in words.
     pub fn space_words(&self) -> u64 {
-        self.sys
-            .modules()
-            .map(|m| m.trie.size_words() as u64)
-            .sum()
+        self.sys.modules().map(|m| m.trie.size_words() as u64).sum()
     }
 
     /// The range a key belongs to (CPU-local binary search, `O(log P)`

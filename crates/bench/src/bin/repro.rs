@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--p N] [t1-space|t1-rounds|t1-comm|skew|scale-p|batch|verify|ablate|all]
+//! repro [--quick] [--p N] [t1-space|t1-rounds|t1-comm|skew|scale-p|batch|verify|ablate|faults|all]
 //! ```
 
 use pimtrie_bench as bench;
@@ -30,13 +30,25 @@ fn main() {
         .collect();
     let what = if what.is_empty() { vec!["all"] } else { what };
 
-    const KNOWN: [&str; 10] = [
-        "all", "t1-space", "t1-rounds", "t1-comm", "skew", "space-balance",
-        "scale-p", "batch", "verify", "ablate",
+    const KNOWN: [&str; 11] = [
+        "all",
+        "t1-space",
+        "t1-rounds",
+        "t1-comm",
+        "skew",
+        "space-balance",
+        "scale-p",
+        "batch",
+        "verify",
+        "ablate",
+        "faults",
     ];
     for w in &what {
         if !KNOWN.contains(w) {
-            eprintln!("error: unknown experiment '{w}'. Known: {}", KNOWN.join(", "));
+            eprintln!(
+                "error: unknown experiment '{w}'. Known: {}",
+                KNOWN.join(", ")
+            );
             std::process::exit(2);
         }
     }
@@ -109,5 +121,13 @@ fn main() {
             "X-ablate — push-pull & K_B ablations + fast vs pointer-chase path",
             &bench::ablate(p, quick),
         );
+    }
+    if run("faults") {
+        let rows = bench::faults(p, quick);
+        bench::print_table(
+            "X-faults — fault-rate sweep → recovery overhead (seeded flips/drops/crash)",
+            &rows,
+        );
+        println!("{}", bench::rows_json("faults", &rows));
     }
 }

@@ -97,7 +97,13 @@ pub fn t1_space(p: usize, quick: bool) -> Vec<Row> {
     let mut rows = Vec::new();
     for (tag, spec) in [
         ("uniform64", Spec::UniformFixed { len: 64 }),
-        ("var64-1024", Spec::UniformVar { min_len: 64, max_len: 1024 }),
+        (
+            "var64-1024",
+            Spec::UniformVar {
+                min_len: 64,
+                max_len: 1024,
+            },
+        ),
     ] {
         let keys = spec.generate(n, 42);
         let vals = values_for(&keys);
@@ -329,14 +335,8 @@ pub fn skew(p: usize, quick: bool) -> Vec<Row> {
     // query generators per skew level
     let batches: Vec<(&str, Vec<BitStr>)> = vec![
         ("uniform", workloads::uniform_fixed(bsz, 96, 32)),
-        (
-            "zipf0.8",
-            zipf_over_keys(&keys, bsz, 0.8, 33),
-        ),
-        (
-            "zipf1.2",
-            zipf_over_keys(&keys, bsz, 1.2, 34),
-        ),
+        ("zipf0.8", zipf_over_keys(&keys, bsz, 0.8, 33)),
+        ("zipf1.2", zipf_over_keys(&keys, bsz, 1.2, 34)),
         (
             "same-path",
             workloads::same_path_queries(&keys[7], bsz, 32, 35),
@@ -349,7 +349,11 @@ pub fn skew(p: usize, quick: bool) -> Vec<Row> {
         let snap = pim.system().metrics().snapshot();
         let _ = pim.lcp_batch(batch);
         let d = pim.system().metrics().since(&snap);
-        rows.push(delta_cols(Row::new(format!("pim-trie/{tag}")), &d, batch.len()));
+        rows.push(delta_cols(
+            Row::new(format!("pim-trie/{tag}")),
+            &d,
+            batch.len(),
+        ));
 
         let mut range = RangePartitioned::build(p, &keys, &vals);
         let snap = range.system().metrics().snapshot();
@@ -379,7 +383,9 @@ pub fn zipf_over_keys(keys: &[BitStr], n: usize, theta: f64, seed: u64) -> Vec<B
     use rand::SeedableRng;
     let zipf = workloads::Zipf::new(keys.len(), theta);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    (0..n).map(|_| keys[zipf.sample(&mut rng)].clone()).collect()
+    (0..n)
+        .map(|_| keys[zipf.sample(&mut rng)].clone())
+        .collect()
 }
 
 /// Per-module *space* balance after builds on benign and adversarial data
@@ -396,11 +402,7 @@ pub fn space_balance(p: usize, quick: bool) -> Vec<Row> {
     let mut rows = Vec::new();
     for (tag, keys) in &data {
         let pim = build_pim(p, 85, keys);
-        let per: Vec<u64> = pim
-            .system()
-            .modules()
-            .map(|m| m.space_words())
-            .collect();
+        let per: Vec<u64> = pim.system().modules().map(|m| m.space_words()).collect();
         let total: u64 = per.iter().sum();
         let max = *per.iter().max().unwrap();
         let mean = total as f64 / p as f64;
@@ -437,8 +439,12 @@ pub fn scale_p(quick: bool) -> Vec<Row> {
         let _ = pim.lcp_batch(&batch);
         let d = pim.system().metrics().since(&snap);
         rows.push(
-            delta_cols(Row::new(format!("P={p}")).col("P", p as f64), &d, batch.len())
-                .col("io_time/op", d.io_time as f64 / batch.len() as f64),
+            delta_cols(
+                Row::new(format!("P={p}")).col("P", p as f64),
+                &d,
+                batch.len(),
+            )
+            .col("io_time/op", d.io_time as f64 / batch.len() as f64),
         );
     }
     rows
@@ -518,16 +524,16 @@ pub fn ablate(p: usize, quick: bool) -> Vec<Row> {
     let n = if quick { 1 << 12 } else { 1 << 13 };
     let keys = workloads::uniform_fixed(n, 96, 71);
     // a skewed batch stresses the push-pull decision
-    let batch = workloads::same_path_queries(&keys[3], if quick { 1 << 11 } else { 1 << 12 }, 32, 72);
+    let batch =
+        workloads::same_path_queries(&keys[3], if quick { 1 << 11 } else { 1 << 12 }, 32, 72);
     let mut rows = Vec::new();
     for (tag, cfg) in [
-        (
-            "default",
-            PimTrieConfig::for_modules(p).with_seed(73),
-        ),
+        ("default", PimTrieConfig::for_modules(p).with_seed(73)),
         (
             "always-pull",
-            PimTrieConfig::for_modules(p).with_seed(73).with_push_threshold(0),
+            PimTrieConfig::for_modules(p)
+                .with_seed(73)
+                .with_push_threshold(0),
         ),
         (
             "always-push",
@@ -549,8 +555,7 @@ pub fn ablate(p: usize, quick: bool) -> Vec<Row> {
         let _ = pim.lcp_batch(&batch);
         let d = pim.system().metrics().since(&snap);
         rows.push(
-            delta_cols(Row::new(tag), &d, batch.len())
-                .col("space", pim.space_words() as f64),
+            delta_cols(Row::new(tag), &d, batch.len()).col("space", pim.space_words() as f64),
         );
     }
     // fast path vs slow path (the "no hash manager" ablation)
@@ -564,4 +569,125 @@ pub fn ablate(p: usize, quick: bool) -> Vec<Row> {
     let d = pim.system().metrics().since(&snap);
     rows.push(delta_cols(Row::new("slow-path(ptr-chase)"), &d, batch.len()).col("space", 0.0));
     rows
+}
+
+// ---------------------------------------------------------------------
+// X-faults — fault-rate sweep → recovery overhead
+// ---------------------------------------------------------------------
+
+/// Recovery overhead as the injected fault rate grows: insert + LCP on a
+/// pre-built trie under seeded word flips, dropped replies and one
+/// mid-batch module crash, compared against a clean unsealed baseline.
+/// (The faulted phase runs on a warm trie so graft messages stay spread
+/// across blocks — a cold bulk load funnels everything into one root
+/// graft whose size no bounded retry budget can push through at 1e-3.)
+/// Every faulted run is asserted identical to the fault-free oracle, so
+/// the overhead columns measure *successful* recovery, not divergence.
+pub fn faults(p: usize, quick: bool) -> Vec<Row> {
+    use pim_trie::{CrashSpec, FaultPlan};
+    let n = if quick { 1 << 10 } else { 1 << 12 };
+    let spec = Spec::UniformVar {
+        min_len: 32,
+        max_len: 256,
+    };
+    let keys = spec.generate(n, 42);
+    let vals = values_for(&keys);
+    let keys2 = spec.generate(n / 4, 44);
+    let vals2: Vec<u64> = (n as u64..(n + n / 4) as u64).collect();
+    let queries = spec.generate(n / 2, 43);
+
+    // clean, unsealed oracle run
+    let mut base = PimTrie::new(PimTrieConfig::for_modules(p).with_seed(1));
+    base.insert_batch(&keys, &vals);
+    let snap = base.system().metrics().snapshot();
+    base.insert_batch(&keys2, &vals2);
+    let want = base.lcp_batch(&queries);
+    let d0 = base.system().metrics().since(&snap);
+    let base_rounds = d0.io_rounds as f64;
+    let base_words = d0.io_volume() as f64;
+
+    let fault_cols = |row: Row, rate: f64, d: &MetricsDelta, fs: &pim_trie::FaultStats| {
+        row.col("flip_rate", rate)
+            .col("io_rounds", d.io_rounds as f64)
+            .col("words", d.io_volume() as f64)
+            .col("xtra_rounds", d.io_rounds as f64 - base_rounds)
+            .col("xtra_words", d.io_volume() as f64 - base_words)
+            .col("injected", fs.total_injected() as f64)
+            .col("detected", fs.total_detected() as f64)
+            .col("retries", fs.retries as f64)
+            .col("rebuilds", fs.rebuilds as f64)
+    };
+
+    let mut rows = vec![fault_cols(
+        Row::new("plain"),
+        0.0,
+        &d0,
+        &pim_trie::FaultStats::default(),
+    )];
+
+    for (tag, rate) in [
+        ("sealed/0", 0.0),
+        ("sealed/1e-5", 1e-5),
+        ("sealed/1e-4", 1e-4),
+        ("sealed/1e-3", 1e-3),
+    ] {
+        let mut t = PimTrie::new(
+            PimTrieConfig::for_modules(p)
+                .with_seed(1)
+                .with_fault_tolerance(true)
+                .with_max_round_retries(64),
+        );
+        t.insert_batch(&keys, &vals);
+        if rate > 0.0 {
+            t.install_faults(
+                FaultPlan::new(7)
+                    .with_flip_rate(rate)
+                    .with_drop_rate(rate)
+                    .with_crash(CrashSpec {
+                        round: 11,
+                        module: p / 2,
+                        down_rounds: 1,
+                        state_loss: true,
+                    }),
+            );
+        }
+        let snap = t.system().metrics().snapshot();
+        t.insert_batch(&keys2, &vals2);
+        let got = t.lcp_batch(&queries);
+        assert_eq!(got, want, "faulted run diverged from oracle at rate {rate}");
+        let d = t.system().metrics().since(&snap);
+        let fs = t.system().metrics().fault_stats().clone();
+        rows.push(fault_cols(Row::new(tag), rate, &d, &fs));
+    }
+    rows
+}
+
+/// Render experiment rows as a single-line JSON summary (hand-rolled:
+/// column values are finite f64s, labels are plain ASCII tags).
+pub fn rows_json(experiment: &str, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\"experiment\":\"");
+    s.push_str(experiment);
+    s.push_str("\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"label\":\"");
+        s.push_str(&r.label);
+        s.push('"');
+        for (name, v) in &r.cols {
+            s.push_str(",\"");
+            s.push_str(name);
+            s.push_str("\":");
+            if *v == v.trunc() && v.abs() < 1e15 {
+                s.push_str(&format!("{}", *v as i64));
+            } else {
+                s.push_str(&format!("{v}"));
+            }
+        }
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
 }

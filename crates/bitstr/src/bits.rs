@@ -7,13 +7,12 @@
 //! masking on the read path.
 
 use crate::{chunk_from, mask_left};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Range;
 
 /// An owned, packed bit-string of arbitrary length.
-#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitStr {
     words: Vec<u64>,
     len: usize,
@@ -61,7 +60,11 @@ impl BitStr {
         if len == 0 {
             return BitStr::new();
         }
-        let masked = if len == 64 { value } else { value & ((1 << len) - 1) };
+        let masked = if len == 64 {
+            value
+        } else {
+            value & ((1 << len) - 1)
+        };
         BitStr {
             words: vec![masked << (64 - len)],
             len,
@@ -570,11 +573,7 @@ mod tests {
         let b = s.slice(5..150);
         assert_eq!(a.lcp(&b), 145);
         let c = s.slice(6..200);
-        let expected = a
-            .iter()
-            .zip(c.iter())
-            .take_while(|(x, y)| x == y)
-            .count();
+        let expected = a.iter().zip(c.iter()).take_while(|(x, y)| x == y).count();
         assert_eq!(a.lcp(&c), expected);
     }
 

@@ -194,7 +194,12 @@ mod tests {
     #[test]
     fn combine_is_concatenation() {
         let h = Crc64Hasher::ecma();
-        let cases = [("", "1"), ("10110", "001"), ("1", ""), ("0101", "111000111")];
+        let cases = [
+            ("", "1"),
+            ("10110", "001"),
+            ("1", ""),
+            ("0101", "111000111"),
+        ];
         for (x, y) in cases {
             let a = BitStr::from_bin_str(x);
             let b = BitStr::from_bin_str(y);
@@ -212,10 +217,7 @@ mod tests {
         let h = Crc64Hasher::ecma();
         // x^a · x^b = x^(a+b)
         for (a, b) in [(1u64, 1u64), (7, 9), (63, 65), (100, 1000)] {
-            assert_eq!(
-                gf2_mulmod(h.xpow(a), h.xpow(b), ECMA_POLY),
-                h.xpow(a + b)
-            );
+            assert_eq!(gf2_mulmod(h.xpow(a), h.xpow(b), ECMA_POLY), h.xpow(a + b));
         }
     }
 

@@ -25,10 +25,9 @@
 //! path on demand.
 
 use crate::bits::{BitSlice, BitStr};
-use serde::{Deserialize, Serialize};
 
 /// A full-precision hash value (61 significant bits for [`PolyHasher`]).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HashVal(pub u64);
 
 impl std::fmt::Debug for HashVal {
@@ -40,7 +39,7 @@ impl std::fmt::Debug for HashVal {
 /// Number of digest bits actually compared by hash tables (§4.4.3's hash
 /// length). `FULL` (61) makes collisions vanishingly rare; small widths are
 /// used by the verification experiments to force collisions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HashWidth(pub u32);
 
 impl HashWidth {
@@ -316,7 +315,11 @@ mod tests {
         let hb = h.hash_str(&b);
         let hc = h.hash_str(&c);
         let left = h.combine(h.combine(ha, hb, b.len() as u64), hc, c.len() as u64);
-        let right = h.combine(ha, h.combine(hb, hc, c.len() as u64), (b.len() + c.len()) as u64);
+        let right = h.combine(
+            ha,
+            h.combine(hb, hc, c.len() as u64),
+            (b.len() + c.len()) as u64,
+        );
         assert_eq!(left, right);
     }
 
@@ -334,7 +337,10 @@ mod tests {
     fn width_digest_masks() {
         let w = HashWidth(8);
         assert_eq!(w.digest(HashVal(0x1234)), 0x34);
-        assert_eq!(HashWidth::FULL.digest(HashVal(u64::MAX >> 3)), u64::MAX >> 3);
+        assert_eq!(
+            HashWidth::FULL.digest(HashVal(u64::MAX >> 3)),
+            u64::MAX >> 3
+        );
     }
 
     #[test]

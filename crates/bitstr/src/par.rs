@@ -26,7 +26,11 @@ where
 /// a multiple, excluding the full string. `out[i] = h(s[..i*stride])`.
 ///
 /// This is the pivot-hash sequence of §4.4.2 when `stride = w = 64`.
-pub fn prefix_hashes<H: IncrementalHash>(hasher: &H, s: BitSlice<'_>, stride: usize) -> Vec<HashVal> {
+pub fn prefix_hashes<H: IncrementalHash>(
+    hasher: &H,
+    s: BitSlice<'_>,
+    stride: usize,
+) -> Vec<HashVal> {
     assert!(stride > 0 && stride <= 64);
     let n = s.len() / stride;
     let mut out = Vec::with_capacity(n + 1);
@@ -54,10 +58,11 @@ pub fn hash_by_reduction<H: IncrementalHash>(hasher: &H, s: BitSlice<'_>) -> Has
             (hasher.hash_bits(s.slice(lo..hi)), (hi - lo) as u64)
         })
         .collect();
-    let (h, _) = parts.into_iter().fold(
-        (hasher.empty(), 0u64),
-        |(acc, acc_len), (h, len)| (hasher.combine(acc, h, len), acc_len + len),
-    );
+    let (h, _) = parts
+        .into_iter()
+        .fold((hasher.empty(), 0u64), |(acc, acc_len), (h, len)| {
+            (hasher.combine(acc, h, len), acc_len + len)
+        });
     h
 }
 
@@ -95,7 +100,11 @@ mod tests {
         let h = PolyHasher::with_seed(13);
         for len in [0usize, 1, 63, 64, 65, 129, 1000] {
             let s = BitStr::from_bits((0..len).map(|i| i % 7 < 3));
-            assert_eq!(hash_by_reduction(&h, s.as_slice()), h.hash_str(&s), "len {len}");
+            assert_eq!(
+                hash_by_reduction(&h, s.as_slice()),
+                h.hash_str(&s),
+                "len {len}"
+            );
         }
     }
 }

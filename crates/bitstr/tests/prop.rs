@@ -9,6 +9,25 @@ fn arb_bits() -> impl Strategy<Value = Vec<bool>> {
     proptest::collection::vec(any::<bool>(), 0..300)
 }
 
+/// Bit-at-a-time CRC-64/ECMA reference: plain polynomial long division,
+/// one shift per message bit. Independent of the library's table/clmul
+/// fast paths — if they and this disagree, the fast paths are wrong.
+fn crc64_bitwise(bits: &[bool]) -> u64 {
+    const ECMA_POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+    let mut h = 0u64;
+    for &bit in bits {
+        let carry = h >> 63;
+        h <<= 1;
+        if bit {
+            h ^= 1;
+        }
+        if carry == 1 {
+            h ^= ECMA_POLY;
+        }
+    }
+    h
+}
+
 proptest! {
     #[test]
     fn push_get_roundtrip(bits in arb_bits()) {
@@ -97,6 +116,44 @@ proptest! {
             h.combine(h.hash_str(&sa), h.hash_str(&sb), sb.len() as u64),
             h.hash_str(&ab)
         );
+    }
+
+    #[test]
+    fn crc_hash_matches_bitwise_reference(bits in arb_bits()) {
+        let h = Crc64Hasher::ecma();
+        let s = BitStr::from_bits(bits.iter().copied());
+        prop_assert_eq!(h.hash_str(&s).0, crc64_bitwise(&bits));
+    }
+
+    #[test]
+    fn crc_combine_matches_bitwise_reference(
+        a in arb_bits(),
+        b in arb_bits(),
+        c in arb_bits(),
+    ) {
+        // combine() must reproduce the long division over the whole
+        // message, however the message is split and re-associated
+        let h = Crc64Hasher::ecma();
+        let (sa, sb, sc) = (
+            BitStr::from_bits(a.iter().copied()),
+            BitStr::from_bits(b.iter().copied()),
+            BitStr::from_bits(c.iter().copied()),
+        );
+        let (ha, hb, hc) = (h.hash_str(&sa), h.hash_str(&sb), h.hash_str(&sc));
+        let abc: Vec<bool> = a.iter().chain(&b).chain(&c).copied().collect();
+        let want = crc64_bitwise(&abc);
+        let left = h.combine(
+            h.combine(ha, hb, sb.len() as u64),
+            hc,
+            sc.len() as u64,
+        );
+        let right = h.combine(
+            ha,
+            h.combine(hb, hc, sc.len() as u64),
+            (sb.len() + sc.len()) as u64,
+        );
+        prop_assert_eq!(left.0, want, "left-associated combine");
+        prop_assert_eq!(right.0, want, "right-associated combine");
     }
 
     #[test]

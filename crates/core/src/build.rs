@@ -17,11 +17,12 @@
 //!   promotes its root's children to independent trees registered in the
 //!   master table.
 
+use crate::error::PimTrieError;
 use crate::module::{
-    handle, MasterAddMsg, ModuleState, NewMetaChild, NewMetaNode, PutMetaMsg, Req,
-    Resp,
+    handle, MasterAddMsg, ModuleState, NewMetaChild, NewMetaNode, PutMetaMsg, Req, Resp,
 };
 use crate::refs::{BitsMsg, BlockRef, MetaRef, TrieMsg};
+use crate::wire_guard::{handle_sealed, SealedReq};
 use crate::{PimTrie, PimTrieConfig};
 use bitstr::hash::{HashVal, IncrementalHash, PolyHasher};
 use bitstr::{BitStr, WORD_BITS};
@@ -118,8 +119,15 @@ pub(crate) fn root_meta_with_prefix(
 }
 
 impl PimTrie {
-    /// An empty PIM-trie on `cfg.p` simulated modules.
+    /// An empty PIM-trie on `cfg.p` simulated modules. Panics on a
+    /// degenerate configuration; [`PimTrie::try_new`] reports it instead.
     pub fn new(cfg: PimTrieConfig) -> Self {
+        Self::try_new(cfg).expect("invalid PimTrieConfig")
+    }
+
+    /// An empty PIM-trie, with configuration validation.
+    pub fn try_new(cfg: PimTrieConfig) -> Result<Self, PimTrieError> {
+        cfg.validate()?;
         let width = cfg.hash_width;
         let sys = PimSystem::new(cfg.p, |_| ModuleState::new(width));
         let hasher = PolyHasher::with_seed(cfg.seed);
@@ -132,9 +140,11 @@ impl PimTrie {
             redo_paths: 0,
             chunk_sizes: HashMap::new(),
             root_block: BlockRef { module: 0, slot: 0 },
+            seq: 0,
+            journal: std::collections::BTreeMap::new(),
         };
-        t.bootstrap();
-        t
+        t.bootstrap()?;
+        Ok(t)
     }
 
     /// Convenience bulk constructor: `new` + batched inserts.
@@ -153,7 +163,7 @@ impl PimTrie {
         self.place_rng.gen_range(0..self.sys.p() as u32)
     }
 
-    fn bootstrap(&mut self) {
+    pub(crate) fn bootstrap(&mut self) -> Result<(), PimTrieError> {
         // Root block: the empty string, on a random module.
         let m = self.random_module();
         let meta = root_meta(&self.hasher, &BitStr::new());
@@ -170,7 +180,7 @@ impl PimTrie {
                 mirrors: Vec::new(),
             }),
             "bootstrap.block",
-        );
+        )?;
         let Resp::Placed { slot, .. } = resp else {
             panic!("bootstrap: unexpected response")
         };
@@ -190,8 +200,11 @@ impl PimTrie {
                 parents: vec![None],
             }),
             "bootstrap.meta",
-        );
-        let Resp::Placed { slot, node_slots, .. } = resp else {
+        )?;
+        let Resp::Placed {
+            slot, node_slots, ..
+        } = resp
+        else {
             panic!("bootstrap: unexpected response")
         };
         let mref = MetaRef { module: mm, slot };
@@ -206,31 +219,140 @@ impl PimTrie {
                 meta_slot: node_slot,
             },
             "bootstrap.wire",
-        );
-        self.master_add(mref, root_block, node_slot, &meta);
+        )?;
+        self.master_add(mref, root_block, node_slot, &meta)?;
         self.chunk_sizes.insert(mref, 1);
+        Ok(())
     }
 
     /// Send one request to one module (a full BSP round with a single
     /// message — small ops batch them through `rounds` instead).
-    pub(crate) fn send_one(&mut self, module: u32, req: Req, name: &str) -> Resp {
+    pub(crate) fn send_one(
+        &mut self,
+        module: u32,
+        req: Req,
+        name: &str,
+    ) -> Result<Resp, PimTrieError> {
         let mut inbox: Vec<Vec<Req>> = (0..self.sys.p()).map(|_| Vec::new()).collect();
         inbox[module as usize].push(req);
-        let hasher = &self.hasher;
-        let mut out = self
-            .sys
-            .round(name, inbox, |ctx, msgs| {
-                msgs.into_iter().map(|m| handle(ctx, hasher, m)).collect()
-            });
-        out[module as usize].pop().expect("missing response")
+        let mut out = self.rounds(name, inbox)?;
+        Ok(out[module as usize].pop().expect("missing response"))
     }
 
-    /// Run one BSP round delivering per-module request vectors.
-    pub(crate) fn rounds(&mut self, name: &str, inbox: Vec<Vec<Req>>) -> Vec<Vec<Resp>> {
-        let hasher = &self.hasher;
-        self.sys.round(name, inbox, |ctx, msgs| {
-            msgs.into_iter().map(|m| handle(ctx, hasher, m)).collect()
-        })
+    /// Run one *logical* BSP round delivering per-module request vectors.
+    ///
+    /// Without fault tolerance this is exactly one physical round through
+    /// the plain handler — the same code and metering as a build without
+    /// the fault subsystem. With [`PimTrieConfig::fault_tolerance`] on,
+    /// every message travels in a CRC-sealed envelope and the round
+    /// becomes a bounded retry ladder: corrupt or missing replies are
+    /// re-requested (the module's at-most-once cache prevents double
+    /// execution) until all requests are answered, the retry budget is
+    /// exhausted, or a module reports a rebooted (blank) state.
+    pub(crate) fn rounds(
+        &mut self,
+        name: &str,
+        inbox: Vec<Vec<Req>>,
+    ) -> Result<Vec<Vec<Resp>>, PimTrieError> {
+        if !self.cfg.fault_tolerance {
+            let hasher = &self.hasher;
+            return Ok(self.sys.round(name, inbox, |ctx, msgs| {
+                msgs.into_iter().map(|m| handle(ctx, hasher, m)).collect()
+            }));
+        }
+        self.rounds_sealed(name, inbox)
+    }
+
+    fn rounds_sealed(
+        &mut self,
+        name: &str,
+        inbox: Vec<Vec<Req>>,
+    ) -> Result<Vec<Vec<Resp>>, PimTrieError> {
+        let p = self.sys.p();
+        self.seq += 1;
+        let seq = self.seq;
+        let store = inbox;
+        let mut results: Vec<Vec<Option<Resp>>> = store
+            .iter()
+            .map(|v| (0..v.len()).map(|_| None).collect())
+            .collect();
+        let mut outstanding: usize = store.iter().map(Vec::len).sum();
+        let mut attempt: u32 = 0;
+        loop {
+            let sealed: Vec<Vec<SealedReq>> = (0..p)
+                .map(|m| {
+                    store[m]
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| results[m][*i].is_none())
+                        .map(|(i, r)| SealedReq::seal(seq, i as u32, r.clone()))
+                        .collect()
+                })
+                .collect();
+            let sent: Vec<usize> = sealed.iter().map(Vec::len).collect();
+            if attempt > 0 {
+                let st = self.sys.metrics_mut().fault_stats_mut();
+                st.retries += sent.iter().map(|&n| n as u64).sum::<u64>();
+                st.recovery_rounds += 1;
+            }
+            let hasher = &self.hasher;
+            let outs = self.sys.round(name, sealed, |ctx, msgs| {
+                msgs.into_iter()
+                    .map(|sr| handle_sealed(ctx, hasher, sr))
+                    .collect()
+            });
+            let mut corrupt = 0u64;
+            let mut missing = 0u64;
+            let mut lost: Option<u32> = None;
+            for (m, replies) in outs.into_iter().enumerate() {
+                let mut answered = 0usize;
+                for sr in replies {
+                    answered += 1;
+                    if sr.seq != seq || !sr.verify() {
+                        corrupt += 1;
+                        continue;
+                    }
+                    let i = sr.idx as usize;
+                    if i >= results[m].len() || results[m][i].is_some() {
+                        // a flip landed in the frame header yet produced a
+                        // plausible index; the real reply is still missing
+                        corrupt += 1;
+                        continue;
+                    }
+                    match sr.inner {
+                        Resp::Rebooted => lost = Some(m as u32),
+                        Resp::CorruptReq => corrupt += 1,
+                        r => {
+                            results[m][i] = Some(r);
+                            outstanding -= 1;
+                        }
+                    }
+                }
+                missing += (sent[m] - answered.min(sent[m])) as u64;
+            }
+            if corrupt > 0 || missing > 0 {
+                let st = self.sys.metrics_mut().fault_stats_mut();
+                st.corruptions_detected += corrupt;
+                st.missing_detected += missing;
+            }
+            if let Some(module) = lost {
+                return Err(PimTrieError::ModuleLost { module });
+            }
+            if outstanding == 0 {
+                break;
+            }
+            attempt += 1;
+            if attempt > self.cfg.max_round_retries {
+                return Err(PimTrieError::RecoveryExhausted {
+                    round: name.to_string(),
+                    attempts: attempt - 1,
+                });
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|v| v.into_iter().map(Option::unwrap).collect())
+            .collect())
     }
 
     /// Broadcast a master-table update to every module.
@@ -240,7 +362,7 @@ impl PimTrie {
         root_block: BlockRef,
         root_node_slot: u32,
         meta: &RootMeta,
-    ) {
+    ) -> Result<(), PimTrieError> {
         let msg = MasterAddMsg {
             mref,
             root_block,
@@ -253,9 +375,9 @@ impl PimTrie {
         let inbox: Vec<Vec<Req>> = (0..self.sys.p())
             .map(|_| vec![Req::MasterAdd(clone_master(&msg))])
             .collect();
-        self.rounds("master.add", inbox);
+        self.rounds("master.add", inbox)?;
+        Ok(())
     }
-
 }
 
 fn clone_master(m: &MasterAddMsg) -> MasterAddMsg {
@@ -407,7 +529,10 @@ impl PimTrie {
     /// (rebuilds keep the chunk's address stable) and carry surviving
     /// external child meta-blocks (plan index, payload with `under_node`
     /// as a chunk-node index). Returns per-job, per-plan placements.
-    pub(crate) fn place_chunks(&mut self, jobs: &[PlaceJob]) -> Vec<Vec<PlacedPlan>> {
+    pub(crate) fn place_chunks(
+        &mut self,
+        jobs: &[PlaceJob],
+    ) -> Result<Vec<Vec<PlacedPlan>>, PimTrieError> {
         let p = self.sys.p();
         // per-job plan depths
         fn mark(plans: &[Plan], pi: usize, d: usize, depth: &mut [usize]) {
@@ -438,9 +563,9 @@ impl PimTrie {
                         continue;
                     }
                     let target = if pi == job.root_plan {
-                        job.replace_root_at.map(|r| r.module).unwrap_or_else(|| {
-                            self.place_rng.gen_range(0..p as u32)
-                        })
+                        job.replace_root_at
+                            .map(|r| r.module)
+                            .unwrap_or_else(|| self.place_rng.gen_range(0..p as u32))
                     } else {
                         self.place_rng.gen_range(0..p as u32)
                     };
@@ -457,10 +582,13 @@ impl PimTrie {
                     origin[target as usize].push((ji, pi));
                 }
             }
-            let replies = self.rounds("meta.place", inbox);
+            let replies = self.rounds("meta.place", inbox)?;
             for (m, rs) in replies.into_iter().enumerate() {
                 for (j, resp) in rs.into_iter().enumerate() {
-                    let Resp::Placed { slot, node_slots, .. } = resp else {
+                    let Resp::Placed {
+                        slot, node_slots, ..
+                    } = resp
+                    else {
                         panic!("meta.place: unexpected response")
                     };
                     let (ji, pi) = origin[m][j];
@@ -506,8 +634,8 @@ impl PimTrie {
                 }
             }
         }
-        self.rounds("meta.wire", inbox);
-        placed
+        self.rounds("meta.wire", inbox)?;
+        Ok(placed)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -535,11 +663,7 @@ impl PimTrie {
         let parents: Vec<Option<u32>> = plan
             .nodes
             .iter()
-            .map(|&cn| {
-                tree[cn]
-                    .parent
-                    .and_then(|p| idx_of.get(&p).copied())
-            })
+            .map(|&cn| tree[cn].parent.and_then(|p| idx_of.get(&p).copied()))
             .collect();
         let mut children: Vec<NewMetaChild> = plan
             .children

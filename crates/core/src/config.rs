@@ -1,6 +1,7 @@
 //! PIM-trie tuning parameters (the paper's `K_B`, `K_MB`, `K_SMB`, `α`,
 //! push-pull threshold and hash width).
 
+use crate::error::PimTrieError;
 use bitstr::hash::HashWidth;
 
 /// Configuration of a [`PimTrie`](crate::PimTrie).
@@ -33,6 +34,17 @@ pub struct PimTrieConfig {
     pub oversize_factor: u64,
     /// See `oversize_factor`.
     pub undersize_divisor: u64,
+    /// Run every CPU↔PIM message inside a CRC-64-sealed envelope and
+    /// recover from injected wire faults and module crashes (see
+    /// `wire_guard`). Off by default: the unguarded build's metering is
+    /// bit-identical to a build without the fault subsystem.
+    pub fault_tolerance: bool,
+    /// With `fault_tolerance` on: how many extra recovery rounds one
+    /// logical round may spend re-requesting corrupt or missing replies
+    /// before the operation fails with
+    /// [`RecoveryExhausted`](PimTrieError::RecoveryExhausted). Must cover
+    /// the longest scheduled module outage.
+    pub max_round_retries: u32,
 }
 
 impl PimTrieConfig {
@@ -53,7 +65,48 @@ impl PimTrieConfig {
             seed: 0x9122_7cc1_dead_beef,
             oversize_factor: 2,
             undersize_divisor: 4,
+            fault_tolerance: false,
+            max_round_retries: 8,
         }
+    }
+
+    /// Enable (or disable) the sealed-wire fault-tolerance protocol.
+    pub fn with_fault_tolerance(mut self, on: bool) -> Self {
+        self.fault_tolerance = on;
+        self
+    }
+
+    /// Override the per-round recovery retry budget.
+    pub fn with_max_round_retries(mut self, retries: u32) -> Self {
+        self.max_round_retries = retries;
+        self
+    }
+
+    /// Check the configuration for degenerate values. `PimTrie::try_new`
+    /// runs this; the panicking constructors assert it.
+    pub fn validate(&self) -> Result<(), PimTrieError> {
+        if self.p < 1 {
+            return Err(PimTrieError::BadConfig("p must be at least 1".into()));
+        }
+        if self.k_b < 8 {
+            return Err(PimTrieError::BadConfig(
+                "K_B below 8 words is degenerate".into(),
+            ));
+        }
+        if self.k_mb < 1 || self.k_smb < 1 {
+            return Err(PimTrieError::BadConfig(
+                "K_MB and K_SMB must be at least 1".into(),
+            ));
+        }
+        if !(self.alpha > 0.5 && self.alpha < 1.0) {
+            return Err(PimTrieError::BadConfig("alpha must lie in (0.5, 1)".into()));
+        }
+        if self.oversize_factor < 1 || self.undersize_divisor < 1 {
+            return Err(PimTrieError::BadConfig(
+                "oversize_factor and undersize_divisor must be at least 1".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Override the seed (placement + hash base).
@@ -114,6 +167,22 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.k_b, 64);
         assert_eq!(c.push_threshold, 10);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(PimTrieConfig::for_modules(8).validate().is_ok());
+        let mut c = PimTrieConfig::for_modules(8);
+        c.alpha = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = PimTrieConfig::for_modules(8);
+        c.p = 0;
+        assert!(c.validate().is_err());
+        let mut c = PimTrieConfig::for_modules(8);
+        c.undersize_divisor = 0;
+        assert!(c.validate().is_err());
+        let c = PimTrieConfig::for_modules(8).with_fault_tolerance(true);
+        assert!(c.fault_tolerance && c.validate().is_ok());
     }
 
     #[test]

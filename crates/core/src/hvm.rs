@@ -223,7 +223,12 @@ pub fn hash_match_piece<R: Copy>(
     }
 
     // DFS carrying the rolling pivot context.
-    let mut stack = vec![(NodeId::ROOT, root_pre, piece.root_pre_hash, piece.root_rem.clone())];
+    let mut stack = vec![(
+        NodeId::ROOT,
+        root_pre,
+        piece.root_pre_hash,
+        piece.root_rem.clone(),
+    )];
     while let Some((node, pre_depth, pre_hash, tail)) = stack.pop() {
         let top_depth = pre_depth + tail.len() as u64;
         for child in piece.trie.node(node).children.iter().flatten() {
@@ -277,8 +282,17 @@ pub fn hash_match_piece<R: Copy>(
                 let consumed = (new_pre - top_depth) as usize; // bits of edge up to new_pre
                 let mut bits = tail.clone();
                 bits.append(&edge.slice(0..consumed));
-                let h = hasher.combine(pre_hash, hasher.hash_bits(bits.as_slice()), bits.len() as u64);
-                stack.push((*child, new_pre, h, edge.slice(consumed..edge.len()).to_bitstr()));
+                let h = hasher.combine(
+                    pre_hash,
+                    hasher.hash_bits(bits.as_slice()),
+                    bits.len() as u64,
+                );
+                stack.push((
+                    *child,
+                    new_pre,
+                    h,
+                    edge.slice(consumed..edge.len()).to_bitstr(),
+                ));
             } else {
                 let mut t = tail.clone();
                 t.append(&edge.as_slice());
@@ -313,7 +327,11 @@ fn pivot_context(
         if need > from_tail {
             bits.append(&edge.slice(0..need - from_tail));
         }
-        hasher.combine(pre_hash, hasher.hash_bits(bits.as_slice()), bits.len() as u64)
+        hasher.combine(
+            pre_hash,
+            hasher.hash_bits(bits.as_slice()),
+            bits.len() as u64,
+        )
     };
     // S'_rem: bits in [pivot, min(pivot + w, bottom)), from tail then edge.
     let srem_end = (pivot + W).min(bottom_depth);

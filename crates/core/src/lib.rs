@@ -53,17 +53,22 @@
 
 mod build;
 mod config;
+mod error;
 mod hvm;
 mod matching;
 mod module;
 mod ops;
 mod refs;
 pub mod slowpath;
+mod wire_guard;
 
 pub use config::PimTrieConfig;
+pub use error::PimTrieError;
 pub use matching::{MatchStats, MatchedTrie};
 pub use module::ModuleState;
 pub use refs::{BlockRef, MetaRef};
+// Re-exported so fault experiments need only this crate.
+pub use pim_sim::{CrashSpec, FaultPlan, FaultStats};
 
 use bitstr::hash::PolyHasher;
 use pim_sim::PimSystem;
@@ -86,6 +91,12 @@ pub struct PimTrie {
     /// the data trie's root block (depth 0); its address is stable across
     /// repartitions
     pub(crate) root_block: refs::BlockRef,
+    /// sealed-wire round sequence counter (fault tolerance only)
+    pub(crate) seq: u64,
+    /// host-side key journal, maintained only with
+    /// [`PimTrieConfig::fault_tolerance`] on: the source of truth the
+    /// trie is rebuilt from after a module crash with state loss
+    pub(crate) journal: std::collections::BTreeMap<bitstr::BitStr, u64>,
 }
 
 impl PimTrie {
@@ -112,6 +123,28 @@ impl PimTrie {
     /// The configuration this index was built with.
     pub fn config(&self) -> &PimTrieConfig {
         &self.cfg
+    }
+
+    /// Install a seeded [`FaultPlan`] on the underlying simulator, wiring
+    /// its crash callback to wipe the module's memory and raise the
+    /// `crashed` fence the recovery protocol keys on. Surviving the plan
+    /// requires [`PimTrieConfig::fault_tolerance`]; without it the next
+    /// injected fault will corrupt results or panic (which is exactly the
+    /// behaviour the fault experiments compare against).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        let width = self.cfg.hash_width;
+        self.sys.install_faults(
+            plan,
+            Some(Box::new(move |_id, state: &mut ModuleState| {
+                *state = ModuleState::new(width);
+                state.crashed = true;
+            })),
+        );
+    }
+
+    /// Remove an installed fault plan; subsequent rounds run clean.
+    pub fn clear_faults(&mut self) {
+        self.sys.clear_faults();
     }
 
     /// Number of query paths that needed a verification-triggered exact
@@ -152,9 +185,7 @@ impl PimTrie {
                         )),
                     }
                     if b.trie.node(*node).degree() != 0 {
-                        issues.push(format!(
-                            "block m{mi}s{slot}: mirror {node:?} is not a leaf"
-                        ));
+                        issues.push(format!("block m{mi}s{slot}: mirror {node:?} is not a leaf"));
                     }
                     let cb = self
                         .sys
@@ -166,8 +197,7 @@ impl PimTrie {
                             "block m{mi}s{slot}: mirror {node:?} -> dangling {child:?}"
                         )),
                         Some(cb) => {
-                            let want =
-                                b.root_depth + b.trie.node(*node).depth as u64;
+                            let want = b.root_depth + b.trie.node(*node).depth as u64;
                             if cb.root_depth != want {
                                 issues.push(format!(
                                     "block m{mi}s{slot}: mirror {node:?} depth {want} != child root_depth {}",

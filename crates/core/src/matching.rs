@@ -23,6 +23,7 @@
 //!    query bits left) flags the affected paths for an exact slow-path
 //!    redo.
 
+use crate::error::PimTrieError;
 use crate::hvm::{hash_match_piece, HashIndex, IndexEntry, QueryPiece};
 use crate::module::{
     match_block_local, BlockNodeResult, DataBlock, EntrySummary, Req, Resp, RootMatch,
@@ -31,7 +32,7 @@ use crate::refs::{BlockRef, MetaRef};
 use crate::PimTrie;
 use bitstr::hash::{HashVal, IncrementalHash};
 use bitstr::{BitStr, WORD_BITS};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use trie_core::query::QueryTrie;
 use trie_core::{NodeId, Trie};
 
@@ -152,7 +153,10 @@ pub(crate) fn ctx_at(
     let pctx = ctxs[parent.idx()].clone().unwrap();
     let top = pctx.pre_depth + pctx.tail.len() as u64;
     debug_assert!(depth > top.saturating_sub(pctx.tail.len() as u64));
-    debug_assert!(depth >= top && depth <= n.depth as u64, "bad position depth");
+    debug_assert!(
+        depth >= top && depth <= n.depth as u64,
+        "bad position depth"
+    );
     let consumed = (depth - top) as usize;
     let new_pre = (depth / W) * W;
     if new_pre > pctx.pre_depth {
@@ -257,7 +261,10 @@ pub(crate) fn make_piece(
             Some(d) if d < bottom => {
                 let part = bn
                     .edge
-                    .slice((root_depth - (bottom - bn.edge.len() as u64)) as usize..(d - (bottom - bn.edge.len() as u64)) as usize)
+                    .slice(
+                        (root_depth - (bottom - bn.edge.len() as u64)) as usize
+                            ..(d - (bottom - bn.edge.len() as u64)) as usize,
+                    )
                     .to_bitstr();
                 let id = piece.attach_child(NodeId::ROOT, part, None);
                 push_tag(&mut tags, id, root_below);
@@ -292,20 +299,21 @@ fn push_tag(tags: &mut Vec<u32>, id: NodeId, tag: u32) {
 
 impl PimTrie {
     /// Match a batch of strings against the data trie (the whole §4.3
-    /// pipeline). The result drives every public operation.
-    pub fn match_batch(&mut self, batch: &[BitStr]) -> MatchedTrie {
+    /// pipeline). The result drives every public operation. Fails only
+    /// when fault recovery gives up (never on a clean simulator).
+    pub fn match_batch(&mut self, batch: &[BitStr]) -> Result<MatchedTrie, PimTrieError> {
         let qt = QueryTrie::build(batch);
         let mut stats = MatchStats::default();
         let bound = qt.trie.id_bound();
         if batch.is_empty() {
-            return MatchedTrie {
+            return Ok(MatchedTrie {
                 qt,
                 depth_of: vec![0; bound],
                 anchor_of: vec![None; bound],
                 block_meta: HashMap::new(),
                 flagged: vec![false; bound],
                 stats,
-            };
+            });
         }
         let ctxs = node_ctxs(&qt.trie, &self.hasher);
 
@@ -325,14 +333,13 @@ impl PimTrie {
         }
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
         for r in &master_roots {
-            let from = (*r != NodeId::ROOT)
-                .then(|| (r.0, qt.trie.node(*r).depth as u64));
+            let from = (*r != NodeId::ROOT).then(|| (r.0, qt.trie.node(*r).depth as u64));
             let piece = make_piece(&qt.trie, &ctxs, &self.hasher, from, &cuts);
             stats.pushes += 1;
             let m = self.place_rng_next();
             inbox[m as usize].push(Req::MatchMaster(piece));
         }
-        let replies = self.rounds("match.master", inbox);
+        let replies = self.rounds("match.master", inbox)?;
         let mut matches: Vec<RootMatch> = Vec::new();
         let mut seen: HashSet<(u32, u64, BlockRef)> = HashSet::new();
         for resp in replies.into_iter().flatten() {
@@ -347,8 +354,11 @@ impl PimTrie {
         }
 
         // ---- Phase 2: meta descent (Algorithm 5) ----------------------
-        let mut frontier: Vec<RootMatch> =
-            matches.iter().filter(|m| m.descend.is_some()).copied().collect();
+        let mut frontier: Vec<RootMatch> = matches
+            .iter()
+            .filter(|m| m.descend.is_some())
+            .copied()
+            .collect();
         let mut frontier_seen: HashSet<(MetaRef, u32, u64)> = frontier
             .iter()
             .map(|m| (m.descend.unwrap(), m.qt_below, m.depth))
@@ -369,7 +379,9 @@ impl PimTrie {
             // either one big piece, or many small contending pieces — the
             // meta-block's O(log² P) entries are pulled once and every
             // piece is matched on the CPU.
-            let mut groups: HashMap<MetaRef, Vec<QueryPiece>> = HashMap::new();
+            // BTreeMap: group iteration orders the push/pull messages, and
+            // that order must repeat across runs for seeded fault schedules
+            let mut groups: BTreeMap<MetaRef, Vec<QueryPiece>> = BTreeMap::new();
             for m in frontier.drain(..) {
                 let target = m.descend.unwrap();
                 let piece = make_piece(
@@ -408,7 +420,7 @@ impl PimTrie {
                     fetch_inbox[t.module as usize].push(Req::FetchMeta { slot: t.slot });
                     origin[t.module as usize].push(gi);
                 }
-                let replies = self.rounds("match.meta.pull", fetch_inbox);
+                let replies = self.rounds("match.meta.pull", fetch_inbox)?;
                 for (m, rs) in replies.into_iter().enumerate() {
                     for (j, resp) in rs.into_iter().enumerate() {
                         let Resp::MetaSummary { entries } = resp else {
@@ -431,7 +443,7 @@ impl PimTrie {
             }
             // push round
             if push_inbox.iter().any(|v| !v.is_empty()) {
-                let replies = self.rounds("match.meta.push", push_inbox);
+                let replies = self.rounds("match.meta.push", push_inbox)?;
                 for resp in replies.into_iter().flatten() {
                     let Resp::Matches(ms) = resp else {
                         panic!("meta: unexpected response")
@@ -465,7 +477,7 @@ impl PimTrie {
         // its own O(K_B) size is fetched once to the CPU, and all of its
         // pieces are matched there — this is what keeps worst-case skew
         // (every query down one path) off any single module.
-        let mut groups: HashMap<BlockRef, Vec<QueryPiece>> = HashMap::new();
+        let mut groups: BTreeMap<BlockRef, Vec<QueryPiece>> = BTreeMap::new();
         for m in &matches {
             let piece = make_piece(
                 &qt.trie,
@@ -507,7 +519,7 @@ impl PimTrie {
                 fetch_inbox[b.module as usize].push(Req::FetchBlock { slot: b.slot });
                 origin[b.module as usize].push(gi);
             }
-            let replies = self.rounds("match.block.pull", fetch_inbox);
+            let replies = self.rounds("match.block.pull", fetch_inbox)?;
             for (m, rs) in replies.into_iter().enumerate() {
                 for (j, resp) in rs.into_iter().enumerate() {
                     let Resp::BlockData(bd) = resp else {
@@ -522,11 +534,7 @@ impl PimTrie {
                         pre_hash: bd.pre_hash,
                         rem: bd.rem.0,
                         parent: bd.parent,
-                        mirrors: bd
-                            .mirrors
-                            .iter()
-                            .map(|(n, r)| (NodeId(*n), *r))
-                            .collect(),
+                        mirrors: bd.mirrors.iter().map(|(n, r)| (NodeId(*n), *r)).collect(),
                         meta: bd.meta,
                     };
                     for piece in pieces {
@@ -549,7 +557,7 @@ impl PimTrie {
         }
         // push side
         if push_inbox.iter().any(|v| !v.is_empty()) {
-            let replies = self.rounds("match.block.push", push_inbox);
+            let replies = self.rounds("match.block.push", push_inbox)?;
             let mut per_module: Vec<std::vec::IntoIter<Resp>> =
                 replies.into_iter().map(|v| v.into_iter()).collect();
             for (block, tags) in &pushed_pieces {
@@ -675,14 +683,14 @@ impl PimTrie {
             }
         }
 
-        MatchedTrie {
+        Ok(MatchedTrie {
             qt,
             depth_of,
             anchor_of,
             block_meta,
             flagged,
             stats,
-        }
+        })
     }
 
     fn place_rng_next(&mut self) -> u32 {
@@ -690,7 +698,6 @@ impl PimTrie {
         self.place_rng.gen_range(0..self.sys.p() as u32)
     }
 }
-
 
 fn flag_tags(flagged: &mut [bool], tags: &[u32]) {
     for &t in tags {
@@ -835,9 +842,10 @@ mod tests {
         cuts.insert(deep.0, vec![5]);
         let piece = make_piece(&qt.trie, &ctxs, &hasher, None, &cuts);
         // the piece must contain a leaf at depth 5 tagged with `deep`
-        let found = piece.trie.node_ids().any(|id| {
-            piece.trie.node(id).depth == 5 && piece.tags[id.idx()] == deep.0
-        });
+        let found = piece
+            .trie
+            .node_ids()
+            .any(|id| piece.trie.node(id).depth == 5 && piece.tags[id.idx()] == deep.0);
         assert!(found, "truncated leaf missing:\n{:?}", piece.trie);
         // and no piece node deeper than 5 on that path
         for id in piece.trie.node_ids() {
@@ -869,13 +877,7 @@ mod tests {
         let qt = qt_of(&["1010", "1011", "10"]);
         let ctxs = node_ctxs(&qt.trie, &hasher);
         let mid = qt.key_node[2]; // node for "10"
-        let piece = make_piece(
-            &qt.trie,
-            &ctxs,
-            &hasher,
-            Some((mid.0, 2)),
-            &HashMap::new(),
-        );
+        let piece = make_piece(&qt.trie, &ctxs, &hasher, Some((mid.0, 2)), &HashMap::new());
         assert_eq!(piece.root_depth, 2);
         // subtree below "10": "10"→"1"→{"0","1"}
         assert_eq!(piece.trie.n_nodes(), 4);

@@ -156,6 +156,17 @@ pub struct ModuleState {
     pub master_slots: HashMap<MetaRef, u32>,
     /// digest width shared by all indexes on this module
     pub width: HashWidth,
+    /// Set by the host's crash callback when this module's memory was
+    /// wiped; until cleared by [`Req::ResetModule`] every sealed request
+    /// is answered with [`Resp::Rebooted`] instead of touching (dangling)
+    /// slots.
+    pub crashed: bool,
+    /// At-most-once reply cache of the sealed-wire protocol: replies of
+    /// the current round sequence keyed by `(seq, idx)`, so a retried
+    /// request is answered from cache instead of being re-executed.
+    pub reply_cache: HashMap<(u64, u32), Resp>,
+    /// Round sequence the reply cache belongs to.
+    pub cache_seq: u64,
 }
 
 impl ModuleState {
@@ -167,6 +178,9 @@ impl ModuleState {
             master: HashIndex::new(width),
             master_slots: HashMap::new(),
             width,
+            crashed: false,
+            reply_cache: HashMap::new(),
+            cache_seq: 0,
         }
     }
 
@@ -265,6 +279,7 @@ impl Wire for EntrySummary {
 }
 
 /// Requests the host can send to a module in one round.
+#[derive(Clone)]
 pub enum Req {
     /// Match a piece against the replicated master table.
     MatchMaster(QueryPiece),
@@ -452,9 +467,13 @@ pub enum Req {
         /// query bits below the block root (at most the remaining key)
         bits: crate::refs::BitsMsg,
     },
+    /// Wipe this module back to a fresh empty state and clear its crash
+    /// flag (the first step of the host's rebuild-after-crash ladder).
+    ResetModule,
 }
 
 /// One graft: an unmatched query subtree and where it attaches.
+#[derive(Clone)]
 pub struct GraftMsg {
     /// anchor node id
     pub anchor_node: u32,
@@ -467,6 +486,7 @@ pub struct GraftMsg {
 }
 
 /// New-block payload.
+#[derive(Clone)]
 pub struct PutBlockMsg {
     /// the block trie
     pub trie: TrieMsg,
@@ -487,6 +507,7 @@ pub struct PutBlockMsg {
 }
 
 /// New meta-block payload (built on the CPU during rebuilds).
+#[derive(Clone)]
 pub struct PutMetaMsg {
     /// nodes: (payload, parent index within this vec or existing-root
     /// marker)
@@ -584,7 +605,9 @@ impl Wire for Req {
                 4 + p.trie.wire_words() + p.s_last.wire_words() + p.mirrors.len() as u64 * 2
             }
             Req::PutMeta(p) | Req::ReplaceMeta { msg: p, .. } => {
-                3 + p.nodes.len() as u64 * 8 + p.children.len() as u64 * 8 + p.chunks.len() as u64 * 2
+                3 + p.nodes.len() as u64 * 8
+                    + p.children.len() as u64 * 8
+                    + p.chunks.len() as u64 * 2
             }
             Req::FetchMetaFull { .. } => 1,
             Req::DropBlock { .. } | Req::DropMeta { .. } => 1,
@@ -598,11 +621,13 @@ impl Wire for Req {
             Req::MasterRemove { .. } => 1,
             Req::FetchSubtree { .. } => 3,
             Req::DescendBlock { bits, .. } => 1 + bits.wire_words(),
+            Req::ResetModule => 1,
         }
     }
 }
 
 /// Responses, one per request.
+#[derive(Clone)]
 pub enum Resp {
     /// Root matches from a master/meta match.
     Matches(Vec<RootMatch>),
@@ -667,6 +692,13 @@ pub enum Resp {
     Value(Option<Value>),
     /// Generic OK.
     Ok,
+    /// The sealed request failed its integrity check and was not
+    /// executed; the host should retry it.
+    CorruptReq,
+    /// This module lost its memory in a crash and has not been reset yet;
+    /// the host must abort the operation and rebuild
+    /// ([`Req::ResetModule`]).
+    Rebooted,
 }
 
 /// One meta node with its stored metadata, as pulled for a rebuild.
@@ -691,6 +723,7 @@ pub struct MetaFullNode {
 }
 
 /// Full meta-block structure.
+#[derive(Clone)]
 #[allow(dead_code)] // `parent` is part of the pulled wire contract
 pub struct MetaFullOut {
     /// all nodes
@@ -747,6 +780,7 @@ fn meta_full(mb: &MetaBlock) -> MetaFullOut {
 }
 
 /// Pulled block content.
+#[derive(Clone)]
 pub struct BlockDataOut {
     /// the block trie
     pub trie: TrieMsg,
@@ -789,9 +823,7 @@ impl Wire for Resp {
             Resp::BlockResults { results, .. } => {
                 1 + results.iter().map(Wire::wire_words).sum::<u64>()
             }
-            Resp::MetaSummary { entries } => {
-                1 + entries.iter().map(Wire::wire_words).sum::<u64>()
-            }
+            Resp::MetaSummary { entries } => 1 + entries.iter().map(Wire::wire_words).sum::<u64>(),
             Resp::BlockData(b) => 5 + b.trie.wire_words() + b.mirrors.len() as u64 * 2,
             Resp::MetaFull(m) => {
                 2 + m.nodes.len() as u64 * 8
@@ -807,6 +839,7 @@ impl Wire for Resp {
             Resp::Descend(_) => 4,
             Resp::Value(_) => 2,
             Resp::Ok => 1,
+            Resp::CorruptReq | Resp::Rebooted => 1,
         }
     }
 }
@@ -847,8 +880,8 @@ pub fn handle(
             // §4.4.3 verification: the piece's root_rem must be a suffix of
             // the block root's S_last (both are trailing bits of the same
             // string if the hash match was genuine).
-            let collision = b.root_depth != piece.root_depth
-                || !rem_consistent(&b.s_last, &piece.root_rem);
+            let collision =
+                b.root_depth != piece.root_depth || !rem_consistent(&b.s_last, &piece.root_rem);
             let results = if collision {
                 Vec::new()
             } else {
@@ -908,8 +941,7 @@ pub fn handle(
             let b = state.blocks.get(slot).expect("ReadKey: bad slot");
             work += 2;
             let id = NodeId(node);
-            let v = (b.trie.is_live(id)
-                && b.root_depth + b.trie.node(id).depth as u64 == depth)
+            let v = (b.trie.is_live(id) && b.root_depth + b.trie.node(id).depth as u64 == depth)
                 .then(|| b.trie.node(id).value)
                 .flatten()
                 .filter(|v| *v != MIRROR_VALUE);
@@ -924,8 +956,8 @@ pub fn handle(
             // An earlier delete in this very batch may have *freed* the
             // anchor through path compression — anchors of absent keys can
             // be plain branch nodes — so liveness is checked first.
-            let at_node = b.trie.is_live(id)
-                && b.root_depth + b.trie.node(id).depth as u64 == depth;
+            let at_node =
+                b.trie.is_live(id) && b.root_depth + b.trie.node(id).depth as u64 == depth;
             let collision = if at_node
                 && b.trie.node(id).value.is_some()
                 && b.trie.node(id).value != Some(MIRROR_VALUE)
@@ -943,7 +975,11 @@ pub fn handle(
                 collision,
             }
         }
-        Req::MergeChild { slot, child, subtree } => {
+        Req::MergeChild {
+            slot,
+            child,
+            subtree,
+        } => {
             let b = state.blocks.get_mut(slot).expect("MergeChild: bad slot");
             work += subtree.0.size_words() as u64 + 4;
             let node = b
@@ -966,7 +1002,11 @@ pub fn handle(
                 collision: !ok,
             }
         }
-        Req::ReplaceBlock { slot, trie, mirrors } => {
+        Req::ReplaceBlock {
+            slot,
+            trie,
+            mirrors,
+        } => {
             let b = state.blocks.get_mut(slot).expect("ReplaceBlock: bad slot");
             work += trie.0.size_words() as u64;
             b.trie = trie.0;
@@ -985,7 +1025,10 @@ pub fn handle(
             }
         }
         Req::RemoveMetaChild { slot, mref } => {
-            let mb = state.metas.get_mut(slot).expect("RemoveMetaChild: bad slot");
+            let mb = state
+                .metas
+                .get_mut(slot)
+                .expect("RemoveMetaChild: bad slot");
             if let Some(i) = mb.children.iter().position(|c| c.mref == mref) {
                 let c = mb.children.remove(i);
                 mb.index.remove(c.entry_slot);
@@ -1030,13 +1073,21 @@ pub fn handle(
             work += p.nodes.len() as u64 * 2;
             let count = p.nodes.len() as u64;
             let (slot, node_slots) = put_meta(state, my, p, None);
-            Resp::Placed { slot, node_slots, count }
+            Resp::Placed {
+                slot,
+                node_slots,
+                count,
+            }
         }
         Req::ReplaceMeta { slot, msg } => {
             work += msg.nodes.len() as u64 * 2;
             let count = msg.nodes.len() as u64;
             let (slot, node_slots) = put_meta(state, my, msg, Some(slot));
-            Resp::Placed { slot, node_slots, count }
+            Resp::Placed {
+                slot,
+                node_slots,
+                count,
+            }
         }
         Req::FetchMetaFull { slot } => {
             let mb = state.metas.get(slot).expect("FetchMetaFull: bad slot");
@@ -1065,7 +1116,11 @@ pub fn handle(
             b.parent = parent;
             Resp::Ok
         }
-        Req::SetBlockMeta { slot, meta, meta_slot } => {
+        Req::SetBlockMeta {
+            slot,
+            meta,
+            meta_slot,
+        } => {
             let b = state.blocks.get_mut(slot).expect("SetBlockMeta: bad slot");
             b.meta = Some((meta, meta_slot));
             Resp::Ok
@@ -1166,6 +1221,10 @@ pub fn handle(
             let b = state.blocks.get(slot).expect("DescendBlock: bad slot");
             work += bits.0.len().div_ceil(64) as u64 + 2;
             Resp::Descend(descend_local(b, &bits.0))
+        }
+        Req::ResetModule => {
+            *state = ModuleState::new(state.width);
+            Resp::Ok
         }
     };
     ctx.work(work.max(1));
@@ -1282,7 +1341,11 @@ fn put_meta(
             let child_slot = node_slots[i];
             let parent_slot = node_slots[*j as usize];
             mb.nodes.get_mut(child_slot).unwrap().parent = Some(parent_slot);
-            mb.nodes.get_mut(parent_slot).unwrap().children.push(child_slot);
+            mb.nodes
+                .get_mut(parent_slot)
+                .unwrap()
+                .children
+                .push(child_slot);
         }
     }
     mb.root_node = node_slots[p.root_idx as usize];
@@ -1526,11 +1589,7 @@ fn delete_at_node(trie: &mut Trie, node: NodeId) {
 
 /// Extract the block's subtrie below (node, off) with keys' values and
 /// mirror children; returns (trie, mirror children, anchor depth-in-block).
-fn subtree_local(
-    block: &DataBlock,
-    node: NodeId,
-    off: usize,
-) -> (Trie, Vec<(u32, BlockRef)>, u64) {
+fn subtree_local(block: &DataBlock, node: NodeId, off: usize) -> (Trie, Vec<(u32, BlockRef)>, u64) {
     // Build a standalone trie rooted at the anchor position.
     let mut out = Trie::new();
     let mut children = Vec::new();

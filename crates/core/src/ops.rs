@@ -3,19 +3,37 @@
 //! their updates trigger (block re-partitioning, meta-block splits,
 //! undersized merges).
 
+use crate::error::PimTrieError;
 use crate::matching::{Anchor, MatchedTrie};
 use crate::module::{GraftMsg, Req, Resp, MIRROR_VALUE};
 use crate::refs::{BitsMsg, BlockRef, MetaRef, TrieMsg};
 use crate::PimTrie;
 use bitstr::BitStr;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use trie_core::{NodeId, Trie};
 
 impl PimTrie {
     /// LongestCommonPrefix for every query in the batch (§5.1): the length
-    /// in bits of the longest prefix shared with *any* stored key.
+    /// in bits of the longest prefix shared with *any* stored key. Panics
+    /// if fault recovery gives up; [`PimTrie::try_lcp_batch`] reports it.
     pub fn lcp_batch(&mut self, queries: &[BitStr]) -> Vec<usize> {
-        let mt = self.match_batch(queries);
+        self.try_lcp_batch(queries)
+            .unwrap_or_else(|e| panic!("lcp_batch: {e}"))
+    }
+
+    /// Fallible LongestCommonPrefix. With
+    /// [`fault_tolerance`](crate::PimTrieConfig::fault_tolerance) on,
+    /// injected wire faults and module crashes are recovered behind this
+    /// call; an error means recovery itself was exhausted.
+    pub fn try_lcp_batch(&mut self, queries: &[BitStr]) -> Result<Vec<usize>, PimTrieError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.with_recovery(|t| t.lcp_core(queries))
+    }
+
+    fn lcp_core(&mut self, queries: &[BitStr]) -> Result<Vec<usize>, PimTrieError> {
+        let mt = self.match_batch(queries)?;
         let mut out: Vec<usize> = (0..queries.len())
             .map(|i| mt.depth_of[mt.qt.key_node[i].idx()] as usize)
             .collect();
@@ -26,27 +44,60 @@ impl PimTrie {
         if !flagged.is_empty() {
             self.redo_paths += flagged.len() as u64;
             let qs: Vec<BitStr> = flagged.iter().map(|i| queries[*i].clone()).collect();
-            let rs = self.slow_descend(&qs);
+            let rs = self.try_slow_descend(&qs)?;
             for (i, r) in flagged.into_iter().zip(rs) {
                 out[i] = r.depth as usize;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Insert a batch of (key, value) pairs (§5.2). Duplicate keys within
     /// the batch collapse to the last value; re-inserting an existing key
     /// overwrites its value. Values must not equal `u64::MAX` (reserved).
+    /// Panics on invalid input; [`PimTrie::try_insert_batch`] reports it.
     pub fn insert_batch(&mut self, keys: &[BitStr], values: &[u64]) {
-        assert_eq!(keys.len(), values.len());
-        assert!(
-            values.iter().all(|v| *v != MIRROR_VALUE),
-            "u64::MAX is reserved for mirror sentinels"
-        );
-        if keys.is_empty() {
-            return;
+        self.try_insert_batch(keys, values)
+            .unwrap_or_else(|e| panic!("insert_batch: {e}"))
+    }
+
+    /// Fallible insert: rejects mismatched key/value lengths, zero-length
+    /// keys, and the reserved value `u64::MAX` instead of panicking. With
+    /// [`fault_tolerance`](crate::PimTrieConfig::fault_tolerance) on, the
+    /// host journal records the batch once it has fully applied, so a
+    /// module crash mid-batch rolls back to the pre-batch key set before
+    /// the operation is re-run.
+    pub fn try_insert_batch(
+        &mut self,
+        keys: &[BitStr],
+        values: &[u64],
+    ) -> Result<(), PimTrieError> {
+        if keys.len() != values.len() {
+            return Err(PimTrieError::MismatchedBatch {
+                keys: keys.len(),
+                values: values.len(),
+            });
         }
-        let mt = self.match_batch(keys);
+        if let Some(i) = keys.iter().position(|k| k.is_empty()) {
+            return Err(PimTrieError::EmptyKey(i));
+        }
+        if let Some(i) = values.iter().position(|v| *v == MIRROR_VALUE) {
+            return Err(PimTrieError::ReservedValue(i));
+        }
+        if keys.is_empty() {
+            return Ok(());
+        }
+        self.with_recovery(|t| t.insert_core(keys, values))?;
+        if self.cfg.fault_tolerance {
+            for (k, v) in keys.iter().zip(values) {
+                self.journal.insert(k.clone(), *v);
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_core(&mut self, keys: &[BitStr], values: &[u64]) -> Result<(), PimTrieError> {
+        let mt = self.match_batch(keys)?;
         // value per key node: last batch occurrence wins
         let mut val_of: HashMap<u32, u64> = HashMap::new();
         for (i, _) in keys.iter().enumerate() {
@@ -102,7 +153,7 @@ impl PimTrie {
             grafts.push((anchor, sub));
         }
 
-        self.apply_grafts(grafts);
+        self.apply_grafts(grafts)?;
 
         // ---- flagged keys: exact anchors via one slow descent ----------
         // Keys sharing an anchor (they diverge from the data at the same
@@ -111,8 +162,10 @@ impl PimTrie {
         if !flagged_keys.is_empty() {
             self.redo_paths += flagged_keys.len() as u64;
             let ks: Vec<BitStr> = flagged_keys.iter().map(|(k, _)| k.clone()).collect();
-            let rs = self.slow_descend(&ks);
-            let mut by_anchor: HashMap<(BlockRef, u32, u32), Trie> = HashMap::new();
+            let rs = self.try_slow_descend(&ks)?;
+            // BTreeMap: iteration order feeds message order, which must be
+            // deterministic for seeded fault schedules to be reproducible.
+            let mut by_anchor: BTreeMap<(BlockRef, u32, u32), Trie> = BTreeMap::new();
             for ((k, v), r) in flagged_keys.into_iter().zip(rs) {
                 let key = (r.anchor.block, r.anchor.node, r.anchor.off);
                 let sub = by_anchor.entry(key).or_default();
@@ -127,19 +180,21 @@ impl PimTrie {
                 .into_iter()
                 .map(|((block, node, off), sub)| (Anchor { block, node, off }, sub))
                 .collect();
-            self.apply_grafts(grafts);
+            self.apply_grafts(grafts)?;
         }
+        Ok(())
     }
 
     /// Apply grafts grouped per block, then run growth maintenance.
-    fn apply_grafts(&mut self, grafts: Vec<(Anchor, Trie)>) {
+    fn apply_grafts(&mut self, grafts: Vec<(Anchor, Trie)>) -> Result<(), PimTrieError> {
         if grafts.is_empty() {
-            return;
+            return Ok(());
         }
         let p = self.sys.p();
         // group per block, sorted by (anchor node, off) for the module's
-        // split-offset adjustment
-        let mut per_block: HashMap<BlockRef, Vec<(Anchor, Trie)>> = HashMap::new();
+        // split-offset adjustment; BTreeMap so message order is stable
+        // across runs (fault draws index into it)
+        let mut per_block: BTreeMap<BlockRef, Vec<(Anchor, Trie)>> = BTreeMap::new();
         for (a, t) in grafts {
             per_block.entry(a.block).or_default().push((a, t));
         }
@@ -161,7 +216,7 @@ impl PimTrie {
             });
             origin[block.module as usize].push(block);
         }
-        let replies = self.rounds("insert.graft", inbox);
+        let replies = self.rounds("insert.graft", inbox)?;
         let mut oversized: Vec<BlockRef> = Vec::new();
         for (m, rs) in replies.into_iter().enumerate() {
             for (j, resp) in rs.into_iter().enumerate() {
@@ -182,16 +237,37 @@ impl PimTrie {
                 }
             }
         }
-        self.repartition_blocks(oversized);
+        self.repartition_blocks(oversized)
     }
 
     /// Delete a batch of keys (§5.2); returns how many were present and
-    /// removed. Duplicates in the batch count once.
+    /// removed. Duplicates in the batch count once. Panics if fault
+    /// recovery gives up; [`PimTrie::try_delete_batch`] reports it.
     pub fn delete_batch(&mut self, keys: &[BitStr]) -> usize {
-        if keys.is_empty() {
-            return 0;
+        self.try_delete_batch(keys)
+            .unwrap_or_else(|e| panic!("delete_batch: {e}"))
+    }
+
+    /// Fallible delete: rejects zero-length keys and recovers from
+    /// injected faults like [`PimTrie::try_insert_batch`].
+    pub fn try_delete_batch(&mut self, keys: &[BitStr]) -> Result<usize, PimTrieError> {
+        if let Some(i) = keys.iter().position(|k| k.is_empty()) {
+            return Err(PimTrieError::EmptyKey(i));
         }
-        let mt = self.match_batch(keys);
+        if keys.is_empty() {
+            return Ok(0);
+        }
+        let removed = self.with_recovery(|t| t.delete_core(keys))?;
+        if self.cfg.fault_tolerance {
+            for k in keys {
+                self.journal.remove(k);
+            }
+        }
+        Ok(removed)
+    }
+
+    fn delete_core(&mut self, keys: &[BitStr]) -> Result<usize, PimTrieError> {
+        let mt = self.match_batch(keys)?;
         let p = self.sys.p();
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
         let mut origin: Vec<Vec<BlockRef>> = (0..p).map(|_| Vec::new()).collect();
@@ -225,7 +301,7 @@ impl PimTrie {
         // exact path for flagged keys
         if !slow.is_empty() {
             self.redo_paths += slow.len() as u64;
-            let rs = self.slow_descend(&slow);
+            let rs = self.try_slow_descend(&slow)?;
             for (k, r) in slow.iter().zip(rs) {
                 if r.depth as usize == k.len() {
                     inbox[r.anchor.block.module as usize].push(Req::DeleteKey {
@@ -238,9 +314,9 @@ impl PimTrie {
             }
         }
         if inbox.iter().all(|v| v.is_empty()) {
-            return 0;
+            return Ok(0);
         }
-        let replies = self.rounds("delete.keys", inbox);
+        let replies = self.rounds("delete.keys", inbox)?;
         let mut removed = 0usize;
         let mut shrunk: Vec<(BlockRef, u64, u64, u64)> = Vec::new();
         for (m, rs) in replies.into_iter().enumerate() {
@@ -263,17 +339,33 @@ impl PimTrie {
                 shrunk.push((block, weight, keys, children));
             }
         }
-        self.maintain_after_shrink(shrunk);
-        removed
+        self.maintain_after_shrink(shrunk)?;
+        Ok(removed)
     }
 
     /// SubtreeQuery (§5.3): for every prefix, the trie of all stored keys
     /// extending it (full keys + values), or `None` if no stored key does.
+    /// Panics if fault recovery gives up;
+    /// [`PimTrie::try_subtree_batch`] reports it instead.
     pub fn subtree_batch(&mut self, prefixes: &[BitStr]) -> Vec<Option<Trie>> {
+        self.try_subtree_batch(prefixes)
+            .unwrap_or_else(|e| panic!("subtree_batch: {e}"))
+    }
+
+    /// Fallible SubtreeQuery; recovers from injected faults like
+    /// [`PimTrie::try_lcp_batch`].
+    pub fn try_subtree_batch(
+        &mut self,
+        prefixes: &[BitStr],
+    ) -> Result<Vec<Option<Trie>>, PimTrieError> {
         if prefixes.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let mt = self.match_batch(prefixes);
+        self.with_recovery(|t| t.subtree_core(prefixes))
+    }
+
+    fn subtree_core(&mut self, prefixes: &[BitStr]) -> Result<Vec<Option<Trie>>, PimTrieError> {
+        let mt = self.match_batch(prefixes)?;
         let p = self.sys.p();
         let mut out: Vec<Option<Trie>> = (0..prefixes.len()).map(|_| None).collect();
         // frontier entries: (query idx, block, node, off, absolute prefix)
@@ -282,7 +374,7 @@ impl PimTrie {
             let node = mt.qt.key_node[i];
             let (depth, anchor) = if mt.flagged[node.idx()] {
                 self.redo_paths += 1;
-                let r = self.slow_descend(std::slice::from_ref(prefix))[0];
+                let r = self.try_slow_descend(std::slice::from_ref(prefix))?[0];
                 (r.depth, Some(r.anchor))
             } else {
                 (mt.depth_of[node.idx()], mt.anchor_of[node.idx()])
@@ -302,14 +394,23 @@ impl PimTrie {
             let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
             let mut origin: Vec<Vec<(usize, BitStr)>> = (0..p).map(|_| Vec::new()).collect();
             for (qi, block, node, off, prefix) in frontier.drain(..) {
-                inbox[block.module as usize].push(Req::FetchSubtree { slot: block.slot, node, off });
+                inbox[block.module as usize].push(Req::FetchSubtree {
+                    slot: block.slot,
+                    node,
+                    off,
+                });
                 origin[block.module as usize].push((qi, prefix));
             }
-            let replies = self.rounds("subtree.fetch", inbox);
+            let replies = self.rounds("subtree.fetch", inbox)?;
             for (m, rs) in replies.into_iter().enumerate() {
                 for (j, resp) in rs.into_iter().enumerate() {
                     let (qi, prefix) = origin[m][j].clone();
-                    let Resp::Subtree { trie, children, depth } = resp else {
+                    let Resp::Subtree {
+                        trie,
+                        children,
+                        depth,
+                    } = resp
+                    else {
                         panic!("subtree: unexpected response")
                     };
                     debug_assert!(depth as usize >= prefix.len());
@@ -324,8 +425,7 @@ impl PimTrie {
                     // recurse into child blocks with their absolute prefixes
                     for (piece_node, child) in children {
                         let mut child_prefix = prefix.clone();
-                        child_prefix
-                            .append(&piece.node_string(NodeId(piece_node)).as_slice());
+                        child_prefix.append(&piece.node_string(NodeId(piece_node)).as_slice());
                         frontier.push((qi, child, NodeId::ROOT.0, 0, child_prefix));
                     }
                 }
@@ -339,16 +439,28 @@ impl PimTrie {
                 *r = None;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Exact-key point lookup: one trie-matching pass, then one round of
-    /// `O(1)`-word value reads at the matched anchors.
+    /// `O(1)`-word value reads at the matched anchors. Panics if fault
+    /// recovery gives up; [`PimTrie::try_get_batch`] reports it instead.
     pub fn get_batch(&mut self, keys: &[BitStr]) -> Vec<Option<u64>> {
+        self.try_get_batch(keys)
+            .unwrap_or_else(|e| panic!("get_batch: {e}"))
+    }
+
+    /// Fallible point lookup; recovers from injected faults like
+    /// [`PimTrie::try_lcp_batch`].
+    pub fn try_get_batch(&mut self, keys: &[BitStr]) -> Result<Vec<Option<u64>>, PimTrieError> {
         if keys.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let mt = self.match_batch(keys);
+        self.with_recovery(|t| t.get_core(keys))
+    }
+
+    fn get_core(&mut self, keys: &[BitStr]) -> Result<Vec<Option<u64>>, PimTrieError> {
+        let mt = self.match_batch(keys)?;
         let p = self.sys.p();
         let mut out: Vec<Option<u64>> = vec![None; keys.len()];
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
@@ -377,7 +489,8 @@ impl PimTrie {
         if !slow.is_empty() {
             self.redo_paths += slow.len() as u64;
             let qs: Vec<BitStr> = slow.iter().map(|(_, k)| k.clone()).collect();
-            for ((i, k), r) in slow.iter().zip(self.slow_descend(&qs)) {
+            let rs = self.try_slow_descend(&qs)?;
+            for ((i, k), r) in slow.iter().zip(rs) {
                 if r.depth as usize == k.len() {
                     inbox[r.anchor.block.module as usize].push(Req::ReadKey {
                         slot: r.anchor.block.slot,
@@ -389,9 +502,9 @@ impl PimTrie {
             }
         }
         if inbox.iter().all(|v| v.is_empty()) {
-            return out;
+            return Ok(out);
         }
-        let replies = self.rounds("get.read", inbox);
+        let replies = self.rounds("get.read", inbox)?;
         for (m, rs) in replies.into_iter().enumerate() {
             for (j, resp) in rs.into_iter().enumerate() {
                 let Resp::Value(v) = resp else {
@@ -400,7 +513,7 @@ impl PimTrie {
                 out[origin[m][j]] = v;
             }
         }
-        out
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -411,13 +524,13 @@ impl PimTrie {
     /// blocking algorithm, keep every root piece in place, scatter the
     /// rest — all blocks advance together through shared BSP rounds, so a
     /// batch of overflows costs O(1) extra rounds, not O(#blocks).
-    pub(crate) fn repartition_blocks(&mut self, brefs: Vec<BlockRef>) {
+    pub(crate) fn repartition_blocks(&mut self, brefs: Vec<BlockRef>) -> Result<(), PimTrieError> {
         if brefs.is_empty() {
-            return;
+            return Ok(());
         }
         let p = self.sys.p();
         // Round 1: fetch all oversized blocks.
-        let bds = self.fetch_blocks(&brefs, "repart.fetch");
+        let bds = self.fetch_blocks(&brefs, "repart.fetch")?;
 
         struct Piece {
             target: BlockRef,
@@ -484,7 +597,7 @@ impl PimTrie {
             });
         }
         if plans.is_empty() {
-            return;
+            return Ok(());
         }
 
         // Round 2: place all non-root pieces on random modules.
@@ -513,7 +626,7 @@ impl PimTrie {
                 origin[m as usize].push((pi, bi));
             }
         }
-        let replies = self.rounds("repart.place", inbox);
+        let replies = self.rounds("repart.place", inbox)?;
         for (m, rs) in replies.into_iter().enumerate() {
             for (j, resp) in rs.into_iter().enumerate() {
                 let Resp::Placed { slot, .. } = resp else {
@@ -597,7 +710,7 @@ impl PimTrie {
                 }
             }
         }
-        self.rounds("repart.wire", inbox);
+        self.rounds("repart.wire", inbox)?;
 
         // Round 4: register meta nodes for all new pieces.
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
@@ -651,7 +764,7 @@ impl PimTrie {
             });
             origin[meta_ref.module as usize].push(pi);
         }
-        let replies = self.rounds("repart.meta", inbox);
+        let replies = self.rounds("repart.meta", inbox)?;
         let mut wire_inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
         let mut oversized_metas: Vec<MetaRef> = Vec::new();
         for (m, rs) in replies.into_iter().enumerate() {
@@ -681,8 +794,8 @@ impl PimTrie {
                 }
             }
         }
-        self.rounds("repart.meta.wire", wire_inbox);
-        self.split_meta_blocks(oversized_metas);
+        self.rounds("repart.meta.wire", wire_inbox)?;
+        self.split_meta_blocks(oversized_metas)
     }
 
     /// Round helper: fetch many blocks at once.
@@ -690,7 +803,7 @@ impl PimTrie {
         &mut self,
         brefs: &[BlockRef],
         name: &str,
-    ) -> Vec<crate::module::BlockDataOut> {
+    ) -> Result<Vec<crate::module::BlockDataOut>, PimTrieError> {
         let p = self.sys.p();
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
         let mut origin: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
@@ -698,7 +811,7 @@ impl PimTrie {
             inbox[b.module as usize].push(Req::FetchBlock { slot: b.slot });
             origin[b.module as usize].push(i);
         }
-        let replies = self.rounds(name, inbox);
+        let replies = self.rounds(name, inbox)?;
         let mut out: Vec<Option<crate::module::BlockDataOut>> =
             brefs.iter().map(|_| None).collect();
         for (m, rs) in replies.into_iter().enumerate() {
@@ -709,13 +822,16 @@ impl PimTrie {
                 out[origin[m][j]] = Some(bd);
             }
         }
-        out.into_iter().map(|o| o.unwrap()).collect()
+        Ok(out.into_iter().map(|o| o.unwrap()).collect())
     }
 
     /// Merge/drop undersized and emptied blocks after deletions. Each loop
     /// iteration advances every candidate one level up through shared BSP
     /// rounds; cascades drain in O(depth) rounds total.
-    fn maintain_after_shrink(&mut self, mut shrunk: Vec<(BlockRef, u64, u64, u64)>) {
+    fn maintain_after_shrink(
+        &mut self,
+        mut shrunk: Vec<(BlockRef, u64, u64, u64)>,
+    ) -> Result<(), PimTrieError> {
         let p = self.sys.p();
         let mut guard = 0;
         while !shrunk.is_empty() {
@@ -724,7 +840,8 @@ impl PimTrie {
                 break;
             }
             // several deletes may hit one block: keep the last vitals
-            let mut latest: HashMap<BlockRef, (u64, u64, u64)> = HashMap::new();
+            // (ordered — candidate order decides fetch message order)
+            let mut latest: BTreeMap<BlockRef, (u64, u64, u64)> = BTreeMap::new();
             for (bref, weight, keys, children) in shrunk.drain(..) {
                 latest.insert(bref, (weight, keys, children));
             }
@@ -741,7 +858,7 @@ impl PimTrie {
                 break;
             }
             // Round A: fetch all candidates.
-            let bds = self.fetch_blocks(&candidates, "merge.fetch");
+            let bds = self.fetch_blocks(&candidates, "merge.fetch")?;
             // Round B: splice each into its parent.
             let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
             let mut origin: Vec<Vec<BlockRef>> = (0..p).map(|_| Vec::new()).collect();
@@ -756,8 +873,8 @@ impl PimTrie {
                 origin[parent.module as usize].push(parent);
                 merged.push((*bref, bd));
             }
-            let replies = self.rounds("merge.apply", inbox);
-            let mut parent_vitals: HashMap<BlockRef, (u64, u64, u64)> = HashMap::new();
+            let replies = self.rounds("merge.apply", inbox)?;
+            let mut parent_vitals: BTreeMap<BlockRef, (u64, u64, u64)> = BTreeMap::new();
             for (m, rs) in replies.into_iter().enumerate() {
                 for (j, resp) in rs.into_iter().enumerate() {
                     let Resp::BlockVitals {
@@ -789,7 +906,7 @@ impl PimTrie {
                     meta_origin[mref.module as usize].push(mref);
                 }
             }
-            let replies = self.rounds("merge.cleanup", inbox);
+            let replies = self.rounds("merge.cleanup", inbox)?;
             // Round D: drop emptied meta-blocks, detach from parents/master.
             let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
             let mut master_removals: Vec<MetaRef> = Vec::new();
@@ -813,7 +930,7 @@ impl PimTrie {
                 }
             }
             if inbox.iter().any(|v| !v.is_empty()) {
-                self.rounds("merge.meta.drop", inbox);
+                self.rounds("merge.meta.drop", inbox)?;
             }
             if !master_removals.is_empty() {
                 let broadcast: Vec<Vec<Req>> = (0..p)
@@ -824,7 +941,7 @@ impl PimTrie {
                             .collect()
                     })
                     .collect();
-                self.rounds("master.remove", broadcast);
+                self.rounds("master.remove", broadcast)?;
                 for m in &master_removals {
                     self.chunk_sizes.remove(m);
                 }
@@ -839,17 +956,18 @@ impl PimTrie {
                     next.push((parent, weight, keys, children));
                 }
             }
-            self.repartition_blocks(oversized);
+            self.repartition_blocks(oversized)?;
             shrunk = next;
         }
+        Ok(())
     }
 
     /// Split overfull meta-blocks: pull each, re-cut with Lemma 4.5, keep
     /// every root piece at its address, scatter the children (§4.4.1 / the
     /// §5.2 CPU-side rebuild). All splits advance through shared rounds.
-    pub(crate) fn split_meta_blocks(&mut self, mrefs: Vec<MetaRef>) {
+    pub(crate) fn split_meta_blocks(&mut self, mrefs: Vec<MetaRef>) -> Result<(), PimTrieError> {
         if mrefs.is_empty() {
-            return;
+            return Ok(());
         }
         let p = self.sys.p();
         // Round 1: fetch all full meta-blocks.
@@ -859,7 +977,7 @@ impl PimTrie {
             inbox[m.module as usize].push(Req::FetchMetaFull { slot: m.slot });
             origin[m.module as usize].push(i);
         }
-        let replies = self.rounds("msplit.fetch", inbox);
+        let replies = self.rounds("msplit.fetch", inbox)?;
         let mut fulls: Vec<Option<crate::module::MetaFullOut>> =
             mrefs.iter().map(|_| None).collect();
         for (m, rs) in replies.into_iter().enumerate() {
@@ -945,9 +1063,9 @@ impl PimTrie {
             job_mref.push(*mref);
         }
         if jobs.is_empty() {
-            return;
+            return Ok(());
         }
-        let placed = self.place_chunks(&jobs);
+        let placed = self.place_chunks(&jobs)?;
         // Re-wire surviving external children's parent pointers.
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
         for (ji, job) in jobs.iter().enumerate() {
@@ -959,18 +1077,80 @@ impl PimTrie {
                 });
             }
         }
-        self.rounds("msplit.rewire", inbox);
+        self.rounds("msplit.rewire", inbox)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // crash recovery
+    // ------------------------------------------------------------------
+
+    /// Run `op`, rebuilding the index from the host journal and retrying
+    /// whenever a module reports a rebooted (blank) state mid-operation.
+    /// Fault plans fire each crash once, so a bounded number of rebuilds
+    /// always reaches a clean re-run; the bound guards against
+    /// pathological fault plans, not correctness.
+    fn with_recovery<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, PimTrieError>,
+    ) -> Result<T, PimTrieError> {
+        const MAX_REBUILDS: u32 = 4;
+        let mut rebuilds = 0u32;
+        loop {
+            match op(self) {
+                Err(PimTrieError::ModuleLost { .. })
+                    if self.cfg.fault_tolerance && rebuilds < MAX_REBUILDS =>
+                {
+                    rebuilds += 1;
+                    // a crash can land during the rebuild too; retry it
+                    // within the same budget
+                    while let Err(e) = self.rebuild_from_journal() {
+                        match e {
+                            PimTrieError::ModuleLost { .. } if rebuilds < MAX_REBUILDS => {
+                                rebuilds += 1;
+                            }
+                            other => return Err(other),
+                        }
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Re-scatter the whole index from the host-side journal after a
+    /// module lost its memory: blank every module (clearing the crashed
+    /// fences), bootstrap the empty trie, and replay the surviving keys
+    /// in bulk chunks. The journal holds the last fully-applied batch
+    /// state, so a half-applied batch is rolled back here and re-run by
+    /// `with_recovery`.
+    fn rebuild_from_journal(&mut self) -> Result<(), PimTrieError> {
+        self.sys.metrics_mut().fault_stats_mut().rebuilds += 1;
+        let p = self.sys.p();
+        let inbox: Vec<Vec<Req>> = (0..p).map(|_| vec![Req::ResetModule]).collect();
+        self.rounds("recover.reset", inbox)?;
+        self.chunk_sizes.clear();
+        self.n_keys = 0;
+        self.bootstrap()?;
+        let entries: Vec<(BitStr, u64)> =
+            self.journal.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        // Small chunks on purpose: the first chunks graft into a nearly
+        // empty trie, so the chunk size bounds the largest single graft
+        // message. Replaying 4k keys at once builds one root graft so
+        // large that no per-word corruption rate worth recovering from
+        // would ever deliver it within the retry budget.
+        for chunk in entries.chunks(256) {
+            let keys: Vec<BitStr> = chunk.iter().map(|(k, _)| k.clone()).collect();
+            let vals: Vec<u64> = chunk.iter().map(|(_, v)| *v).collect();
+            self.insert_core(&keys, &vals)?;
+        }
+        Ok(())
     }
 }
 
 /// Build the graft subtree hanging below position `(below, depth)` of the
 /// query trie, with real values substituted at key nodes.
-fn subtree_for_graft(
-    qt: &Trie,
-    below: NodeId,
-    depth: u64,
-    val_of: &HashMap<u32, u64>,
-) -> Trie {
+fn subtree_for_graft(qt: &Trie, below: NodeId, depth: u64, val_of: &HashMap<u32, u64>) -> Trie {
     let mut out = Trie::new();
     let n = qt.node(below);
     let start = depth as usize - (n.depth as usize - n.edge.len());
@@ -1020,4 +1200,3 @@ fn collect_keys_below(
         }
     }
 }
-

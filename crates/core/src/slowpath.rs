@@ -12,6 +12,7 @@
 //! holding its current block; the module walks them bit-exactly and either
 //! finishes or hands over the child block behind a mirror leaf.
 
+use crate::error::PimTrieError;
 use crate::matching::Anchor;
 use crate::module::{Req, Resp};
 use crate::refs::{BitsMsg, BlockRef};
@@ -29,8 +30,18 @@ pub struct SlowResult {
 
 impl PimTrie {
     /// Exact LCP + anchor for each query, by block-by-block descent.
-    /// `O(max path blocks)` rounds for the whole batch.
+    /// `O(max path blocks)` rounds for the whole batch. Panics if fault
+    /// recovery gives up; [`PimTrie::try_slow_descend`] reports it instead.
     pub fn slow_descend(&mut self, queries: &[BitStr]) -> Vec<SlowResult> {
+        self.try_slow_descend(queries)
+            .unwrap_or_else(|e| panic!("slow_descend: {e}"))
+    }
+
+    /// Fallible form of [`PimTrie::slow_descend`].
+    pub fn try_slow_descend(
+        &mut self,
+        queries: &[BitStr],
+    ) -> Result<Vec<SlowResult>, PimTrieError> {
         let p = self.sys.p();
         struct Active {
             block: BlockRef,
@@ -63,7 +74,7 @@ impl PimTrie {
                 });
                 origin[st.block.module as usize].push(qi);
             }
-            let replies = self.rounds("slowpath", inbox);
+            let replies = self.rounds("slowpath", inbox)?;
             let mut next_active = Vec::new();
             for (m, rs) in replies.into_iter().enumerate() {
                 for (j, resp) in rs.into_iter().enumerate() {
@@ -92,7 +103,7 @@ impl PimTrie {
             }
             active = next_active;
         }
-        out.into_iter().map(|o| o.unwrap()).collect()
+        Ok(out.into_iter().map(|o| o.unwrap()).collect())
     }
 
     /// Exact LCP lengths via the slow path (oracle / baseline).

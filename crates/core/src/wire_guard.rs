@@ -1,0 +1,709 @@
+//! CRC-64-sealed wire envelopes and the module side of the recovery
+//! protocol.
+//!
+//! When [`PimTrieConfig::fault_tolerance`](crate::PimTrieConfig) is on,
+//! every CPU↔PIM message travels inside a [`SealedReq`] / [`SealedResp`]
+//! envelope: a `(seq, idx)` frame header identifying the request within
+//! its round, plus a CRC-64/ECMA checksum over the header and a digest of
+//! the payload (the same plain-remainder CRC used by
+//! [`bitstr::crc::Crc64Hasher`] — the paper's "second incremental hash").
+//! The envelope costs two extra wire words per message; with fault
+//! tolerance off none of this code runs and metering is bit-identical to
+//! the unguarded build.
+//!
+//! The module side ([`handle_sealed`]) implements three defenses:
+//!
+//! * **integrity** — a request whose checksum does not verify is answered
+//!   with [`Resp::CorruptReq`] and *not executed*, so a corrupted mutation
+//!   can never be applied;
+//! * **at-most-once execution** — replies of the current round sequence
+//!   are cached by `(seq, idx)`, so when the host retries a request whose
+//!   *reply* was lost or corrupted, the module returns the cached reply
+//!   instead of re-executing a (possibly mutating) request;
+//! * **crash fencing** — a module whose memory was wiped by a crash
+//!   answers every request with [`Resp::Rebooted`] until the host resets
+//!   it with [`Req::ResetModule`], instead of panicking on dangling slots.
+//!
+//! The host side (the retry ladder in `PimTrie::rounds`) lives in
+//! `build.rs`.
+
+use crate::module::{handle, ModuleState, Req, Resp};
+use crate::refs::{BitsMsg, BlockRef, MetaRef};
+use bitstr::crc::Crc64Hasher;
+use bitstr::hash::{HashVal, IncrementalHash, PolyHasher};
+use bitstr::BitStr;
+use pim_sim::{PimCtx, Wire};
+use std::sync::OnceLock;
+
+fn crc64() -> &'static Crc64Hasher {
+    static CRC: OnceLock<Crc64Hasher> = OnceLock::new();
+    CRC.get_or_init(Crc64Hasher::ecma)
+}
+
+/// Running CRC-64 fingerprint sink: words are absorbed via the hasher's
+/// associative combine (`acc·x^64 ⊕ word`), i.e. the digest is the CRC of
+/// the concatenated word stream.
+pub(crate) struct Fp {
+    acc: HashVal,
+}
+
+impl Fp {
+    fn new() -> Self {
+        Fp { acc: HashVal(0) }
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.acc = crc64().combine(self.acc, HashVal(w), 64);
+    }
+
+    fn finish(self) -> u64 {
+        self.acc.0
+    }
+}
+
+/// Types whose semantic content can be folded into a wire checksum.
+///
+/// Large opaque payloads (shipped tries, query pieces) contribute their
+/// structural size rather than full content: the simulator's fault layer
+/// cannot corrupt them in flight (their [`Wire::flip_bit`] is a no-op),
+/// so the checksum only has to cover what can actually change on the
+/// simulated wire — and any flip that would land in an opaque payload is
+/// rerouted to the envelope's CRC word, where it is always detected.
+pub(crate) trait Fingerprint {
+    fn feed(&self, fp: &mut Fp);
+}
+
+macro_rules! fp_scalar {
+    ($($t:ty),*) => {
+        $(impl Fingerprint for $t {
+            #[inline]
+            fn feed(&self, fp: &mut Fp) {
+                fp.word(*self as u64);
+            }
+        })*
+    };
+}
+
+fp_scalar!(u8, u16, u32, u64, usize, i64);
+
+impl Fingerprint for bool {
+    fn feed(&self, fp: &mut Fp) {
+        fp.word(*self as u64);
+    }
+}
+
+impl Fingerprint for HashVal {
+    fn feed(&self, fp: &mut Fp) {
+        fp.word(self.0);
+    }
+}
+
+impl Fingerprint for BlockRef {
+    fn feed(&self, fp: &mut Fp) {
+        fp.word((self.module as u64) << 32 | self.slot as u64);
+    }
+}
+
+impl Fingerprint for MetaRef {
+    fn feed(&self, fp: &mut Fp) {
+        fp.word((self.module as u64) << 32 | self.slot as u64);
+    }
+}
+
+impl Fingerprint for BitStr {
+    fn feed(&self, fp: &mut Fp) {
+        let s = self.as_slice();
+        fp.word(s.len() as u64);
+        let mut i = 0;
+        while i < s.len() {
+            fp.word(s.chunk(i, 64.min(s.len() - i)));
+            i += 64;
+        }
+    }
+}
+
+impl Fingerprint for BitsMsg {
+    fn feed(&self, fp: &mut Fp) {
+        self.0.feed(fp);
+    }
+}
+
+impl<T: Fingerprint> Fingerprint for Option<T> {
+    fn feed(&self, fp: &mut Fp) {
+        match self {
+            None => fp.word(0),
+            Some(v) => {
+                fp.word(1);
+                v.feed(fp);
+            }
+        }
+    }
+}
+
+impl<T: Fingerprint> Fingerprint for Vec<T> {
+    fn feed(&self, fp: &mut Fp) {
+        fp.word(self.len() as u64);
+        for v in self {
+            v.feed(fp);
+        }
+    }
+}
+
+impl<A: Fingerprint, B: Fingerprint> Fingerprint for (A, B) {
+    fn feed(&self, fp: &mut Fp) {
+        self.0.feed(fp);
+        self.1.feed(fp);
+    }
+}
+
+/// Opaque payloads: digest the structural wire size (see trait docs).
+macro_rules! fp_opaque {
+    ($($t:ty),*) => {
+        $(impl Fingerprint for $t {
+            fn feed(&self, fp: &mut Fp) {
+                fp.word(self.wire_words());
+            }
+        })*
+    };
+}
+
+fp_opaque!(crate::refs::TrieMsg, crate::hvm::QueryPiece);
+
+impl Fingerprint for crate::module::GraftMsg {
+    fn feed(&self, fp: &mut Fp) {
+        self.anchor_node.feed(fp);
+        self.anchor_off.feed(fp);
+        self.subtree.feed(fp);
+    }
+}
+
+impl Fingerprint for crate::module::PutBlockMsg {
+    fn feed(&self, fp: &mut Fp) {
+        self.trie.feed(fp);
+        self.root_depth.feed(fp);
+        self.root_hash.feed(fp);
+        self.s_last.feed(fp);
+        self.pre_hash.feed(fp);
+        self.rem.feed(fp);
+        self.parent.feed(fp);
+        self.mirrors.feed(fp);
+    }
+}
+
+impl Fingerprint for crate::module::NewMetaNode {
+    fn feed(&self, fp: &mut Fp) {
+        self.block.feed(fp);
+        self.depth.feed(fp);
+        self.hash.feed(fp);
+        self.pre_hash.feed(fp);
+        self.rem.feed(fp);
+        self.s_last.feed(fp);
+    }
+}
+
+impl Fingerprint for crate::module::NewMetaChild {
+    fn feed(&self, fp: &mut Fp) {
+        self.mref.feed(fp);
+        self.under_node.feed(fp);
+        self.root_block.feed(fp);
+        self.root_node_slot.feed(fp);
+        self.depth.feed(fp);
+        self.pre_hash.feed(fp);
+        self.rem.feed(fp);
+        self.s_last.feed(fp);
+    }
+}
+
+impl Fingerprint for crate::module::PutMetaMsg {
+    fn feed(&self, fp: &mut Fp) {
+        self.nodes.feed(fp);
+        self.root_idx.feed(fp);
+        self.parent.feed(fp);
+        self.children.feed(fp);
+        self.chunks.feed(fp);
+        self.parents.feed(fp);
+    }
+}
+
+impl Fingerprint for crate::module::MasterAddMsg {
+    fn feed(&self, fp: &mut Fp) {
+        self.mref.feed(fp);
+        self.root_block.feed(fp);
+        self.root_node_slot.feed(fp);
+        self.depth.feed(fp);
+        self.pre_hash.feed(fp);
+        self.rem.feed(fp);
+        self.s_last.feed(fp);
+    }
+}
+
+impl Fingerprint for Req {
+    fn feed(&self, fp: &mut Fp) {
+        match self {
+            Req::MatchMaster(p) => {
+                fp.word(1);
+                p.feed(fp);
+            }
+            Req::MatchMeta { slot, piece } => {
+                fp.word(2);
+                slot.feed(fp);
+                piece.feed(fp);
+            }
+            Req::MatchBlock { slot, piece } => {
+                fp.word(3);
+                slot.feed(fp);
+                piece.feed(fp);
+            }
+            Req::FetchMeta { slot } => {
+                fp.word(4);
+                slot.feed(fp);
+            }
+            Req::FetchBlock { slot } => {
+                fp.word(5);
+                slot.feed(fp);
+            }
+            Req::GraftMany { slot, grafts } => {
+                fp.word(6);
+                slot.feed(fp);
+                grafts.feed(fp);
+            }
+            Req::ReadKey { slot, node, depth } => {
+                fp.word(7);
+                slot.feed(fp);
+                node.feed(fp);
+                depth.feed(fp);
+            }
+            Req::DeleteKey { slot, node, depth } => {
+                fp.word(8);
+                slot.feed(fp);
+                node.feed(fp);
+                depth.feed(fp);
+            }
+            Req::MergeChild {
+                slot,
+                child,
+                subtree,
+            } => {
+                fp.word(9);
+                slot.feed(fp);
+                child.feed(fp);
+                subtree.feed(fp);
+            }
+            Req::ReplaceBlock {
+                slot,
+                trie,
+                mirrors,
+            } => {
+                fp.word(10);
+                slot.feed(fp);
+                trie.feed(fp);
+                mirrors.feed(fp);
+            }
+            Req::RemoveMetaChild { slot, mref } => {
+                fp.word(11);
+                slot.feed(fp);
+                mref.feed(fp);
+            }
+            Req::PutBlock(p) => {
+                fp.word(12);
+                p.feed(fp);
+            }
+            Req::PutMeta(p) => {
+                fp.word(13);
+                p.feed(fp);
+            }
+            Req::ReplaceMeta { slot, msg } => {
+                fp.word(14);
+                slot.feed(fp);
+                msg.feed(fp);
+            }
+            Req::FetchMetaFull { slot } => {
+                fp.word(15);
+                slot.feed(fp);
+            }
+            Req::DropBlock { slot } => {
+                fp.word(16);
+                slot.feed(fp);
+            }
+            Req::DropMeta { slot } => {
+                fp.word(17);
+                slot.feed(fp);
+            }
+            Req::SetMirror { slot, node, child } => {
+                fp.word(18);
+                slot.feed(fp);
+                node.feed(fp);
+                child.feed(fp);
+            }
+            Req::SetParent { slot, parent } => {
+                fp.word(19);
+                slot.feed(fp);
+                parent.feed(fp);
+            }
+            Req::SetBlockMeta {
+                slot,
+                meta,
+                meta_slot,
+            } => {
+                fp.word(20);
+                slot.feed(fp);
+                meta.feed(fp);
+                meta_slot.feed(fp);
+            }
+            Req::AddMetaNodes {
+                slot,
+                parent_node,
+                nodes,
+                parents,
+            } => {
+                fp.word(21);
+                slot.feed(fp);
+                parent_node.feed(fp);
+                nodes.feed(fp);
+                parents.feed(fp);
+            }
+            Req::RemoveMetaNode { slot, node } => {
+                fp.word(22);
+                slot.feed(fp);
+                node.feed(fp);
+            }
+            Req::SetMetaParent { slot, parent } => {
+                fp.word(23);
+                slot.feed(fp);
+                parent.feed(fp);
+            }
+            Req::MasterAdd(m) => {
+                fp.word(24);
+                m.feed(fp);
+            }
+            Req::MasterRemove { mref } => {
+                fp.word(25);
+                mref.feed(fp);
+            }
+            Req::FetchSubtree { slot, node, off } => {
+                fp.word(26);
+                slot.feed(fp);
+                node.feed(fp);
+                off.feed(fp);
+            }
+            Req::DescendBlock { slot, bits } => {
+                fp.word(27);
+                slot.feed(fp);
+                bits.feed(fp);
+            }
+            Req::ResetModule => fp.word(28),
+        }
+    }
+}
+
+impl Fingerprint for crate::module::RootMatch {
+    fn feed(&self, fp: &mut Fp) {
+        self.qt_below.feed(fp);
+        self.depth.feed(fp);
+        self.block.feed(fp);
+        self.meta.feed(fp);
+        self.node_slot.feed(fp);
+        self.descend.feed(fp);
+    }
+}
+
+impl Fingerprint for crate::module::BlockNodeResult {
+    fn feed(&self, fp: &mut Fp) {
+        self.tag.feed(fp);
+        self.depth.feed(fp);
+        self.anchor_node.feed(fp);
+        self.anchor_off.feed(fp);
+        self.at_mirror.feed(fp);
+        self.redirect.feed(fp);
+    }
+}
+
+impl Fingerprint for crate::module::EntrySummary {
+    fn feed(&self, fp: &mut Fp) {
+        self.depth.feed(fp);
+        self.pre_hash.feed(fp);
+        self.rem.feed(fp);
+        self.s_last.feed(fp);
+        self.target.block.feed(fp);
+        self.target.meta.feed(fp);
+        self.target.node_slot.feed(fp);
+        self.target.descend.feed(fp);
+    }
+}
+
+impl Fingerprint for Resp {
+    fn feed(&self, fp: &mut Fp) {
+        match self {
+            Resp::Matches(v) => {
+                fp.word(1);
+                v.feed(fp);
+            }
+            Resp::BlockResults { results, collision } => {
+                fp.word(2);
+                results.feed(fp);
+                collision.feed(fp);
+            }
+            Resp::MetaSummary { entries } => {
+                fp.word(3);
+                entries.feed(fp);
+            }
+            Resp::BlockData(b) => {
+                fp.word(4);
+                b.trie.feed(fp);
+                b.root_depth.feed(fp);
+                b.root_hash.feed(fp);
+                b.s_last.feed(fp);
+                b.pre_hash.feed(fp);
+                b.rem.feed(fp);
+                b.parent.feed(fp);
+                b.mirrors.feed(fp);
+                match &b.meta {
+                    None => fp.word(0),
+                    Some((m, s)) => {
+                        fp.word(1);
+                        m.feed(fp);
+                        s.feed(fp);
+                    }
+                }
+            }
+            Resp::MetaFull(m) => {
+                fp.word(5);
+                fp.word(m.nodes.len() as u64);
+                for n in &m.nodes {
+                    n.slot.feed(fp);
+                    n.block.feed(fp);
+                    n.parent.feed(fp);
+                    n.depth.feed(fp);
+                    n.hash.feed(fp);
+                    n.pre_hash.feed(fp);
+                    n.rem.feed(fp);
+                    n.s_last.feed(fp);
+                }
+                m.root_node.feed(fp);
+                m.parent.feed(fp);
+                fp.word(m.children.len() as u64);
+                for (c, depth, pre, rem, s_last) in &m.children {
+                    c.mref.feed(fp);
+                    c.under_node.feed(fp);
+                    c.root_block.feed(fp);
+                    c.root_node_slot.feed(fp);
+                    depth.feed(fp);
+                    pre.feed(fp);
+                    rem.feed(fp);
+                    s_last.feed(fp);
+                }
+                m.chunk_children.feed(fp);
+            }
+            Resp::BlockVitals {
+                weight,
+                keys,
+                children,
+                keys_delta,
+                collision,
+            } => {
+                fp.word(6);
+                weight.feed(fp);
+                keys.feed(fp);
+                children.feed(fp);
+                (*keys_delta as u64).feed(fp);
+                collision.feed(fp);
+            }
+            Resp::Placed {
+                slot,
+                node_slots,
+                count,
+            } => {
+                fp.word(7);
+                slot.feed(fp);
+                node_slots.feed(fp);
+                count.feed(fp);
+            }
+            Resp::MetaVitals { nodes, parent } => {
+                fp.word(8);
+                nodes.feed(fp);
+                parent.feed(fp);
+            }
+            Resp::Subtree {
+                trie,
+                children,
+                depth,
+            } => {
+                fp.word(9);
+                trie.feed(fp);
+                children.feed(fp);
+                depth.feed(fp);
+            }
+            Resp::Descend(d) => {
+                fp.word(10);
+                d.consumed.feed(fp);
+                d.next.feed(fp);
+                d.anchor_node.feed(fp);
+                d.anchor_off.feed(fp);
+            }
+            Resp::Value(v) => {
+                fp.word(11);
+                v.feed(fp);
+            }
+            Resp::Ok => fp.word(12),
+            Resp::CorruptReq => fp.word(13),
+            Resp::Rebooted => fp.word(14),
+        }
+    }
+}
+
+fn seal_crc<T: Fingerprint>(domain: u64, seq: u64, idx: u32, inner: &T) -> u64 {
+    let mut fp = Fp::new();
+    fp.word(domain);
+    fp.word(seq);
+    fp.word(idx as u64);
+    inner.feed(&mut fp);
+    fp.finish()
+}
+
+macro_rules! sealed {
+    ($name:ident, $inner:ty, $domain:expr) => {
+        /// A CRC-64-framed wire envelope (see module docs).
+        #[derive(Clone)]
+        pub(crate) struct $name {
+            /// Round sequence number (one per `PimTrie::rounds` call).
+            pub seq: u64,
+            /// Index of the request within the module's inbox.
+            pub idx: u32,
+            /// CRC-64 over the frame header and the payload digest.
+            pub crc: u64,
+            /// The payload.
+            pub inner: $inner,
+        }
+
+        impl $name {
+            pub fn seal(seq: u64, idx: u32, inner: $inner) -> Self {
+                let crc = seal_crc($domain, seq, idx, &inner);
+                $name {
+                    seq,
+                    idx,
+                    crc,
+                    inner,
+                }
+            }
+
+            /// Recompute the checksum and compare.
+            pub fn verify(&self) -> bool {
+                self.crc == seal_crc($domain, self.seq, self.idx, &self.inner)
+            }
+        }
+
+        impl Wire for $name {
+            /// Header word (`seq`/`idx`) + CRC word + payload.
+            fn wire_words(&self) -> u64 {
+                2 + self.inner.wire_words()
+            }
+
+            /// Fan the flip over the whole frame. A flip that would land
+            /// in a payload whose `flip_bit` is a no-op (opaque to the
+            /// fault layer) is rerouted to the CRC word, so every injected
+            /// flip both lands and is detectable.
+            fn flip_bit(&mut self, r: u64) -> bool {
+                let words = self.wire_words();
+                let w = r % words;
+                let bit = r / words;
+                match w {
+                    0 => {
+                        if bit % 64 < 48 {
+                            self.seq ^= 1 << (bit % 48);
+                        } else {
+                            self.idx ^= 1 << (bit % 32);
+                        }
+                        true
+                    }
+                    1 => {
+                        self.crc ^= 1 << (bit % 64);
+                        true
+                    }
+                    _ => {
+                        if !self.inner.flip_bit(bit) {
+                            self.crc ^= 1 << (bit % 64);
+                        }
+                        true
+                    }
+                }
+            }
+        }
+    };
+}
+
+sealed!(SealedReq, Req, 0x5EA1_0001);
+sealed!(SealedResp, Resp, 0x5EA1_0002);
+
+/// Module-side sealed request processing: crash fencing, integrity check,
+/// at-most-once execution (see module docs), then the ordinary
+/// [`handle`].
+pub(crate) fn handle_sealed(
+    ctx: &mut PimCtx<'_, ModuleState>,
+    hasher: &PolyHasher,
+    sreq: SealedReq,
+) -> SealedResp {
+    // A module that lost its memory cannot serve anything until the host
+    // resets it — except the reset itself.
+    if ctx.state.crashed && !matches!(sreq.inner, Req::ResetModule) {
+        return SealedResp::seal(sreq.seq, sreq.idx, Resp::Rebooted);
+    }
+    if !sreq.verify() {
+        return SealedResp::seal(sreq.seq, sreq.idx, Resp::CorruptReq);
+    }
+    if sreq.seq > ctx.state.cache_seq {
+        ctx.state.cache_seq = sreq.seq;
+        ctx.state.reply_cache.clear();
+    }
+    if let Some(r) = ctx.state.reply_cache.get(&(sreq.seq, sreq.idx)) {
+        let cached = r.clone();
+        return SealedResp::seal(sreq.seq, sreq.idx, cached);
+    }
+    let (seq, idx) = (sreq.seq, sreq.idx);
+    let resp = handle(ctx, hasher, sreq.inner);
+    ctx.state.reply_cache.insert((seq, idx), resp.clone());
+    SealedResp::seal(seq, idx, resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let s = SealedReq::seal(3, 1, Req::FetchBlock { slot: 9 });
+        assert!(s.verify());
+        assert_eq!(s.wire_words(), 3);
+    }
+
+    #[test]
+    fn any_flip_is_detected() {
+        for r in 0..512u64 {
+            let mut s = SealedReq::seal(7, 2, Req::DropBlock { slot: 4 });
+            assert!(s.flip_bit(r));
+            assert!(!s.verify(), "flip {r} went undetected");
+        }
+        for r in 0..512u64 {
+            let mut s = SealedResp::seal(
+                7,
+                2,
+                Resp::Placed {
+                    slot: 1,
+                    node_slots: vec![4, 5],
+                    count: 2,
+                },
+            );
+            assert!(s.flip_bit(r));
+            assert!(!s.verify(), "resp flip {r} went undetected");
+        }
+    }
+
+    #[test]
+    fn different_payloads_differ() {
+        let a = SealedReq::seal(1, 0, Req::FetchBlock { slot: 1 });
+        let b = SealedReq::seal(1, 0, Req::FetchBlock { slot: 2 });
+        assert_ne!(a.crc, b.crc);
+        let c = SealedReq::seal(2, 0, Req::FetchBlock { slot: 1 });
+        assert_ne!(a.crc, c.crc);
+    }
+}

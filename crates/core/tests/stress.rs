@@ -1,7 +1,7 @@
 //! Stress, verification and cost-metric tests of the PIM-trie.
 
 use bitstr::hash::HashWidth;
-use bitstr::{BitStr, Bits};
+use bitstr::BitStr;
 use pim_trie::{PimTrie, PimTrieConfig};
 use rand::{Rng, SeedableRng};
 use trie_core::Trie;
@@ -81,7 +81,11 @@ fn narrow_hash_width_verification_corrects_collisions() {
         .iter()
         .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
         .collect();
-    assert_eq!(t.lcp_batch(&queries), want, "narrow digests broke exactness");
+    assert_eq!(
+        t.lcp_batch(&queries),
+        want,
+        "narrow digests broke exactness"
+    );
 }
 
 #[test]
@@ -298,7 +302,13 @@ fn soak_large_mixed_session() {
             .collect();
         assert_eq!(t.lcp_batch(&queries), want, "round {round} queries");
         // churn wave
-        let dels: Vec<BitStr> = base.iter().skip(round * 101).step_by(9).take(800).cloned().collect();
+        let dels: Vec<BitStr> = base
+            .iter()
+            .skip(round * 101)
+            .step_by(9)
+            .take(800)
+            .cloned()
+            .collect();
         let removed = t.delete_batch(&dels);
         let mut want_removed = 0;
         for k in &dels {
@@ -314,7 +324,11 @@ fn soak_large_mixed_session() {
             oracle.insert(k, *v);
         }
         assert_eq!(t.len(), oracle.n_keys(), "round {round} count");
-        assert!(t.audit_debug().is_empty(), "round {round}: {:?}", t.audit_debug());
+        assert!(
+            t.audit_debug().is_empty(),
+            "round {round}: {:?}",
+            t.audit_debug()
+        );
         // subtree spot-checks
         let prefixes: Vec<BitStr> = base
             .iter()
@@ -347,5 +361,9 @@ fn soak_large_mixed_session() {
     let snap = t.system().metrics().snapshot();
     let _ = t.lcp_batch(&wave);
     let d = t.system().metrics().since(&snap);
-    assert!(d.io_balance() < 3.0, "end-of-soak imbalance {:.2}", d.io_balance());
+    assert!(
+        d.io_balance() < 3.0,
+        "end-of-soak imbalance {:.2}",
+        d.io_balance()
+    );
 }

@@ -308,10 +308,8 @@ impl EulerForest {
         // right after). Incident elements: v's out-edges and their twins.
         let mut first = u32::MAX;
         let mut last = 0u32;
-        let neighbors: Vec<(u32, u32)> = self.out[v as usize]
-            .iter()
-            .map(|(n, e)| (*n, *e))
-            .collect();
+        let neighbors: Vec<(u32, u32)> =
+            self.out[v as usize].iter().map(|(n, e)| (*n, *e)).collect();
         for (n, e) in neighbors {
             let twin = self.out[n as usize][&v];
             for x in [e, twin] {

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 #[derive(Clone, Debug)]
 enum Op {
     Link(u8, u8),
-    Cut(u8),       // index into the live edge list
+    Cut(u8), // index into the live edge list
     Subtree(u8, u8),
 }
 

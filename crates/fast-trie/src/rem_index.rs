@@ -57,7 +57,11 @@ impl RemIndex {
         let fill = self.w as usize - s.len(); // 0..=64
         let mut v = if fill == 64 { 0 } else { s.to_u64() << fill };
         if ones && fill > 0 {
-            v |= if fill == 64 { u64::MAX } else { (1u64 << fill) - 1 };
+            v |= if fill == 64 {
+                u64::MAX
+            } else {
+                (1u64 << fill) - 1
+            };
         }
         if self.w < 64 {
             debug_assert!(v < (1u64 << self.w));
@@ -171,7 +175,9 @@ impl RemIndex {
             let s = cbits.slice(0..pick).to_bitstr();
             let real = l.min(pick);
             match &best {
-                Some((bl, bs)) if (*bl, std::cmp::Reverse(bs.len())) >= (real, std::cmp::Reverse(s.len())) => {}
+                Some((bl, bs))
+                    if (*bl, std::cmp::Reverse(bs.len())) >= (real, std::cmp::Reverse(s.len())) => {
+                }
                 _ => best = Some((real, s)),
             }
         }

@@ -222,8 +222,18 @@ impl XFastTrie {
                     self.levels[l as usize].remove(&p);
                 }
                 (a, b) => {
-                    let min = a.map(|i| i.min).into_iter().chain(b.map(|i| i.min)).min().unwrap();
-                    let max = a.map(|i| i.max).into_iter().chain(b.map(|i| i.max)).max().unwrap();
+                    let min = a
+                        .map(|i| i.min)
+                        .into_iter()
+                        .chain(b.map(|i| i.min))
+                        .min()
+                        .unwrap();
+                    let max = a
+                        .map(|i| i.max)
+                        .into_iter()
+                        .chain(b.map(|i| i.max))
+                        .max()
+                        .unwrap();
                     self.levels[l as usize].insert(p, SubtreeInfo { min, max });
                 }
             }
@@ -283,7 +293,11 @@ mod tests {
         for width in [8u32, 16, 64] {
             let mut t = XFastTrie::new(width);
             let mut set = BTreeSet::new();
-            let lim = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let lim = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             for _ in 0..2000 {
                 let x = rng.gen_range(0..=lim.min(500));
                 if rng.gen_bool(0.6) {
@@ -292,8 +306,16 @@ mod tests {
                     assert_eq!(t.remove(x), set.remove(&x));
                 }
                 let q = rng.gen_range(0..=lim.min(500));
-                assert_eq!(t.pred_or_eq(q), set.range(..=q).next_back().copied(), "pred_or_eq({q}) w={width}");
-                assert_eq!(t.succ_or_eq(q), set.range(q..).next().copied(), "succ_or_eq({q}) w={width}");
+                assert_eq!(
+                    t.pred_or_eq(q),
+                    set.range(..=q).next_back().copied(),
+                    "pred_or_eq({q}) w={width}"
+                );
+                assert_eq!(
+                    t.succ_or_eq(q),
+                    set.range(q..).next().copied(),
+                    "succ_or_eq({q}) w={width}"
+                );
                 assert_eq!(t.pred(q), set.range(..q).next_back().copied());
                 assert_eq!(t.succ(q), set.range(q + 1..).next().copied());
                 assert_eq!(t.len(), set.len());

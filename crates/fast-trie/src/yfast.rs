@@ -172,7 +172,8 @@ impl YFastTrie {
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         let mut reps: Vec<u64> = self.buckets.keys().copied().collect();
         reps.sort_unstable();
-        reps.into_iter().flat_map(|r| self.buckets[&r].iter().copied().collect::<Vec<_>>())
+        reps.into_iter()
+            .flat_map(|r| self.buckets[&r].iter().copied().collect::<Vec<_>>())
     }
 
     /// Number of buckets — exposed for space accounting and tests.
@@ -193,7 +194,11 @@ mod tests {
         for width in [16u32, 64] {
             let mut t = YFastTrie::new(width);
             let mut set: BTreeSet<u64> = BTreeSet::new();
-            let lim = if width == 64 { 10_000 } else { (1 << width) - 1 };
+            let lim = if width == 64 {
+                10_000
+            } else {
+                (1 << width) - 1
+            };
             for step in 0..4000 {
                 let x = rng.gen_range(0..=lim);
                 if rng.gen_bool(0.6) {

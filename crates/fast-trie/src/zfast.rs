@@ -344,7 +344,10 @@ mod tests {
         let mut z = ZFastTrie::new(0);
         assert_eq!(z.exit_node(b("0101").as_slice()), NodeId::ROOT);
         z.insert(&b("0101"), 5);
-        assert_eq!(z.exit_node(b("0101").as_slice()), z.trie().lcp(b("0101").as_slice()).pos.node);
+        assert_eq!(
+            z.exit_node(b("0101").as_slice()),
+            z.trie().lcp(b("0101").as_slice()).pos.node
+        );
         assert_eq!(z.remove(b("0101").as_slice()), Some(5));
         assert!(z.is_empty());
         assert!(z.handles.is_empty());

@@ -1,0 +1,193 @@
+//! Deterministic, seeded fault injection for the simulated PIM machine.
+//!
+//! Real PIM hardware (UPMEM characterization, Gómez-Luna et al. 2021) shows
+//! unreliable CPU↔PIM DMA transfers and module-level failures. A
+//! [`FaultPlan`] makes the simulator reproduce those conditions
+//! *reproducibly*: every fault decision is a pure function of
+//! `(seed, round, module, stream, index)`, so a failing schedule can be
+//! replayed exactly — the fault analogue of seeding an RNG.
+//!
+//! Injected fault classes (all opt-in, all off at rate 0):
+//!
+//! * **word corruption** — each wire word of CPU→PIM and PIM→CPU traffic
+//!   independently flips a bit with probability `flip_word_rate`
+//!   (delivered through [`Wire::flip_bit`](crate::Wire::flip_bit));
+//! * **dropped replies** — a module's reply message vanishes on the wire;
+//! * **truncated replies** — a reply arrives mangled (modelled as a
+//!   guaranteed-detectable corruption of the message);
+//! * **module crash** — at a scheduled round a module loses its state
+//!   (the host's `on_crash` callback wipes it) and/or goes dark for `k`
+//!   rounds ([`CrashSpec`]);
+//! * **stragglers** — a module's metered PIM work for one round is
+//!   inflated by a factor, modelling slow modules.
+//!
+//! Metering stays honest under faults: sent words are charged as written
+//! (corruption does not change sizes), replies are charged as produced
+//! (the transfer happened even if the payload was lost), and every retry
+//! round the recovery layer issues is a real costed round. The whole
+//! subsystem is pay-for-what-you-use: with no plan installed,
+//! [`PimSystem::round`](crate::PimSystem::round) takes the exact same
+//! code path and charges the exact same costs as before.
+
+/// One scheduled module crash.
+#[derive(Clone, Debug)]
+pub struct CrashSpec {
+    /// Fault-clock round at which the crash fires (rounds are counted
+    /// from [`install_faults`](crate::PimSystem::install_faults)).
+    pub round: u64,
+    /// The module that crashes.
+    pub module: usize,
+    /// Rounds of unavailability starting at `round` (0 = the module
+    /// reboots instantly and can answer — with blank state — in the same
+    /// round it crashed).
+    pub down_rounds: u64,
+    /// Whether local memory is lost (the host's `on_crash` callback is
+    /// invoked to wipe the module state).
+    pub state_loss: bool,
+}
+
+/// A deterministic, seeded schedule of faults to inject.
+///
+/// All rates are per-unit probabilities in `[0, 1]`: `flip_word_rate` is
+/// per wire *word*, the reply rates are per reply *message*, and
+/// `straggler_rate` is per module-round.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions.
+    pub seed: u64,
+    /// Probability each transferred word suffers a bit flip.
+    pub flip_word_rate: f64,
+    /// Probability each reply message is dropped on the wire.
+    pub drop_reply_rate: f64,
+    /// Probability each reply message arrives truncated/mangled.
+    pub truncate_reply_rate: f64,
+    /// Probability a module's round is inflated by `straggler_factor`.
+    pub straggler_rate: f64,
+    /// PIM-work multiplier applied to straggler rounds.
+    pub straggler_factor: u64,
+    /// Scheduled module crashes.
+    pub crashes: Vec<CrashSpec>,
+}
+
+/// Decision streams: disjoint sub-sequences of the fault randomness.
+pub(crate) mod stream {
+    pub const FLIP_IN: u64 = 1;
+    pub const FLIP_OUT: u64 = 2;
+    pub const FLIP_WHICH_BIT: u64 = 3;
+    pub const DROP: u64 = 4;
+    pub const TRUNCATE: u64 = 5;
+    pub const TRUNCATE_BIT: u64 = 6;
+    pub const STRAGGLER: u64 = 7;
+}
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled (rates 0, no crashes).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            flip_word_rate: 0.0,
+            drop_reply_rate: 0.0,
+            truncate_reply_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 1,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Set the per-word bit-flip rate.
+    pub fn with_flip_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.flip_word_rate = rate;
+        self
+    }
+
+    /// Set the per-message reply-drop rate.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.drop_reply_rate = rate;
+        self
+    }
+
+    /// Set the per-message reply-truncation rate.
+    pub fn with_truncate_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.truncate_reply_rate = rate;
+        self
+    }
+
+    /// Enable stragglers: each module-round is slowed `factor`× with
+    /// probability `rate`.
+    pub fn with_stragglers(mut self, rate: f64, factor: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(factor >= 1);
+        self.straggler_rate = rate;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Schedule a crash.
+    pub fn with_crash(mut self, crash: CrashSpec) -> Self {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// The deterministic 64-bit draw for one decision point.
+    #[inline]
+    pub(crate) fn draw(&self, round: u64, module: u64, stream: u64, index: u64) -> u64 {
+        let mut h = splitmix(self.seed ^ round.wrapping_mul(0xA24B_AED4_963E_E407));
+        h = splitmix(h ^ module.wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        h = splitmix(h ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        splitmix(h ^ index)
+    }
+
+    /// Bernoulli decision at one decision point.
+    #[inline]
+    pub(crate) fn bern(&self, rate: f64, round: u64, module: u64, stream: u64, index: u64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let u =
+            (self.draw(round, module, stream, index) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_stream_separated() {
+        let p = FaultPlan::new(7);
+        assert_eq!(p.draw(1, 2, 3, 4), p.draw(1, 2, 3, 4));
+        assert_ne!(p.draw(1, 2, 3, 4), p.draw(1, 2, 3, 5));
+        assert_ne!(
+            p.draw(1, 2, stream::DROP, 4),
+            p.draw(1, 2, stream::TRUNCATE, 4)
+        );
+        let q = FaultPlan::new(8);
+        assert_ne!(p.draw(1, 2, 3, 4), q.draw(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn bern_rates_roughly_hold() {
+        let p = FaultPlan::new(99).with_flip_rate(0.25);
+        let hits = (0..10_000)
+            .filter(|&i| p.bern(p.flip_word_rate, 0, 0, stream::FLIP_IN, i))
+            .count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert!(!p.bern(0.0, 0, 0, 0, 0));
+        assert!(p.bern(1.0, 0, 0, 0, 0));
+    }
+}

@@ -28,6 +28,11 @@
 //! simulation is deterministic for a fixed input (module RNG must be seeded
 //! per module by the caller).
 //!
+//! The simulator can additionally inject *faults* — wire bit flips, lost or
+//! mangled replies, module crashes and stragglers — from a seeded, fully
+//! deterministic [`FaultPlan`] (see the [`fault`](crate::FaultPlan) docs).
+//! With no plan installed the fault layer costs nothing and changes nothing.
+//!
 //! # Example
 //!
 //! ```
@@ -48,14 +53,16 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod metrics;
 mod route;
 mod system;
 mod wire;
 
-pub use metrics::{Metrics, MetricsDelta, RoundRecord, Snapshot};
+pub use fault::{CrashSpec, FaultPlan};
+pub use metrics::{FaultStats, Metrics, MetricsDelta, RoundRecord, Snapshot};
 pub use route::{OriginMap, Routed};
-pub use system::{PimCtx, PimSystem};
+pub use system::{CrashHandler, PimCtx, PimSystem};
 pub use wire::{words_for_bits, Wire};
 
 /// A machine word — the unit of all communication accounting.

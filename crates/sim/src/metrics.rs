@@ -1,9 +1,7 @@
 //! PIM Model cost accounting.
 
-use serde::Serialize;
-
 /// Per-round record: who sent/received how much, and per-module PIM work.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RoundRecord {
     /// Round label (for reports / debugging).
     pub name: String,
@@ -37,6 +35,54 @@ impl RoundRecord {
     }
 }
 
+/// Counters for injected faults and the recovery work they caused.
+///
+/// The `*_injected` fields are bumped by the simulator's fault layer; the
+/// detection/recovery fields are bumped by whatever fault-tolerant
+/// protocol runs on top (e.g. `pim-trie`'s sealed-wire recovery ladder).
+/// All zero when no [`FaultPlan`](crate::FaultPlan) is installed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Wire words that had a bit flipped in flight.
+    pub flips_injected: u64,
+    /// Reply messages dropped on the wire.
+    pub drops_injected: u64,
+    /// Reply messages delivered truncated/mangled.
+    pub truncations_injected: u64,
+    /// Module crashes fired.
+    pub crashes_injected: u64,
+    /// Module-rounds slowed by the straggler multiplier.
+    pub stragglers_injected: u64,
+    /// Module-rounds skipped because the module was down.
+    pub rounds_unavailable: u64,
+    /// Envelopes that failed integrity checks at the receiver.
+    pub corruptions_detected: u64,
+    /// Expected replies that never arrived.
+    pub missing_detected: u64,
+    /// Request retries issued by the recovery layer.
+    pub retries: u64,
+    /// Extra BSP rounds spent purely on recovery.
+    pub recovery_rounds: u64,
+    /// Module state rebuilds after a crash.
+    pub rebuilds: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all classes.
+    pub fn total_injected(&self) -> u64 {
+        self.flips_injected
+            + self.drops_injected
+            + self.truncations_injected
+            + self.crashes_injected
+            + self.stragglers_injected
+    }
+
+    /// Total faults the protocol noticed (corrupt or missing).
+    pub fn total_detected(&self) -> u64 {
+        self.corruptions_detected + self.missing_detected
+    }
+}
+
 /// Cumulative metrics of a [`PimSystem`](crate::PimSystem).
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -47,6 +93,7 @@ pub struct Metrics {
     io_per_module: Vec<u64>,
     pim_per_module: Vec<u64>,
     cpu_work: u64,
+    faults: FaultStats,
     /// Detailed per-round log (kept only when `log_rounds` is on).
     pub round_log: Vec<RoundRecord>,
     log_rounds: bool,
@@ -130,6 +177,17 @@ impl Metrics {
         &self.pim_per_module
     }
 
+    /// Fault-injection and recovery counters.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.faults
+    }
+
+    /// Mutable fault counters, for the recovery protocol to record
+    /// detections, retries and rebuilds.
+    pub fn fault_stats_mut(&mut self) -> &mut FaultStats {
+        &mut self.faults
+    }
+
     /// Take a snapshot to later compute a [`MetricsDelta`] for one batch.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -176,11 +234,15 @@ impl Metrics {
             e.1 += r.io_volume();
             e.2 += r.io_time();
         }
-        let mut out = String::from("round name                rounds     volume    io_time
-");
+        let mut out = String::from(
+            "round name                rounds     volume    io_time
+",
+        );
         for (name, (n, vol, time)) in agg {
-            out.push_str(&format!("{name:24} {n:>8} {vol:>10} {time:>10}
-"));
+            out.push_str(&format!(
+                "{name:24} {n:>8} {vol:>10} {time:>10}
+"
+            ));
         }
         out
     }
@@ -198,7 +260,7 @@ pub struct Snapshot {
 }
 
 /// Metrics accrued over a window (typically one operation batch).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MetricsDelta {
     /// BSP rounds in the window.
     pub io_rounds: u64,

@@ -24,7 +24,11 @@ impl<T> Routed<T> {
             origins[m].push(idx);
             len = idx + 1;
         }
-        Routed { boxes, origins, len }
+        Routed {
+            boxes,
+            origins,
+            len,
+        }
     }
 
     /// Number of routed items.
@@ -89,7 +93,6 @@ impl OriginMap {
         self.len == 0
     }
 }
-
 
 #[cfg(test)]
 mod tests {

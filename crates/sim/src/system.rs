@@ -1,8 +1,25 @@
 //! The simulated PIM machine: `P` module states plus metric accounting.
 
+use crate::fault::{stream, FaultPlan};
 use crate::metrics::{Metrics, RoundRecord};
 use crate::wire::Wire;
 use rayon::prelude::*;
+
+/// Host callback invoked when an injected crash wipes a module: receives
+/// the module id and its state, and must reset the state to whatever a
+/// freshly rebooted module holds.
+pub type CrashHandler<M> = Box<dyn FnMut(usize, &mut M) + Send>;
+
+struct FaultState<M> {
+    plan: FaultPlan,
+    on_crash: Option<CrashHandler<M>>,
+    /// Per-module: first fault-clock round at which the module is up again.
+    down_until: Vec<u64>,
+    /// Per-crash-spec: whether it already fired.
+    fired: Vec<bool>,
+    /// Rounds executed since the plan was installed (the fault clock).
+    round_no: u64,
+}
 
 /// Execution context handed to a module handler for one round.
 pub struct PimCtx<'a, M> {
@@ -31,6 +48,7 @@ impl<M> PimCtx<'_, M> {
 pub struct PimSystem<M> {
     modules: Vec<M>,
     metrics: Metrics,
+    faults: Option<FaultState<M>>,
 }
 
 impl<M: Send> PimSystem<M> {
@@ -40,7 +58,41 @@ impl<M: Send> PimSystem<M> {
         PimSystem {
             modules: (0..p).map(init).collect(),
             metrics: Metrics::new(p),
+            faults: None,
         }
+    }
+
+    /// Install a fault plan. Subsequent rounds suffer the plan's faults;
+    /// the fault clock (see [`CrashSpec::round`](crate::CrashSpec::round))
+    /// restarts at 0. `on_crash` is invoked for state-loss crashes to wipe
+    /// the module; pass `None` if the plan schedules none.
+    pub fn install_faults(&mut self, plan: FaultPlan, on_crash: Option<CrashHandler<M>>) {
+        let p = self.p();
+        for c in &plan.crashes {
+            assert!(c.module < p, "crash targets module {} of {p}", c.module);
+        }
+        self.faults = Some(FaultState {
+            down_until: vec![0; p],
+            fired: vec![false; plan.crashes.len()],
+            round_no: 0,
+            plan,
+            on_crash,
+        });
+    }
+
+    /// Remove the fault plan; subsequent rounds run fault-free.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Whether a fault plan is currently installed.
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Rounds executed since the current plan was installed (0 if none).
+    pub fn fault_round(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.round_no)
     }
 
     /// Number of PIM modules.
@@ -82,7 +134,16 @@ impl<M: Send> PimSystem<M> {
     /// buffers are read back (PIM→CPU). Wire sizes of both directions are
     /// charged to the round; the round's IO time is the max per-module
     /// total.
-    pub fn round<In, Out, F>(&mut self, name: &str, inbox: Vec<Vec<In>>, f: F) -> Vec<Vec<Out>>
+    ///
+    /// With a [`FaultPlan`] installed (see [`install_faults`]
+    /// [`PimSystem::install_faults`]), the round additionally suffers the
+    /// plan's faults: scheduled crashes fire before execution, inbound and
+    /// outbound words get bit flips, down modules skip execution and reply
+    /// nothing, replies may be dropped or arrive mangled, and straggler
+    /// modules have their PIM work inflated. Metering stays as-written /
+    /// as-produced: corruption never changes sizes, and dropped replies
+    /// are still charged (the transfer happened; the payload was lost).
+    pub fn round<In, Out, F>(&mut self, name: &str, mut inbox: Vec<Vec<In>>, f: F) -> Vec<Vec<Out>>
     where
         In: Wire + Send,
         Out: Wire + Send,
@@ -90,17 +151,69 @@ impl<M: Send> PimSystem<M> {
     {
         let p = self.p();
         assert_eq!(inbox.len(), p, "inbox must have one entry per module");
+
+        // --- fault pre-pass: crashes, availability, inbound corruption ---
+        let mut fs = self.faults.take();
+        let mut skip: Vec<bool> = Vec::new();
+        let mut round_no = 0;
+        if let Some(fs) = fs.as_mut() {
+            round_no = fs.round_no;
+            fs.round_no += 1;
+            for (ci, spec) in fs.plan.crashes.iter().enumerate() {
+                if !fs.fired[ci] && spec.round <= round_no {
+                    fs.fired[ci] = true;
+                    fs.down_until[spec.module] = round_no + spec.down_rounds;
+                    if spec.state_loss {
+                        if let Some(cb) = fs.on_crash.as_mut() {
+                            cb(spec.module, &mut self.modules[spec.module]);
+                        }
+                    }
+                    self.metrics.fault_stats_mut().crashes_injected += 1;
+                }
+            }
+            skip = (0..p).map(|m| fs.down_until[m] > round_no).collect();
+        }
+
+        // Sent words are charged as written: bit flips do not change sizes,
+        // and transfers to down modules still occupy the wire.
         let sent: Vec<u64> = inbox
             .iter()
             .map(|msgs| msgs.iter().map(Wire::wire_words).sum())
             .collect();
 
+        if let Some(fs) = fs.as_mut() {
+            if fs.plan.flip_word_rate > 0.0 {
+                let stats = self.metrics.fault_stats_mut();
+                for (m, msgs) in inbox.iter_mut().enumerate() {
+                    let mut word = 0u64;
+                    for msg in msgs.iter_mut() {
+                        let words = msg.wire_words();
+                        for w in word..word + words {
+                            let rate = fs.plan.flip_word_rate;
+                            if fs.plan.bern(rate, round_no, m as u64, stream::FLIP_IN, w) {
+                                let r = fs.plan.draw(round_no, m as u64, stream::FLIP_WHICH_BIT, w);
+                                if msg.flip_bit(r) {
+                                    stats.flips_injected += 1;
+                                }
+                            }
+                        }
+                        word += words;
+                    }
+                }
+            }
+        }
+
+        // --- execution (down modules skip their handler) ---
+        let skip_ref = &skip;
         let results: Vec<(Vec<Out>, u64)> = self
             .modules
             .par_iter_mut()
             .zip(inbox.into_par_iter())
             .enumerate()
             .map(|(id, (state, msgs))| {
+                if !skip_ref.is_empty() && skip_ref[id] {
+                    return (Vec::new(), 0);
+                }
                 let mut ctx = PimCtx { id, state, work: 0 };
                 let out = f(&mut ctx, msgs);
                 (out, ctx.work)
@@ -111,10 +224,78 @@ impl<M: Send> PimSystem<M> {
         let mut received = Vec::with_capacity(p);
         let mut pim_work = Vec::with_capacity(p);
         for (out, w) in results {
+            // Replies are charged as produced, before any wire loss below.
             received.push(out.iter().map(Wire::wire_words).sum());
             pim_work.push(w);
             outs.push(out);
         }
+
+        // --- fault post-pass: stragglers, reply drop/truncate/corrupt ---
+        if let Some(fs) = fs.as_mut() {
+            let stats = self.metrics.fault_stats_mut();
+            let plan = &fs.plan;
+            let reply_faults = plan.drop_reply_rate > 0.0
+                || plan.truncate_reply_rate > 0.0
+                || plan.flip_word_rate > 0.0;
+            for m in 0..p {
+                if skip[m] {
+                    stats.rounds_unavailable += 1;
+                    continue;
+                }
+                if pim_work[m] > 0
+                    && plan.straggler_factor > 1
+                    && plan.bern(
+                        plan.straggler_rate,
+                        round_no,
+                        m as u64,
+                        stream::STRAGGLER,
+                        0,
+                    )
+                {
+                    pim_work[m] *= plan.straggler_factor;
+                    stats.stragglers_injected += 1;
+                }
+                if !reply_faults {
+                    continue;
+                }
+                let mut idx = 0u64;
+                let mut word = 0u64;
+                outs[m].retain_mut(|msg| {
+                    let j = idx;
+                    idx += 1;
+                    let words = msg.wire_words();
+                    let w0 = word;
+                    word += words;
+                    if plan.bern(plan.drop_reply_rate, round_no, m as u64, stream::DROP, j) {
+                        stats.drops_injected += 1;
+                        return false;
+                    }
+                    if plan.bern(
+                        plan.truncate_reply_rate,
+                        round_no,
+                        m as u64,
+                        stream::TRUNCATE,
+                        j,
+                    ) {
+                        let r = plan.draw(round_no, m as u64, stream::TRUNCATE_BIT, j);
+                        if msg.flip_bit(r) {
+                            stats.truncations_injected += 1;
+                        }
+                    }
+                    for w in w0..w0 + words {
+                        if plan.bern(plan.flip_word_rate, round_no, m as u64, stream::FLIP_OUT, w) {
+                            let r = plan.draw(round_no, m as u64, stream::FLIP_WHICH_BIT, !w);
+                            if msg.flip_bit(r) {
+                                stats.flips_injected += 1;
+                            }
+                        }
+                    }
+                    true
+                });
+            }
+        }
+        self.faults = fs;
+
         self.metrics.record_round(RoundRecord {
             name: name.to_string(),
             sent,
@@ -214,5 +395,141 @@ mod tests {
     fn wrong_inbox_length_panics() {
         let mut sys = PimSystem::new(2, |_| ());
         let _ = sys.round("bad", vec![Vec::<u64>::new()], |_, m| m);
+    }
+
+    use crate::fault::CrashSpec;
+
+    #[test]
+    fn flips_fire_and_metering_is_unchanged() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut sys = PimSystem::new(2, |_| ());
+            if let Some(p) = plan {
+                sys.install_faults(p, None);
+            }
+            let inbox: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![4, 5]];
+            let out = sys.round("t", inbox, |_, m| m);
+            (out, sys.metrics().io_volume(), sys.metrics().io_time())
+        };
+        let (clean, vol0, time0) = run(None);
+        let (dirty, vol1, time1) = run(Some(FaultPlan::new(3).with_flip_rate(1.0)));
+        // every word flipped exactly one bit → all values differ, sizes equal
+        assert_ne!(clean, dirty);
+        assert_eq!(vol0, vol1);
+        assert_eq!(time0, time1);
+        let mut sys = PimSystem::new(1, |_| ());
+        sys.install_faults(FaultPlan::new(3).with_flip_rate(1.0), None);
+        sys.round("t", vec![vec![7u64]], |_, m| m);
+        // one inbound + one outbound word, both flipped
+        assert_eq!(sys.metrics().fault_stats().flips_injected, 2);
+    }
+
+    #[test]
+    fn drops_remove_replies_but_stay_charged() {
+        let mut sys = PimSystem::new(2, |_| ());
+        sys.install_faults(FaultPlan::new(5).with_drop_rate(1.0), None);
+        let out = sys.round("t", vec![vec![1u64], vec![2u64]], |_, m| m);
+        assert!(out.iter().all(Vec::is_empty));
+        assert_eq!(sys.metrics().fault_stats().drops_injected, 2);
+        // sent 1 + produced 1 per module, despite the loss
+        assert_eq!(sys.metrics().io_volume(), 4);
+    }
+
+    #[test]
+    fn truncation_mangles_replies_in_place() {
+        let mut sys = PimSystem::new(1, |_| ());
+        sys.install_faults(FaultPlan::new(5).with_truncate_rate(1.0), None);
+        let out = sys.round("t", vec![vec![0u64]], |_, m| m);
+        assert_eq!(out[0].len(), 1);
+        assert_ne!(out[0][0], 0);
+        assert_eq!(sys.metrics().fault_stats().truncations_injected, 1);
+    }
+
+    #[test]
+    fn crash_wipes_state_and_downs_module() {
+        let mut sys = PimSystem::new(3, |_| 1u64);
+        let plan = FaultPlan::new(0).with_crash(CrashSpec {
+            round: 1,
+            module: 2,
+            down_rounds: 2,
+            state_loss: true,
+        });
+        sys.install_faults(
+            plan,
+            Some(Box::new(|_id, state: &mut u64| {
+                *state = 0;
+            })),
+        );
+        let echo = |_: &mut PimCtx<'_, u64>, m: Vec<u64>| m;
+        // round 0: before the crash, everything normal
+        let out = sys.round("r0", vec![vec![9u64], vec![9], vec![9]], echo);
+        assert_eq!(out[2], vec![9]);
+        // rounds 1 and 2: module 2 is down and silent, state wiped
+        for name in ["r1", "r2"] {
+            let out = sys.round(name, vec![vec![9u64], vec![9], vec![9]], echo);
+            assert_eq!(out[0], vec![9]);
+            assert!(out[2].is_empty());
+        }
+        assert_eq!(*sys.module(2), 0);
+        // round 3: back up (with blank state)
+        let out = sys.round("r3", vec![vec![9u64], vec![9], vec![9]], echo);
+        assert_eq!(out[2], vec![9]);
+        let st = sys.metrics().fault_stats();
+        assert_eq!(st.crashes_injected, 1);
+        assert_eq!(st.rounds_unavailable, 2);
+    }
+
+    #[test]
+    fn stragglers_inflate_pim_time_only() {
+        let mut sys = PimSystem::new(2, |_| ());
+        sys.install_faults(FaultPlan::new(1).with_stragglers(1.0, 10), None);
+        sys.round("t", vec![vec![1u64], vec![1u64]], |ctx, m| {
+            ctx.work(3);
+            m
+        });
+        assert_eq!(sys.metrics().pim_time(), 30);
+        assert_eq!(sys.metrics().io_time(), 2);
+        assert_eq!(sys.metrics().fault_stats().stragglers_injected, 2);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let run = || {
+            let mut sys = PimSystem::new(8, |id| id as u64);
+            sys.install_faults(
+                FaultPlan::new(42)
+                    .with_flip_rate(0.05)
+                    .with_drop_rate(0.1)
+                    .with_truncate_rate(0.05)
+                    .with_stragglers(0.2, 4),
+                None,
+            );
+            let mut outs = Vec::new();
+            for r in 0..10 {
+                let inbox: Vec<Vec<u64>> = (0..8).map(|i| vec![r * 8 + i; 4]).collect();
+                outs.push(sys.round("t", inbox, |ctx, m| {
+                    ctx.work(1);
+                    m
+                }));
+            }
+            (
+                outs,
+                sys.metrics().fault_stats().clone(),
+                sys.metrics().pim_time(),
+            )
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.1.total_injected() > 0);
+    }
+
+    #[test]
+    fn clear_faults_restores_clean_rounds() {
+        let mut sys = PimSystem::new(1, |_| ());
+        sys.install_faults(FaultPlan::new(9).with_drop_rate(1.0), None);
+        assert!(sys.faults_active());
+        sys.clear_faults();
+        let out = sys.round("t", vec![vec![5u64]], |_, m| m);
+        assert_eq!(out[0], vec![5]);
+        assert_eq!(sys.metrics().fault_stats().total_injected(), 0);
     }
 }

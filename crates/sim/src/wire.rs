@@ -17,18 +17,76 @@ pub fn words_for_bits(bits: usize) -> u64 {
 pub trait Wire {
     /// Wire size in words.
     fn wire_words(&self) -> u64;
+
+    /// Corrupt this value as a transient bit flip would, steered by the
+    /// random word `r`. Returns `true` if a bit actually changed.
+    ///
+    /// The default is `false` — the type is opaque to the fault layer and
+    /// cannot be corrupted (equivalently: its corruption is never
+    /// observable). Message types that want realistic fault coverage
+    /// should override this and fan `r` out over their fields.
+    fn flip_bit(&mut self, r: u64) -> bool {
+        let _ = r;
+        false
+    }
 }
 
-macro_rules! scalar_wire {
+macro_rules! int_wire {
     ($($t:ty),*) => {
         $(impl Wire for $t {
             #[inline]
             fn wire_words(&self) -> u64 { 1 }
+            #[inline]
+            fn flip_bit(&mut self, r: u64) -> bool {
+                *self ^= 1 << (r % <$t>::BITS as u64);
+                true
+            }
         })*
     };
 }
 
-scalar_wire!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char, f32, f64);
+int_wire!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Wire for bool {
+    #[inline]
+    fn wire_words(&self) -> u64 {
+        1
+    }
+    fn flip_bit(&mut self, _r: u64) -> bool {
+        *self = !*self;
+        true
+    }
+}
+
+// `char` stays unflippable: arbitrary bit flips make invalid scalar values.
+impl Wire for char {
+    #[inline]
+    fn wire_words(&self) -> u64 {
+        1
+    }
+}
+
+impl Wire for f32 {
+    #[inline]
+    fn wire_words(&self) -> u64 {
+        1
+    }
+    fn flip_bit(&mut self, r: u64) -> bool {
+        *self = f32::from_bits(self.to_bits() ^ (1 << (r % 32)));
+        true
+    }
+}
+
+impl Wire for f64 {
+    #[inline]
+    fn wire_words(&self) -> u64 {
+        1
+    }
+    fn flip_bit(&mut self, r: u64) -> bool {
+        *self = f64::from_bits(self.to_bits() ^ (1 << (r % 64)));
+        true
+    }
+}
 
 impl Wire for () {
     #[inline]
@@ -42,6 +100,7 @@ impl<T: Wire> Wire for &T {
     fn wire_words(&self) -> u64 {
         (*self).wire_words()
     }
+    // flips are impossible through a shared reference: default `false`
 }
 
 impl<T: Wire> Wire for Vec<T> {
@@ -49,11 +108,22 @@ impl<T: Wire> Wire for Vec<T> {
     fn wire_words(&self) -> u64 {
         1 + self.iter().map(Wire::wire_words).sum::<u64>()
     }
+
+    fn flip_bit(&mut self, r: u64) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let n = self.len() as u64;
+        self[(r % n) as usize].flip_bit(r / n)
+    }
 }
 
 impl<T: Wire> Wire for Box<T> {
     fn wire_words(&self) -> u64 {
         (**self).wire_words()
+    }
+    fn flip_bit(&mut self, r: u64) -> bool {
+        (**self).flip_bit(r)
     }
 }
 
@@ -65,11 +135,38 @@ impl<T: Wire> Wire for Option<T> {
             Some(v) => 1 + v.wire_words(),
         }
     }
+
+    fn flip_bit(&mut self, r: u64) -> bool {
+        match self {
+            None => false,
+            Some(v) => v.flip_bit(r),
+        }
+    }
+}
+
+macro_rules! tuple_flip {
+    ($self:ident, $r:ident, $($i:tt),+; $n:expr) => {{
+        let mut k = $r % $n;
+        let rest = $r / $n;
+        $(
+            if k == 0 {
+                return $self.$i.flip_bit(rest);
+            }
+            #[allow(unused_assignments)]
+            {
+                k -= 1;
+            }
+        )+
+        false
+    }};
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
     fn wire_words(&self) -> u64 {
         self.0.wire_words() + self.1.wire_words()
+    }
+    fn flip_bit(&mut self, r: u64) -> bool {
+        tuple_flip!(self, r, 0, 1; 2)
     }
 }
 
@@ -77,17 +174,29 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     fn wire_words(&self) -> u64 {
         self.0.wire_words() + self.1.wire_words() + self.2.wire_words()
     }
+    fn flip_bit(&mut self, r: u64) -> bool {
+        tuple_flip!(self, r, 0, 1, 2; 3)
+    }
 }
 
 impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
     fn wire_words(&self) -> u64 {
         self.0.wire_words() + self.1.wire_words() + self.2.wire_words() + self.3.wire_words()
     }
+    fn flip_bit(&mut self, r: u64) -> bool {
+        tuple_flip!(self, r, 0, 1, 2, 3; 4)
+    }
 }
 
 impl<T: Wire, const N: usize> Wire for [T; N] {
     fn wire_words(&self) -> u64 {
         self.iter().map(Wire::wire_words).sum()
+    }
+    fn flip_bit(&mut self, r: u64) -> bool {
+        if N == 0 {
+            return false;
+        }
+        self[(r % N as u64) as usize].flip_bit(r / N as u64)
     }
 }
 
@@ -111,6 +220,25 @@ mod tests {
         assert_eq!(Option::<u64>::None.wire_words(), 1);
         assert_eq!((1u64, vec![1u64]).wire_words(), 3);
         assert_eq!([1u64; 4].wire_words(), 4);
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let mut x = 0u64;
+        assert!(x.flip_bit(5));
+        assert_eq!(x, 1 << 5);
+        let mut b = true;
+        assert!(b.flip_bit(0));
+        assert!(!b);
+        let mut v = vec![0u64, 0, 0];
+        assert!(v.flip_bit(7));
+        assert_eq!(v.iter().map(|w| w.count_ones()).sum::<u32>(), 1);
+        assert!(!Vec::<u64>::new().flip_bit(3));
+        assert!(!Option::<u64>::None.flip_bit(3));
+        let mut t = (0u64, 0u32);
+        assert!(t.flip_bit(1));
+        assert!((t.0.count_ones() + t.1.count_ones()) == 1);
+        assert!(!().flip_bit(0));
     }
 
     #[test]

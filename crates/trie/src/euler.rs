@@ -103,7 +103,11 @@ impl LcaIndex {
             for i in 0..=n.saturating_sub(1 << k) {
                 let a = prev[i];
                 let b = prev[i + half];
-                row.push(if depth[a as usize] <= depth[b as usize] { a } else { b });
+                row.push(if depth[a as usize] <= depth[b as usize] {
+                    a
+                } else {
+                    b
+                });
             }
             sparse.push(row);
         }

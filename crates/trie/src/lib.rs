@@ -28,7 +28,7 @@
 pub mod euler;
 pub mod partition;
 pub mod query;
-mod trie;
 pub mod treefix;
+mod trie;
 
 pub use trie::{DeleteInfo, InsertInfo, LcpResult, Node, NodeId, Trie, TriePos, Value};

@@ -16,8 +16,8 @@
 //! in for the roots of child blocks (Figure 2's dashed circles).
 
 use crate::euler::{preorder, LcaIndex};
-use crate::trie::{Node, NodeId, Trie};
 use crate::treefix::rootfix;
+use crate::trie::{Node, NodeId, Trie};
 use std::collections::HashSet;
 
 /// Default node weight: packed edge words plus a constant for the node
@@ -125,7 +125,10 @@ pub struct Block {
 /// block.
 pub fn decompose(trie: &Trie, roots: &[NodeId]) -> Vec<Block> {
     let marked: HashSet<NodeId> = roots.iter().copied().collect();
-    assert!(marked.contains(&NodeId::ROOT), "partition must include the root");
+    assert!(
+        marked.contains(&NodeId::ROOT),
+        "partition must include the root"
+    );
     // nearest marked ancestor, marked nodes mapping to themselves
     let _nma = rootfix(trie, NodeId::ROOT, |pa, id| {
         if marked.contains(&id) {
@@ -259,10 +262,7 @@ mod tests {
                     continue;
                 }
                 let orig = b.orig_of[id.idx()].unwrap();
-                assert!(
-                    owner.insert(orig, bi).is_none(),
-                    "{orig:?} owned twice"
-                );
+                assert!(owner.insert(orig, bi).is_none(), "{orig:?} owned twice");
             }
         }
         assert_eq!(owner.len(), t.n_nodes());
@@ -327,7 +327,13 @@ mod tests {
                 }
             }
         }
-        walk(&blocks, &by_root, by_root[&NodeId::ROOT], &BitStr::new(), &mut items);
+        walk(
+            &blocks,
+            &by_root,
+            by_root[&NodeId::ROOT],
+            &BitStr::new(),
+            &mut items,
+        );
         items.sort();
         let mut want = t.items();
         want.sort();
@@ -357,11 +363,7 @@ mod tests {
         let blocks = decompose(&t, &roots);
         assert!(blocks.len() >= 4, "path should split into several blocks");
         for b in &blocks {
-            let w: u64 = b
-                .trie
-                .node_ids()
-                .map(|id| node_weight(&b.trie, id))
-                .sum();
+            let w: u64 = b.trie.node_ids().map(|id| node_weight(&b.trie, id)).sum();
             assert!(w <= 120, "path block too heavy: {w}");
         }
     }

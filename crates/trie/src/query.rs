@@ -91,11 +91,7 @@ fn build_patricia_with_handles(keys: Vec<(&BitStr, Value)>) -> (Trie, Vec<NodeId
                 "keys must be strictly ascending (violated at {i})"
             );
         }
-        let lcp = if i == 0 {
-            0
-        } else {
-            keys[i - 1].0.lcp(*key)
-        };
+        let lcp = if i == 0 { 0 } else { keys[i - 1].0.lcp(*key) };
         debug_assert!(lcp <= key.len());
 
         // Pop everything strictly deeper than the branch point.
@@ -133,7 +129,12 @@ fn build_patricia_with_handles(keys: Vec<(&BitStr, Value)>) -> (Trie, Vec<NodeId
             trie.node(attach).children[bit].is_none(),
             "sorted order guarantees a free right slot"
         );
-        let leaf = alloc_leaf(&mut trie, attach, key.slice(lcp..key.len()).to_bitstr(), *value);
+        let leaf = alloc_leaf(
+            &mut trie,
+            attach,
+            key.slice(lcp..key.len()).to_bitstr(),
+            *value,
+        );
         trie.node_mut(attach).children[bit] = Some(leaf);
         stack.push((leaf, key.len()));
         handles.push(leaf);

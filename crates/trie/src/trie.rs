@@ -170,10 +170,7 @@ impl Trie {
     /// the same batch (e.g. a sibling delete's path compression).
     #[inline]
     pub fn is_live(&self, id: NodeId) -> bool {
-        self.nodes
-            .get(id.idx())
-            .map(|n| !n.free)
-            .unwrap_or(false)
+        self.nodes.get(id.idx()).map(|n| !n.free).unwrap_or(false)
     }
 
     /// Access a node.
@@ -461,13 +458,19 @@ impl Trie {
     /// Materialise the hidden node at `pos` as a compressed node, splitting
     /// the host edge. Returns the new node's id.
     pub fn split_edge(&mut self, pos: TriePos) -> NodeId {
-        let TriePos { node: below, edge_off } = pos;
+        let TriePos {
+            node: below,
+            edge_off,
+        } = pos;
         let n = self.node(below);
         assert!(
             edge_off < n.edge.len(),
             "split position must be strictly inside the edge"
         );
-        assert!(edge_off > 0 || n.parent.is_some(), "cannot split above root");
+        assert!(
+            edge_off > 0 || n.parent.is_some(),
+            "cannot split above root"
+        );
         let parent = n.parent.expect("non-root");
         let upper = n.edge.slice(0..edge_off).to_bitstr();
         let lower = n.edge.slice(edge_off..n.edge.len()).to_bitstr();
@@ -752,7 +755,11 @@ impl Trie {
                 }
             }
         }
-        assert_eq!(visited, self.n_nodes(), "unreachable or double-linked nodes");
+        assert_eq!(
+            visited,
+            self.n_nodes(),
+            "unreachable or double-linked nodes"
+        );
         assert_eq!(seen_keys, self.n_keys, "n_keys out of sync");
     }
 }
@@ -993,9 +1000,7 @@ mod tests {
         assert!(added >= 1000 / 64 - 1);
         t.check_invariants(true);
         assert_eq!(t.items(), before);
-        assert!(t
-            .node_ids()
-            .all(|id| t.node(id).edge.len() <= 64));
+        assert!(t.node_ids().all(|id| t.node(id).edge.len() <= 64));
     }
 
     #[test]

@@ -28,7 +28,6 @@
 use bitstr::BitStr;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 fn rng(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
@@ -104,7 +103,13 @@ impl Zipf {
 /// `n` keys of `len` bits whose top `prefix_bits` follow a Zipf(θ)
 /// distribution over buckets (bucket ids bit-reversed so hot buckets are
 /// spread across the key space like real hot keys), with uniform tails.
-pub fn zipf_prefixes(n: usize, len: usize, prefix_bits: usize, theta: f64, seed: u64) -> Vec<BitStr> {
+pub fn zipf_prefixes(
+    n: usize,
+    len: usize,
+    prefix_bits: usize,
+    theta: f64,
+    seed: u64,
+) -> Vec<BitStr> {
     assert!(prefix_bits <= len && prefix_bits <= 20);
     let zipf = Zipf::new(1 << prefix_bits, theta);
     let mut r = rng(seed);
@@ -211,8 +216,8 @@ pub fn urls(n: usize, seed: u64) -> Vec<BitStr> {
         .collect()
 }
 
-/// A named workload specification, serialisable for the bench harness.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// A named workload specification for the bench harness.
+#[derive(Clone, Debug)]
 pub enum Spec {
     /// Uniform fixed-length keys.
     UniformFixed {

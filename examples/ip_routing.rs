@@ -39,15 +39,20 @@ fn main() {
         add(cidr(a, 0, 0, 0, 8), a as u64, &mut routes, &mut next_hops);
     }
     for i in 0..2_000u64 {
-        let a = [10u8, 172, 192][rng.gen_range(0..3)];
+        let a = [10u8, 172, 192][rng.gen_range(0..3usize)];
         let b = rng.gen::<u8>();
         add(cidr(a, b, 0, 0, 16), 1000 + i, &mut routes, &mut next_hops);
     }
     for i in 0..20_000u64 {
-        let a = [10u8, 172][rng.gen_range(0..2)];
+        let a = [10u8, 172][rng.gen_range(0..2usize)];
         let b = rng.gen::<u8>();
         let c = rng.gen::<u8>();
-        add(cidr(a, b, c, 0, 24), 10_000 + i, &mut routes, &mut next_hops);
+        add(
+            cidr(a, b, c, 0, 24),
+            10_000 + i,
+            &mut routes,
+            &mut next_hops,
+        );
     }
     table.insert_batch(&routes, &next_hops);
     println!(
@@ -95,8 +100,7 @@ fn main() {
 
     // Route withdrawal: drop every /24 under 172.0.0.0/8, then verify with
     // a SubtreeQuery that the subtree shrank.
-    let before = table
-        .subtree_batch(&[cidr(172, 0, 0, 0, 8)])[0]
+    let before = table.subtree_batch(&[cidr(172, 0, 0, 0, 8)])[0]
         .as_ref()
         .map(|t| t.n_keys())
         .unwrap_or(0);
@@ -106,13 +110,10 @@ fn main() {
         .cloned()
         .collect();
     let removed = table.delete_batch(&withdrawals);
-    let after = table
-        .subtree_batch(&[cidr(172, 0, 0, 0, 8)])[0]
+    let after = table.subtree_batch(&[cidr(172, 0, 0, 0, 8)])[0]
         .as_ref()
         .map(|t| t.n_keys())
         .unwrap_or(0);
-    println!(
-        "withdrew {removed} /24 routes under 172/8: subtree {before} -> {after} prefixes"
-    );
+    println!("withdrew {removed} /24 routes under 172/8: subtree {before} -> {after} prefixes");
     assert_eq!(before - removed, after);
 }

@@ -49,10 +49,7 @@ fn main() {
     let new_vals: Vec<u64> = (0..bump.len() as u64).map(|i| 999_000 + i).collect();
     store.insert_batch(&bump, &new_vals);
     let reread = store.get_batch(&bump);
-    assert!(reread
-        .iter()
-        .zip(&new_vals)
-        .all(|(g, v)| *g == Some(*v)));
+    assert!(reread.iter().zip(&new_vals).all(|(g, v)| *g == Some(*v)));
     println!("upserted {} keys under the api domain", bump.len());
 
     // Deletes: retire a shard of keys and confirm the count.

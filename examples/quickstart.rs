@@ -18,7 +18,11 @@ fn main() {
         .map(|s| BitStr::from_bin_str(s))
         .collect();
     index.insert_batch(&keys, &[1, 2, 3, 4]);
-    println!("stored {} keys across {} modules", index.len(), index.config().p);
+    println!(
+        "stored {} keys across {} modules",
+        index.len(),
+        index.config().p
+    );
 
     // Figure 1's query batch. "101001" shares the 5-bit prefix "10100"
     // with the stored key "10100000".

@@ -44,8 +44,7 @@ fn io_time_scales_down_with_p() {
     let batch = workloads::uniform_fixed(1 << 12, 128, 42);
     let mut times = Vec::new();
     for p in [2usize, 16] {
-        let mut pim =
-            PimTrie::build(PimTrieConfig::for_modules(p).with_seed(43), &keys, &values);
+        let mut pim = PimTrie::build(PimTrieConfig::for_modules(p).with_seed(43), &keys, &values);
         let snap = pim.system().metrics().snapshot();
         let _ = pim.lcp_batch(&batch);
         times.push(pim.system().metrics().since(&snap).io_time);
@@ -63,8 +62,7 @@ fn rounds_stay_logarithmic_in_p() {
     let batch = workloads::uniform_fixed(1 << 11, 96, 52);
     let mut rounds = Vec::new();
     for p in [4usize, 64] {
-        let mut pim =
-            PimTrie::build(PimTrieConfig::for_modules(p).with_seed(53), &keys, &values);
+        let mut pim = PimTrie::build(PimTrieConfig::for_modules(p).with_seed(53), &keys, &values);
         let snap = pim.system().metrics().snapshot();
         let _ = pim.lcp_batch(&batch);
         rounds.push(pim.system().metrics().since(&snap).io_rounds);

@@ -31,8 +31,11 @@ fn narrow_digests_exact_lcp_and_get() {
             .map(|q| oracle.lcp(q.as_slice()).lcp_bits)
             .collect();
         assert_eq!(pim.lcp_batch(&queries), want, "lcp width {width}");
-        let want_get: Vec<Option<u64>> =
-            keys.iter().take(100).map(|k| oracle.get(k.as_slice())).collect();
+        let want_get: Vec<Option<u64>> = keys
+            .iter()
+            .take(100)
+            .map(|k| oracle.get(k.as_slice()))
+            .collect();
         let probes: Vec<BitStr> = keys.iter().take(100).cloned().collect();
         assert_eq!(pim.get_batch(&probes), want_get, "get width {width}");
     }

@@ -1,0 +1,172 @@
+//! Offline stand-in for the [`criterion`] crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `BenchmarkId`, `Throughput`, `sample_size`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`, `black_box` —
+//! backed by a simple wall-clock timer. Sample counts are intentionally
+//! tiny so `cargo test`/`cargo bench` complete quickly in CI; run with
+//! `CRITERION_SAMPLES=n` for more samples.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Times one closure repeatedly.
+pub struct Bencher {
+    samples: usize,
+    /// (total nanos, iterations) of the best sample
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of samples, keeping the best
+    /// per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_nanos() as f64;
+            if dt < self.best_ns_per_iter {
+                self.best_ns_per_iter = dt;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (upstream semantics: samples per estimate).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // keep the stand-in fast: cap, but respect explicit tiny values
+        self.samples = n.min(default_samples());
+        self
+    }
+
+    /// Record the group's throughput (accepted, only echoed in output).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            best_ns_per_iter: f64::INFINITY,
+        };
+        f(&mut b);
+        let best = b.best_ns_per_iter;
+        if best.is_finite() {
+            println!("bench {}/{}: best {:.0} ns/iter", self.name, id.id, best);
+        } else {
+            println!("bench {}/{}: no samples", self.name, id.id);
+        }
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+fn default_samples() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: default_samples(),
+            _parent: self,
+        }
+    }
+}
+
+/// Bundle bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes bench executables with `--test`; run the
+            // same (already tiny) pass in either mode.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function(BenchmarkId::new("sum", 10), |b| {
+            b.iter(|| (0..10u64).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! *subset* of rand 0.8's API that it actually uses: [`RngCore`],
+//! [`SeedableRng`] (with the same PCG-based `seed_from_u64` expansion as
+//! `rand_core` 0.6, so seeds produce the same key material), and the
+//! high-level [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`).
+//! Uniform ranges use the widening-multiply rejection method of rand 0.8,
+//! so sampling is unbiased.
+
+#![warn(missing_docs)]
+
+/// Low-level random number generation: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let w = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&w[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (e.g. `[u8; 32]`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with PCG32 (identical to
+    /// `rand_core` 0.6's default, so seeded streams match upstream).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let b = x.to_le_bytes();
+            chunk.copy_from_slice(&b[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that [`Rng::gen`] can produce (the `Standard` distribution).
+pub trait StandardGen: Sized {
+    /// Sample one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_small {
+    ($($t:ty),*) => {$(
+        impl StandardGen for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+standard_small!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! standard_large {
+    ($($t:ty),*) => {$(
+        impl StandardGen for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_large!(u64, i64, usize, isize, u128, i128);
+
+impl StandardGen for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardGen for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardGen for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value from the range (panics if empty).
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Unbiased sampling of `[0, range)` by widening multiply with rejection
+// (rand 0.8's `UniformInt::sample_single`).
+#[inline]
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (range as u128);
+        if (m as u64) <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+#[inline]
+fn sample_u32_below<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let m = (v as u64) * (range as u64);
+        if (m as u32) <= zone {
+            return (m >> 32) as u32;
+        }
+    }
+}
+
+macro_rules! range_impl {
+    ($($t:ty => $u:ty, $sample:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let range = self.end.wrapping_sub(self.start) as $u;
+                self.start.wrapping_add($sample(rng, range) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let range = (hi.wrapping_sub(lo) as $u).wrapping_add(1);
+                if range == 0 {
+                    // full domain
+                    return <$t as StandardGen>::sample_standard(rng);
+                }
+                lo.wrapping_add($sample(rng, range) as $t)
+            }
+        }
+    )*};
+}
+
+range_impl!(
+    u8 => u32, sample_u32_below;
+    u16 => u32, sample_u32_below;
+    u32 => u32, sample_u32_below;
+    i8 => u32, sample_u32_below;
+    i16 => u32, sample_u32_below;
+    i32 => u32, sample_u32_below;
+    u64 => u64, sample_u64_below;
+    i64 => u64, sample_u64_below;
+    usize => u64, sample_u64_below;
+    isize => u64, sample_u64_below;
+);
+
+/// High-level convenience methods on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution.
+    #[inline]
+    fn gen<T: StandardGen>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // 64-bit fixed-point threshold (rand 0.8's Bernoulli).
+        let scale = 2.0f64.powi(64);
+        let threshold = (p * scale) as u64;
+        self.next_u64() < threshold
+    }
+
+    /// Fill a byte slice with random data.
+    #[inline]
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Counter(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0u32..=5);
+            assert!(w <= 5);
+            let x: u64 = r.gen_range(10..=10);
+            assert_eq!(x, 10);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Counter(1);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = Counter(99);
+        for _ in 0..100 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for the [`rayon`] crate.
+//!
+//! The build container has no network access, so this crate provides
+//! rayon's method names (`par_iter`, `par_iter_mut`, `into_par_iter`,
+//! `par_sort_unstable_by`, `join`) as **sequential** adapters over the
+//! standard library's iterators. Callers keep their rayon-idiomatic
+//! code; execution is deterministic single-threaded, which also makes
+//! the simulator's metering reproducible run-to-run.
+//!
+//! [`rayon`]: https://crates.io/crates/rayon
+
+#![warn(missing_docs)]
+
+/// Run two closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Owned conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Backing iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Consume `self`, yielding an iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl<Idx> IntoParallelIterator for std::ops::Range<Idx>
+where
+    std::ops::Range<Idx>: Iterator<Item = Idx>,
+{
+    type Item = Idx;
+    type Iter = std::ops::Range<Idx>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// Borrowed slice adapters with rayon's names.
+pub trait ParallelSlice<T> {
+    /// Shared iteration (sequential stand-in for `par_iter`).
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Mutable iteration (sequential stand-in for `par_iter_mut`).
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Unstable sort by comparator (stand-in for `par_sort_unstable_by`).
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+    /// Unstable sort by key (stand-in for `par_sort_unstable_by_key`).
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        F: FnMut(&T) -> K,
+        K: Ord;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(compare)
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        F: FnMut(&T) -> K,
+        K: Ord,
+    {
+        self.sort_unstable_by_key(f)
+    }
+}
+
+/// The rayon prelude: import to get the `par_*` methods in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let v = vec![3, 1, 2];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![4, 2, 3]);
+
+        let collected: Vec<i32> = v.into_par_iter().collect();
+        assert_eq!(collected, vec![3, 1, 2]);
+
+        let squares: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+
+        let mut s = vec![5, 3, 9, 1];
+        s.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert_eq!(s, vec![1, 3, 5, 9]);
+
+        let (a, b) = crate::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}
