@@ -103,6 +103,7 @@ impl DistXFastTrie {
     /// Insert a batch: every key writes one entry per level — `O(w)` words
     /// per key, the Table 1 insert cost.
     pub fn insert_batch(&mut self, keys: &[u64]) {
+        crate::trace_op(self.sys.metrics_mut(), "insert", "insert/level-tables");
         let p = self.sys.p();
         let mut inbox: Vec<Vec<Probe>> = (0..p).map(|_| Vec::new()).collect();
         for &x in keys {
@@ -134,6 +135,7 @@ impl DistXFastTrie {
             });
             self.n_keys = counts.iter().flatten().sum::<u64>() as usize;
         }
+        crate::trace_op_end(self.sys.metrics_mut());
     }
 
     /// Batch longest-common-prefix lengths against the stored key set —
@@ -145,11 +147,13 @@ impl DistXFastTrie {
         if n == 0 {
             return Vec::new();
         }
+        crate::trace_op(self.sys.metrics_mut(), "lcp", "lcp/binary-search");
         // per-query binary search interval [lo, hi] over levels; invariant:
         // prefix at `lo` is present (level 0 always matches once nonempty)
         let mut lo = vec![0u8; n];
         let mut hi = vec![self.width as u8; n];
         if self.n_keys == 0 {
+            crate::trace_op_end(self.sys.metrics_mut());
             return vec![0; n];
         }
         while (0..n).any(|i| lo[i] < hi[i]) {
@@ -183,6 +187,7 @@ impl DistXFastTrie {
                 }
             }
         }
+        crate::trace_op_end(self.sys.metrics_mut());
         lo.into_iter().map(|l| l as usize).collect()
     }
 }

@@ -27,3 +27,20 @@ pub mod range_part;
 pub use dist_radix::DistRadixTree;
 pub use dist_xfast::DistXFastTrie;
 pub use range_part::RangePartitioned;
+
+/// Open a traced op span with its single phase on a baseline's metrics
+/// (baseline batch ops are one logical phase each). No-op when tracing is
+/// off — the metered counters are untouched either way.
+pub(crate) fn trace_op(metrics: &mut pim_sim::Metrics, op: &str, phase: &str) {
+    if let Some(t) = metrics.tracer_mut() {
+        t.begin_op(op);
+        t.set_phase(phase);
+    }
+}
+
+/// Close the span opened by [`trace_op`].
+pub(crate) fn trace_op_end(metrics: &mut pim_sim::Metrics) {
+    if let Some(t) = metrics.tracer_mut() {
+        t.end_op();
+    }
+}

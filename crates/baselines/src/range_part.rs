@@ -120,6 +120,7 @@ impl RangePartitioned {
 
     /// Insert a batch: each key ships to its range's module only.
     pub fn insert_batch(&mut self, keys: &[BitStr], values: &[Value]) {
+        crate::trace_op(self.sys.metrics_mut(), "insert", "insert/range-scatter");
         let p = self.sys.p();
         let mut inbox: Vec<Vec<InsertMsg>> = (0..p).map(|_| Vec::new()).collect();
         for (k, v) in keys.iter().zip(values) {
@@ -136,6 +137,7 @@ impl RangePartitioned {
             vec![fresh]
         });
         self.n_keys += replies.iter().flatten().sum::<u64>() as usize;
+        crate::trace_op_end(self.sys.metrics_mut());
     }
 
     /// Batch LCP: each query ships to exactly its range's module (the next
@@ -143,6 +145,7 @@ impl RangePartitioned {
     /// boundary) — the O(1)-communication design whose skewed batches
     /// serialize on one module.
     pub fn lcp_batch(&mut self, queries: &[BitStr]) -> Vec<usize> {
+        crate::trace_op(self.sys.metrics_mut(), "lcp", "lcp/local-scan");
         let p = self.sys.p();
         let mut inbox: Vec<Vec<QueryMsg>> = (0..p).map(|_| Vec::new()).collect();
         let mut origin: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
@@ -164,11 +167,13 @@ impl RangePartitioned {
                 out[i] = out[i].max(r as usize);
             }
         }
+        crate::trace_op_end(self.sys.metrics_mut());
         out
     }
 
     /// Batch exact lookup (single-range shipping).
     pub fn get_batch(&mut self, keys: &[BitStr]) -> Vec<Option<Value>> {
+        crate::trace_op(self.sys.metrics_mut(), "get", "get/range-lookup");
         let p = self.sys.p();
         let mut inbox: Vec<Vec<QueryMsg>> = (0..p).map(|_| Vec::new()).collect();
         let mut origin: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
@@ -189,6 +194,7 @@ impl RangePartitioned {
                 out[origin[m][j]] = r;
             }
         }
+        crate::trace_op_end(self.sys.metrics_mut());
         out
     }
 }

@@ -1,0 +1,106 @@
+//! CI gate comparing a fresh `BENCH_repro.json` against the checked-in
+//! baseline (see `pimtrie_bench::cost_guard` for the column policy).
+//!
+//! Usage:
+//! ```text
+//! cost-guard --baseline PATH --current PATH [--tolerance FRAC]
+//! ```
+//!
+//! Exit codes: 0 — no drift; 1 — drift detected (violations on stderr);
+//! 2 — usage / IO / parse error.
+
+use pim_sim::Json;
+use pimtrie_bench::cost_guard;
+
+fn usage() -> &'static str {
+    "usage: cost-guard --baseline PATH --current PATH [--tolerance FRAC]\n\
+     \n\
+     Compares two `repro --json` summaries. Round counts and fault\n\
+     counters must match exactly; word/time/space/balance columns may\n\
+     drift within the tolerance band (default 0.02 = 2%). Regenerate\n\
+     the baseline with `repro --quick --p 8 --json PATH` after a\n\
+     deliberate cost change."
+}
+
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: parsing {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = cost_guard::DEFAULT_TOLERANCE;
+    let mut i = 0;
+    while i < raw.len() {
+        let a = raw[i].as_str();
+        let mut value = || -> String {
+            i += 1;
+            match raw.get(i) {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("error: flag needs a value\n{}", usage());
+                    std::process::exit(2);
+                }
+            }
+        };
+        match a {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            "--baseline" => baseline = Some(value()),
+            "--current" => current = Some(value()),
+            "--tolerance" => match value().parse::<f64>() {
+                Ok(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => {
+                    eprintln!("error: --tolerance needs a fraction in [0, 1)");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("error: unknown argument '{a}'\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let (Some(b_path), Some(c_path)) = (baseline, current) else {
+        eprintln!(
+            "error: --baseline and --current are both required\n{}",
+            usage()
+        );
+        std::process::exit(2);
+    };
+
+    let b = load(&b_path);
+    let c = load(&c_path);
+    let violations = cost_guard::compare(&b, &c, tolerance);
+    if violations.is_empty() {
+        let n = b
+            .get("experiments")
+            .and_then(|e| e.as_arr())
+            .map(|a| a.len())
+            .unwrap_or(0);
+        println!("cost-guard: OK ({n} experiments, tolerance {tolerance})");
+    } else {
+        eprintln!("cost-guard: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -3,48 +3,110 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--p N] [t1-space|t1-rounds|t1-comm|skew|scale-p|batch|verify|ablate|faults|all]
+//! repro [--quick] [--p N] [--json PATH] [--trace PATH] [EXPERIMENT ...]
 //! ```
+//!
+//! `EXPERIMENT` is any of `t1-space`, `t1-rounds`, `t1-comm`, `skew`,
+//! `space-balance`, `scale-p`, `batch`, `verify`, `ablate`, `faults`, or
+//! `all` (the default). `--json` writes a deterministic `BENCH_repro.json`
+//! summary (one record per experiment run — the `cost-guard` baseline
+//! format); `--trace` writes the canonical traced run's JSONL event log.
 
+use pim_sim::Json;
 use pimtrie_bench as bench;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let p = match args.iter().position(|a| a == "--p") {
-        None => 16,
-        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
-            Some(Ok(v)) => v,
-            _ => {
-                eprintln!("error: --p needs a positive integer");
+/// Every experiment the harness knows, in run order. `all` runs the rest.
+const KNOWN: [&str; 11] = [
+    "all",
+    "t1-space",
+    "t1-rounds",
+    "t1-comm",
+    "skew",
+    "space-balance",
+    "scale-p",
+    "batch",
+    "verify",
+    "ablate",
+    "faults",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick] [--p N] [--json PATH] [--trace PATH] [EXPERIMENT ...]\n\
+         \n\
+         Regenerates the PIM-trie paper's tables and figures on the simulator.\n\
+         \n\
+         options:\n\
+         \x20 --quick        reduced sizes (CI scale)\n\
+         \x20 --p N          module count (default 16)\n\
+         \x20 --json PATH    write a deterministic BENCH_repro.json summary\n\
+         \x20                (the cost-guard baseline format)\n\
+         \x20 --trace PATH   write the canonical traced run as JSONL events\n\
+         \x20 --help         this text\n\
+         \n\
+         experiments: {}",
+        KNOWN.join(", ")
+    )
+}
+
+struct Args {
+    quick: bool,
+    p: usize,
+    json: Option<String>,
+    trace: Option<String>,
+    what: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        quick: false,
+        p: 16,
+        json: None,
+        trace: None,
+        what: Vec::new(),
+    };
+    let mut i = 0;
+    while i < raw.len() {
+        let a = raw[i].as_str();
+        let mut value = |name: &str| -> String {
+            i += 1;
+            match raw.get(i) {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("error: {name} needs a value\n{}", usage());
+                    std::process::exit(2);
+                }
+            }
+        };
+        match a {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            "--quick" => args.quick = true,
+            "--p" => match value("--p").parse::<usize>() {
+                Ok(v) if v >= 1 => args.p = v,
+                _ => {
+                    eprintln!("error: --p needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--json" => args.json = Some(value("--json")),
+            "--trace" => args.trace = Some(value("--trace")),
+            _ if a.starts_with("--") => {
+                eprintln!("error: unknown flag '{a}'\n{}", usage());
                 std::process::exit(2);
             }
-        },
-    };
-    let p_value_idx = args.iter().position(|a| a == "--p").map(|i| i + 1);
-    let what: Vec<&str> = args
-        .iter()
-        .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != p_value_idx)
-        .map(|(_, s)| s.as_str())
-        .collect();
-    let what = if what.is_empty() { vec!["all"] } else { what };
-
-    const KNOWN: [&str; 11] = [
-        "all",
-        "t1-space",
-        "t1-rounds",
-        "t1-comm",
-        "skew",
-        "space-balance",
-        "scale-p",
-        "batch",
-        "verify",
-        "ablate",
-        "faults",
-    ];
-    for w in &what {
-        if !KNOWN.contains(w) {
+            _ => args.what.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if args.what.is_empty() {
+        args.what.push("all".into());
+    }
+    for w in &args.what {
+        if !KNOWN.contains(&w.as_str()) {
             eprintln!(
                 "error: unknown experiment '{w}'. Known: {}",
                 KNOWN.join(", ")
@@ -52,74 +114,100 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if p == 0 {
-        eprintln!("error: --p must be at least 1");
+    args
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: writing {path}: {e}");
         std::process::exit(2);
     }
+}
 
-    let run = |name: &str| what.contains(&"all") || what.contains(&name);
+fn main() {
+    let args = parse_args();
+    let (p, quick) = (args.p, args.quick);
+    let run =
+        |name: &str| args.what.iter().any(|w| w == "all") || args.what.iter().any(|w| w == name);
 
     println!(
         "PIM-trie reproduction harness (P = {p}{})",
         if quick { ", quick" } else { "" }
     );
 
+    // each entry prints its table and contributes one JSON record
+    let mut records: Vec<Json> = Vec::new();
+    let mut emit = |name: &str, title: &str, rows: Vec<bench::Row>| {
+        bench::print_table(title, &rows);
+        records.push(bench::export::record(name, &rows));
+    };
+
     if run("t1-space") {
-        bench::print_table(
+        emit(
+            "t1-space",
             "T1-space — Table 1 'Space': measured words per key",
-            &bench::t1_space(p, quick),
+            bench::t1_space(p, quick),
         );
     }
     if run("t1-rounds") {
-        bench::print_table(
+        emit(
+            "t1-rounds",
             "T1-rounds — Table 1 'IO rounds' (LCP on depth-l chain data)",
-            &bench::t1_rounds(p, quick),
+            bench::t1_rounds(p, quick),
         );
-        bench::print_table(
+        emit(
+            "t1-rounds-updates",
             "T1-rounds — Insert/Delete/Subtree (PIM-trie, amortized)",
-            &bench::t1_rounds_updates(p, quick),
+            bench::t1_rounds_updates(p, quick),
         );
     }
     if run("t1-comm") {
-        bench::print_table(
+        emit(
+            "t1-comm",
             "T1-comm — Table 1 'Communication': words per op vs key length",
-            &bench::t1_comm(p, quick),
+            bench::t1_comm(p, quick),
         );
     }
     if run("skew") {
-        bench::print_table(
+        emit(
+            "skew",
             "X-skew — load balance under adversarial workloads (max/mean per-module IO)",
-            &bench::skew(p, quick),
+            bench::skew(p, quick),
         );
     }
     if run("space-balance") {
-        bench::print_table(
+        emit(
+            "space-balance",
             "X-space-balance — per-module space under benign/adversarial data (Lemma 2.1)",
-            &bench::space_balance(p, quick),
+            bench::space_balance(p, quick),
         );
     }
     if run("scale-p") {
-        bench::print_table(
+        emit(
+            "scale-p",
             "X-scaleP — IO time per op and rounds as P grows",
-            &bench::scale_p(quick),
+            bench::scale_p(quick),
         );
     }
     if run("batch") {
-        bench::print_table(
+        emit(
+            "batch",
             "X-batch — balance vs batch size (Theorem 4.3's Ω(P log⁵P) condition)",
-            &bench::batch_size(p, quick),
+            bench::batch_size(p, quick),
         );
     }
     if run("verify") {
-        bench::print_table(
+        emit(
+            "verify",
             "X-verify — §4.4.3: narrow digests, collisions, redo work, exactness",
-            &bench::verify(p, quick),
+            bench::verify(p, quick),
         );
     }
     if run("ablate") {
-        bench::print_table(
+        emit(
+            "ablate",
             "X-ablate — push-pull & K_B ablations + fast vs pointer-chase path",
-            &bench::ablate(p, quick),
+            bench::ablate(p, quick),
         );
     }
     if run("faults") {
@@ -129,5 +217,21 @@ fn main() {
             &rows,
         );
         println!("{}", bench::rows_json("faults", &rows));
+        records.push(bench::export::record("faults", &rows));
+    }
+
+    if let Some(path) = &args.trace {
+        let traced = bench::export::trace_all(p, quick);
+        write_file(path, &traced.jsonl);
+        records.push(Json::obj(vec![
+            ("experiment", Json::str("trace-phases")),
+            ("trace", traced.summary),
+        ]));
+        println!("\ntrace events written to {path}");
+    }
+    if let Some(path) = &args.json {
+        let summary = bench::export::summary(p, quick, records);
+        write_file(path, &summary.dump());
+        println!("\nJSON summary written to {path}");
     }
 }

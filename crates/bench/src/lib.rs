@@ -11,6 +11,9 @@
 
 #![warn(missing_docs)]
 
+pub mod cost_guard;
+pub mod export;
+
 use baselines::{DistRadixTree, DistXFastTrie, RangePartitioned};
 use bitstr::hash::HashWidth;
 use bitstr::BitStr;
@@ -67,7 +70,7 @@ pub fn print_table(title: &str, rows: &[Row]) {
     }
 }
 
-fn values_for(keys: &[BitStr]) -> Vec<u64> {
+pub(crate) fn values_for(keys: &[BitStr]) -> Vec<u64> {
     (0..keys.len() as u64).collect()
 }
 

@@ -164,6 +164,14 @@ impl PimTrie {
     }
 
     pub(crate) fn bootstrap(&mut self) -> Result<(), PimTrieError> {
+        self.t_op("build");
+        self.t_phase("bootstrap");
+        let r = self.bootstrap_inner();
+        self.t_op_end();
+        r
+    }
+
+    fn bootstrap_inner(&mut self) -> Result<(), PimTrieError> {
         // Root block: the empty string, on a random module.
         let m = self.random_module();
         let meta = root_meta(&self.hasher, &BitStr::new());
@@ -291,9 +299,17 @@ impl PimTrie {
                 .collect();
             let sent: Vec<usize> = sealed.iter().map(Vec::len).collect();
             if attempt > 0 {
+                let n_retried = sent.iter().map(|&n| n as u64).sum::<u64>();
                 let st = self.sys.metrics_mut().fault_stats_mut();
-                st.retries += sent.iter().map(|&n| n as u64).sum::<u64>();
+                st.retries += n_retried;
                 st.recovery_rounds += 1;
+                // retry rounds are recovery work: tag them
+                // `recovery/retransmit` without touching the op's sticky
+                // phase, so attribution resumes cleanly afterwards
+                if let Some(t) = self.sys.metrics_mut().tracer_mut() {
+                    t.set_retry(true);
+                    t.note_retries(n_retried);
+                }
             }
             let hasher = &self.hasher;
             let outs = self.sys.round(name, sealed, |ctx, msgs| {
@@ -301,6 +317,11 @@ impl PimTrie {
                     .map(|sr| handle_sealed(ctx, hasher, sr))
                     .collect()
             });
+            if attempt > 0 {
+                if let Some(t) = self.sys.metrics_mut().tracer_mut() {
+                    t.set_retry(false);
+                }
+            }
             let mut corrupt = 0u64;
             let mut missing = 0u64;
             let mut lost: Option<u32> = None;

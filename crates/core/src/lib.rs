@@ -100,6 +100,44 @@ pub struct PimTrie {
 }
 
 impl PimTrie {
+    /// Attach a fresh [`pim_sim::Tracer`] to the underlying metrics so
+    /// every BSP round, CPU charge and recovery retry is attributed to
+    /// op/phase spans (`lcp/hash-probe`, `insert/graft`,
+    /// `recovery/retransmit`, …). Tracing never changes the metered
+    /// counters; see [`pim_sim::Metrics::enable_tracing`].
+    pub fn enable_tracing(&mut self) {
+        self.sys.metrics_mut().enable_tracing();
+    }
+
+    /// Open a tracer op span (no-op when tracing is off). Callers must
+    /// pair with [`Self::t_op_end`] on every path, including errors.
+    pub(crate) fn t_op(&mut self, op: &str) {
+        if let Some(t) = self.sys.metrics_mut().tracer_mut() {
+            t.begin_op(op);
+        }
+    }
+
+    /// Close the innermost tracer op span (no-op when tracing is off).
+    pub(crate) fn t_op_end(&mut self) {
+        if let Some(t) = self.sys.metrics_mut().tracer_mut() {
+            t.end_op();
+        }
+    }
+
+    /// Set the tracer phase to `<current-op>/<suffix>` (or bare `suffix`
+    /// outside any op span). No-op when tracing is off.
+    pub(crate) fn t_phase(&mut self, suffix: &str) {
+        if let Some(t) = self.sys.metrics_mut().tracer_mut() {
+            let op = t.current_op();
+            let phase = if op == "-" {
+                suffix.to_string()
+            } else {
+                format!("{op}/{suffix}")
+            };
+            t.set_phase(&phase);
+        }
+    }
+
     /// Number of keys stored.
     pub fn len(&self) -> usize {
         self.n_keys

@@ -318,6 +318,7 @@ impl PimTrie {
         let ctxs = node_ctxs(&qt.trie, &self.hasher);
 
         // ---- Phase 1: master matching (Algorithm 4) -------------------
+        self.t_phase("master-match");
         let p = self.sys.p();
         let lg = (p.max(2) as f64).log2().ceil() as u64;
         let total = qt.trie.size_words() as u64;
@@ -354,6 +355,8 @@ impl PimTrie {
         }
 
         // ---- Phase 2: meta descent (Algorithm 5) ----------------------
+        // hash comparisons at pivot positions — the paper's coarse filter
+        self.t_phase("hash-probe");
         let mut frontier: Vec<RootMatch> = matches
             .iter()
             .filter(|m| m.descend.is_some())
@@ -464,6 +467,7 @@ impl PimTrie {
         }
 
         // ---- Phase 3: block matching (Algorithm 2) --------------------
+        self.t_phase("block-match");
         let mut cutmap: HashMap<u32, Vec<u64>> = HashMap::new();
         for m in &matches {
             cutmap.entry(m.qt_below).or_default().push(m.depth);

@@ -29,7 +29,10 @@ impl PimTrie {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        self.with_recovery(|t| t.lcp_core(queries))
+        self.t_op("lcp");
+        let r = self.with_recovery(|t| t.lcp_core(queries));
+        self.t_op_end();
+        r
     }
 
     fn lcp_core(&mut self, queries: &[BitStr]) -> Result<Vec<usize>, PimTrieError> {
@@ -87,7 +90,10 @@ impl PimTrie {
         if keys.is_empty() {
             return Ok(());
         }
-        self.with_recovery(|t| t.insert_core(keys, values))?;
+        self.t_op("insert");
+        let r = self.with_recovery(|t| t.insert_core(keys, values));
+        self.t_op_end();
+        r?;
         if self.cfg.fault_tolerance {
             for (k, v) in keys.iter().zip(values) {
                 self.journal.insert(k.clone(), *v);
@@ -190,6 +196,7 @@ impl PimTrie {
         if grafts.is_empty() {
             return Ok(());
         }
+        self.t_phase("graft");
         let p = self.sys.p();
         // group per block, sorted by (anchor node, off) for the module's
         // split-offset adjustment; BTreeMap so message order is stable
@@ -257,7 +264,10 @@ impl PimTrie {
         if keys.is_empty() {
             return Ok(0);
         }
-        let removed = self.with_recovery(|t| t.delete_core(keys))?;
+        self.t_op("delete");
+        let r = self.with_recovery(|t| t.delete_core(keys));
+        self.t_op_end();
+        let removed = r?;
         if self.cfg.fault_tolerance {
             for k in keys {
                 self.journal.remove(k);
@@ -316,6 +326,7 @@ impl PimTrie {
         if inbox.iter().all(|v| v.is_empty()) {
             return Ok(0);
         }
+        self.t_phase("remove");
         let replies = self.rounds("delete.keys", inbox)?;
         let mut removed = 0usize;
         let mut shrunk: Vec<(BlockRef, u64, u64, u64)> = Vec::new();
@@ -361,7 +372,10 @@ impl PimTrie {
         if prefixes.is_empty() {
             return Ok(Vec::new());
         }
-        self.with_recovery(|t| t.subtree_core(prefixes))
+        self.t_op("subtree");
+        let r = self.with_recovery(|t| t.subtree_core(prefixes));
+        self.t_op_end();
+        r
     }
 
     fn subtree_core(&mut self, prefixes: &[BitStr]) -> Result<Vec<Option<Trie>>, PimTrieError> {
@@ -387,6 +401,7 @@ impl PimTrie {
             frontier.push((i, a.block, a.node, a.off, prefix.clone()));
         }
         // BFS over the block tree, one round per level
+        self.t_phase("assemble");
         let mut guard = 0;
         while !frontier.is_empty() {
             guard += 1;
@@ -456,7 +471,10 @@ impl PimTrie {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
-        self.with_recovery(|t| t.get_core(keys))
+        self.t_op("get");
+        let r = self.with_recovery(|t| t.get_core(keys));
+        self.t_op_end();
+        r
     }
 
     fn get_core(&mut self, keys: &[BitStr]) -> Result<Vec<Option<u64>>, PimTrieError> {
@@ -504,6 +522,7 @@ impl PimTrie {
         if inbox.iter().all(|v| v.is_empty()) {
             return Ok(out);
         }
+        self.t_phase("read");
         let replies = self.rounds("get.read", inbox)?;
         for (m, rs) in replies.into_iter().enumerate() {
             for (j, resp) in rs.into_iter().enumerate() {
@@ -528,6 +547,7 @@ impl PimTrie {
         if brefs.is_empty() {
             return Ok(());
         }
+        self.t_phase("repartition");
         let p = self.sys.p();
         // Round 1: fetch all oversized blocks.
         let bds = self.fetch_blocks(&brefs, "repart.fetch")?;
@@ -857,6 +877,8 @@ impl PimTrie {
             if candidates.is_empty() {
                 break;
             }
+            // re-assert each iteration: a cascaded repartition re-tags
+            self.t_phase("merge");
             // Round A: fetch all candidates.
             let bds = self.fetch_blocks(&candidates, "merge.fetch")?;
             // Round B: splice each into its parent.
@@ -969,6 +991,7 @@ impl PimTrie {
         if mrefs.is_empty() {
             return Ok(());
         }
+        self.t_phase("meta-split");
         let p = self.sys.p();
         // Round 1: fetch all full meta-blocks.
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
@@ -1125,7 +1148,15 @@ impl PimTrie {
     /// state, so a half-applied batch is rolled back here and re-run by
     /// `with_recovery`.
     fn rebuild_from_journal(&mut self) -> Result<(), PimTrieError> {
+        self.t_op("recovery");
+        let r = self.rebuild_from_journal_inner();
+        self.t_op_end();
+        r
+    }
+
+    fn rebuild_from_journal_inner(&mut self) -> Result<(), PimTrieError> {
         self.sys.metrics_mut().fault_stats_mut().rebuilds += 1;
+        self.t_phase("reset");
         let p = self.sys.p();
         let inbox: Vec<Vec<Req>> = (0..p).map(|_| vec![Req::ResetModule]).collect();
         self.rounds("recover.reset", inbox)?;

@@ -42,6 +42,7 @@ impl PimTrie {
         &mut self,
         queries: &[BitStr],
     ) -> Result<Vec<SlowResult>, PimTrieError> {
+        self.t_phase("slow-redo");
         let p = self.sys.p();
         struct Active {
             block: BlockRef,

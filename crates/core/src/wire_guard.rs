@@ -25,7 +25,12 @@
 //!   it with [`Req::ResetModule`], instead of panicking on dangling slots.
 //!
 //! The host side (the retry ladder in `PimTrie::rounds`) lives in
-//! `build.rs`.
+//! `build.rs`. With tracing enabled
+//! ([`PimTrie::enable_tracing`](crate::PimTrie::enable_tracing)), every
+//! retry round the ladder issues is attributed to the
+//! [`pim_sim::RETRANSMIT_PHASE`] (`recovery/retransmit`) trace phase and
+//! its retried-request count lands on the same scope, so sealed-wire
+//! recovery cost is separable from the op's own rounds in the trace.
 
 use crate::module::{handle, ModuleState, Req, Resp};
 use crate::refs::{BitsMsg, BlockRef, MetaRef};

@@ -54,15 +54,19 @@
 #![warn(missing_docs)]
 
 mod fault;
+pub mod json;
 mod metrics;
 mod route;
 mod system;
+pub mod trace;
 mod wire;
 
 pub use fault::{CrashSpec, FaultPlan};
+pub use json::Json;
 pub use metrics::{FaultStats, Metrics, MetricsDelta, RoundRecord, Snapshot};
 pub use route::{OriginMap, Routed};
 pub use system::{CrashHandler, PimCtx, PimSystem};
+pub use trace::{Dist, PhaseSummary, TraceEvent, Tracer, RETRANSMIT_PHASE};
 pub use wire::{words_for_bits, Wire};
 
 /// A machine word — the unit of all communication accounting.

@@ -1,5 +1,7 @@
 //! PIM Model cost accounting.
 
+use crate::trace::Tracer;
+
 /// Per-round record: who sent/received how much, and per-module PIM work.
 #[derive(Clone, Debug)]
 pub struct RoundRecord {
@@ -97,6 +99,7 @@ pub struct Metrics {
     /// Detailed per-round log (kept only when `log_rounds` is on).
     pub round_log: Vec<RoundRecord>,
     log_rounds: bool,
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Metrics {
@@ -114,6 +117,34 @@ impl Metrics {
         self.log_rounds = on;
     }
 
+    /// Attach a fresh [`Tracer`] so subsequent rounds and CPU charges are
+    /// attributed to op/phase spans. Replaces any existing tracer. With no
+    /// tracer attached (the default) the hooks cost one branch and the
+    /// metered counters are identical to an untraced run.
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Some(Box::default());
+    }
+
+    /// Detach and return the tracer (tracing turns back off).
+    pub fn take_tracer(&mut self) -> Option<Box<Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Whether a tracer is attached.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Mutable access to the attached tracer, for span management.
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
     pub(crate) fn record_round(&mut self, rec: RoundRecord) {
         self.rounds += 1;
         self.io_time += rec.io_time();
@@ -121,6 +152,9 @@ impl Metrics {
         for i in 0..self.p {
             self.io_per_module[i] += rec.sent[i] + rec.received[i];
             self.pim_per_module[i] += rec.pim_work[i];
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_round(&rec);
         }
         if self.log_rounds {
             self.round_log.push(rec);
@@ -130,6 +164,9 @@ impl Metrics {
     /// Charge host-side work units.
     pub fn charge_cpu(&mut self, units: u64) {
         self.cpu_work += units;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_cpu(units);
+        }
     }
 
     /// Number of modules.
@@ -225,23 +262,31 @@ impl Metrics {
 
 impl Metrics {
     /// Human-readable per-round-name cost report (requires round logging).
+    /// The name column widens to fit the longest round name, and per-name
+    /// PIM time is reported alongside IO time.
     pub fn report(&self) -> String {
         use std::collections::BTreeMap;
-        let mut agg: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        let mut agg: BTreeMap<&str, (u64, u64, u64, u64)> = BTreeMap::new();
         for r in &self.round_log {
-            let e = agg.entry(r.name.as_str()).or_insert((0, 0, 0));
+            let e = agg.entry(r.name.as_str()).or_insert((0, 0, 0, 0));
             e.0 += 1;
             e.1 += r.io_volume();
             e.2 += r.io_time();
+            e.3 += r.pim_time();
         }
-        let mut out = String::from(
-            "round name                rounds     volume    io_time
-",
+        let width = agg
+            .keys()
+            .map(|name| name.len())
+            .chain(std::iter::once("round name".len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = format!(
+            "{:width$} {:>8} {:>10} {:>10} {:>10}\n",
+            "round name", "rounds", "volume", "io_time", "pim_time"
         );
-        for (name, (n, vol, time)) in agg {
+        for (name, (n, vol, io, pim)) in agg {
             out.push_str(&format!(
-                "{name:24} {n:>8} {vol:>10} {time:>10}
-"
+                "{name:width$} {n:>8} {vol:>10} {io:>10} {pim:>10}\n"
             ));
         }
         out
@@ -346,6 +391,60 @@ mod tests {
         assert_eq!(d.io_volume(), 6);
         assert_eq!(d.cpu_work, 10);
         assert_eq!(d.io_per_module, vec![1, 5]);
+    }
+
+    #[test]
+    fn report_aligns_long_names_and_shows_pim_time() {
+        let mut m = Metrics::new(2);
+        m.set_round_logging(true);
+        m.record_round(rec("s", vec![1, 0], vec![0, 0], vec![4, 0]));
+        m.record_round(rec(
+            "a.very.long.round.name.exceeding.24.chars",
+            vec![2, 2],
+            vec![1, 0],
+            vec![0, 7],
+        ));
+        let rep = m.report();
+        let lines: Vec<&str> = rep.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // every row is the same width: the name column stretched to fit
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("pim_time"));
+        let short_row = lines.iter().find(|l| l.starts_with("s ")).unwrap();
+        assert!(short_row.ends_with("         4"));
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_counters() {
+        let run = |traced: bool| {
+            let mut m = Metrics::new(2);
+            if traced {
+                m.enable_tracing();
+            }
+            m.record_round(rec("a", vec![2, 0], vec![0, 1], vec![1, 3]));
+            m.charge_cpu(5);
+            (
+                m.io_rounds(),
+                m.io_time(),
+                m.pim_time(),
+                m.io_volume(),
+                m.cpu_work(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn tracer_attach_detach() {
+        let mut m = Metrics::new(1);
+        assert!(!m.tracing_enabled());
+        assert!(m.tracer().is_none());
+        m.enable_tracing();
+        m.record_round(rec("x", vec![1], vec![1], vec![1]));
+        assert_eq!(m.tracer().unwrap().events().len(), 1);
+        let t = m.take_tracer().unwrap();
+        assert!(!m.tracing_enabled());
+        assert_eq!(t.events()[0].round, "x");
     }
 
     #[test]

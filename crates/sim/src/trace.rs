@@ -1,0 +1,511 @@
+//! `pim-trace`: a hierarchical span/event layer over the cost meters.
+//!
+//! The meters in [`Metrics`](crate::Metrics) answer *how much* — rounds,
+//! words, work. This module answers *where*: every BSP round is attributed
+//! to an **op → phase → round** hierarchy so a trace can say "the `lcp`
+//! batch spent 3 rounds and 41 words in `lcp/block-match`" instead of just
+//! bumping a global counter.
+//!
+//! * **op** — one public batch operation (`lcp`, `insert`, `delete`,
+//!   `subtree`, `get`, `build`, `recovery`, …). Ops nest: a rebuild
+//!   triggered inside an insert records as the innermost op.
+//! * **phase** — a named stage within the op (`lcp/hash-probe`,
+//!   `insert/graft`, `recovery/retransmit`). If no phase is set the round's
+//!   own name is used, so no event is ever attributed to an *unknown*
+//!   phase.
+//! * **round** — the BSP round label already carried by
+//!   [`RoundRecord`](crate::RoundRecord).
+//!
+//! The tracer is owned by `Metrics` behind an `Option<Box<_>>`: when
+//! tracing is off (the default) the hooks are a null-pointer check and the
+//! metered counters are bit-identical to an uninstrumented run.
+//!
+//! Output: [`Tracer::to_jsonl`] dumps one JSON object per round event
+//! (byte-deterministic for a fixed seed), and [`Tracer::summary_json`]
+//! aggregates per-phase distributions — min/mean/max/p50/p99 of per-round
+//! words and work, plus per-module skew ratios — matching the
+//! load-balance lens of the paper's Figures 2–4.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::metrics::RoundRecord;
+
+/// Phase label resolved for BSP rounds issued while the tracer is in
+/// retry mode (see [`Tracer::set_retry`]): rounds spent re-asking modules
+/// for replies that were lost or corrupted on the wire.
+pub const RETRANSMIT_PHASE: &str = "recovery/retransmit";
+
+/// Fallback label when no op span is open (e.g. rounds run directly
+/// against the raw simulator by tests).
+const NO_OP: &str = "-";
+
+/// Phase label for CPU work charged outside any explicit phase.
+const HOST_PHASE: &str = "host";
+
+/// One traced BSP round, attributed to its op/phase scope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Monotone event number (0-based) within the tracer's lifetime.
+    pub seq: u64,
+    /// Innermost open op span when the round ran, or `"-"`.
+    pub op: String,
+    /// Resolved phase (explicit phase, retry phase, or the round name).
+    pub phase: String,
+    /// The round label from [`RoundRecord`].
+    pub round: String,
+    /// Max over modules of sent + received words this round.
+    pub io_time: u64,
+    /// Total words moved this round.
+    pub io_volume: u64,
+    /// Max module work this round.
+    pub pim_time: u64,
+    /// Words written CPU→module, per module.
+    pub sent: Vec<u64>,
+    /// Words read module→CPU, per module.
+    pub received: Vec<u64>,
+    /// Work units metered inside each module handler.
+    pub pim_work: Vec<u64>,
+}
+
+impl TraceEvent {
+    /// The event as a JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seq", Json::num(self.seq as f64)),
+            ("op", Json::str(&*self.op)),
+            ("phase", Json::str(&*self.phase)),
+            ("round", Json::str(&*self.round)),
+            ("io_time", Json::num(self.io_time as f64)),
+            ("io_volume", Json::num(self.io_volume as f64)),
+            ("pim_time", Json::num(self.pim_time as f64)),
+            ("sent", nums(&self.sent)),
+            ("received", nums(&self.received)),
+            ("pim_work", nums(&self.pim_work)),
+        ])
+    }
+}
+
+fn nums(v: &[u64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::num(x as f64)).collect())
+}
+
+/// Distribution summary of a per-round quantity within one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Dist {
+    /// Smallest per-round value.
+    pub min: u64,
+    /// Largest per-round value.
+    pub max: u64,
+    /// Arithmetic mean over rounds.
+    pub mean: f64,
+    /// Median (nearest-rank on the sorted values).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+impl Dist {
+    /// Summarize a set of per-round samples (empty ⇒ all zeros).
+    pub fn from_samples(samples: &[u64]) -> Dist {
+        if samples.is_empty() {
+            return Dist::default();
+        }
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        let n = s.len();
+        let pct = |q: f64| s[(((n - 1) as f64) * q).round() as usize];
+        Dist {
+            min: s[0],
+            max: s[n - 1],
+            mean: s.iter().sum::<u64>() as f64 / n as f64,
+            p50: pct(0.50),
+            p99: pct(0.99),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("min", Json::num(self.min as f64)),
+            ("max", Json::num(self.max as f64)),
+            ("mean", Json::num(self.mean)),
+            ("p50", Json::num(self.p50 as f64)),
+            ("p99", Json::num(self.p99 as f64)),
+        ])
+    }
+}
+
+/// Aggregated costs of one (op, phase) scope across a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSummary {
+    /// Op span the phase ran under.
+    pub op: String,
+    /// Phase label.
+    pub phase: String,
+    /// BSP rounds attributed to this phase.
+    pub rounds: u64,
+    /// Σ per-round maxima of module traffic.
+    pub io_time: u64,
+    /// Total words moved.
+    pub io_volume: u64,
+    /// Σ per-round maxima of module work.
+    pub pim_time: u64,
+    /// Host work charged while this phase was current.
+    pub cpu_work: u64,
+    /// Recovery retries issued while this phase was current.
+    pub retries: u64,
+    /// Distribution of per-round IO time (max module words).
+    pub words_per_round: Dist,
+    /// Distribution of per-round PIM time (max module work).
+    pub work_per_round: Dist,
+    /// Skew of cumulative per-module words: max / mean (1.0 = balanced).
+    pub io_skew: f64,
+    /// Skew of cumulative per-module work: max / mean.
+    pub pim_skew: f64,
+}
+
+impl PhaseSummary {
+    /// The summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("op", Json::str(&*self.op)),
+            ("phase", Json::str(&*self.phase)),
+            ("rounds", Json::num(self.rounds as f64)),
+            ("io_time", Json::num(self.io_time as f64)),
+            ("io_volume", Json::num(self.io_volume as f64)),
+            ("pim_time", Json::num(self.pim_time as f64)),
+            ("cpu_work", Json::num(self.cpu_work as f64)),
+            ("retries", Json::num(self.retries as f64)),
+            ("words_per_round", self.words_per_round.to_json()),
+            ("work_per_round", self.work_per_round.to_json()),
+            ("io_skew", Json::num(round6(self.io_skew))),
+            ("pim_skew", Json::num(round6(self.pim_skew))),
+        ])
+    }
+}
+
+/// Stabilize float ratios to 6 decimal places so summaries are
+/// byte-reproducible across formatting-neutral refactors.
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+fn skew(per_module: &[u64]) -> f64 {
+    let total: u64 = per_module.iter().sum();
+    if total == 0 || per_module.is_empty() {
+        return 1.0;
+    }
+    let max = *per_module.iter().max().unwrap() as f64;
+    max / (total as f64 / per_module.len() as f64)
+}
+
+/// Records op/phase-attributed round events and scope-attributed CPU and
+/// retry counters. Owned by [`Metrics`](crate::Metrics); obtain one via
+/// [`Metrics::enable_tracing`](crate::Metrics::enable_tracing).
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    op_stack: Vec<String>,
+    phase: Option<String>,
+    retry: bool,
+    cpu_by_scope: BTreeMap<(String, String), u64>,
+    retries_by_scope: BTreeMap<(String, String), u64>,
+    seq: u64,
+}
+
+impl Tracer {
+    /// A fresh tracer with no open spans.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Open an op span. Clears any phase left over from a previous op.
+    pub fn begin_op(&mut self, op: &str) {
+        self.op_stack.push(op.to_string());
+        self.phase = None;
+    }
+
+    /// Close the innermost op span (and clear the current phase).
+    pub fn end_op(&mut self) {
+        self.op_stack.pop();
+        self.phase = None;
+    }
+
+    /// Set the sticky phase; subsequent rounds resolve to it.
+    pub fn set_phase(&mut self, phase: &str) {
+        self.phase = Some(phase.to_string());
+    }
+
+    /// Clear the sticky phase; rounds fall back to their own names.
+    pub fn clear_phase(&mut self) {
+        self.phase = None;
+    }
+
+    /// Toggle retry mode. While on, rounds resolve to
+    /// [`RETRANSMIT_PHASE`] *without* disturbing the sticky phase, so a
+    /// recovery ladder nested inside `insert/graft` tags its retries as
+    /// `recovery/retransmit` and then resumes graft attribution.
+    pub fn set_retry(&mut self, on: bool) {
+        self.retry = on;
+    }
+
+    /// Innermost open op, or `"-"` when none.
+    pub fn current_op(&self) -> &str {
+        self.op_stack.last().map(|s| s.as_str()).unwrap_or(NO_OP)
+    }
+
+    fn resolve_phase(&self, round_name: &str) -> String {
+        if self.retry {
+            RETRANSMIT_PHASE.to_string()
+        } else {
+            match &self.phase {
+                Some(p) => p.clone(),
+                None => round_name.to_string(),
+            }
+        }
+    }
+
+    fn scope(&self) -> (String, String) {
+        (
+            self.current_op().to_string(),
+            if self.retry {
+                RETRANSMIT_PHASE.to_string()
+            } else {
+                self.phase.clone().unwrap_or_else(|| HOST_PHASE.to_string())
+            },
+        )
+    }
+
+    pub(crate) fn on_round(&mut self, rec: &RoundRecord) {
+        let ev = TraceEvent {
+            seq: self.seq,
+            op: self.current_op().to_string(),
+            phase: self.resolve_phase(&rec.name),
+            round: rec.name.clone(),
+            io_time: rec.io_time(),
+            io_volume: rec.io_volume(),
+            pim_time: rec.pim_time(),
+            sent: rec.sent.clone(),
+            received: rec.received.clone(),
+            pim_work: rec.pim_work.clone(),
+        };
+        self.seq += 1;
+        self.events.push(ev);
+    }
+
+    pub(crate) fn on_cpu(&mut self, units: u64) {
+        *self.cpu_by_scope.entry(self.scope()).or_insert(0) += units;
+    }
+
+    /// Record `n` recovery retries under the current scope.
+    pub fn note_retries(&mut self, n: u64) {
+        if n > 0 {
+            *self.retries_by_scope.entry(self.scope()).or_insert(0) += n;
+        }
+    }
+
+    /// All round events so far, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The event log as JSONL: one compact JSON object per line,
+    /// byte-deterministic for a fixed seed and module count.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json().dump());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-(op, phase) aggregates over the whole trace, sorted by op then
+    /// phase. Scopes that only charged CPU (no rounds) still appear.
+    pub fn phase_summaries(&self) -> Vec<PhaseSummary> {
+        struct Acc {
+            io_times: Vec<u64>,
+            pim_times: Vec<u64>,
+            io_volume: u64,
+            io_per_module: Vec<u64>,
+            pim_per_module: Vec<u64>,
+        }
+        let mut accs: BTreeMap<(String, String), Acc> = BTreeMap::new();
+        for ev in &self.events {
+            let acc = accs
+                .entry((ev.op.clone(), ev.phase.clone()))
+                .or_insert_with(|| Acc {
+                    io_times: Vec::new(),
+                    pim_times: Vec::new(),
+                    io_volume: 0,
+                    io_per_module: vec![0; ev.sent.len()],
+                    pim_per_module: vec![0; ev.pim_work.len()],
+                });
+            acc.io_times.push(ev.io_time);
+            acc.pim_times.push(ev.pim_time);
+            acc.io_volume += ev.io_volume;
+            for i in 0..ev.sent.len() {
+                acc.io_per_module[i] += ev.sent[i] + ev.received[i];
+            }
+            for i in 0..ev.pim_work.len() {
+                acc.pim_per_module[i] += ev.pim_work[i];
+            }
+        }
+        // CPU-only and retry-only scopes still get a (round-less) row.
+        for key in self.cpu_by_scope.keys().chain(self.retries_by_scope.keys()) {
+            accs.entry(key.clone()).or_insert_with(|| Acc {
+                io_times: Vec::new(),
+                pim_times: Vec::new(),
+                io_volume: 0,
+                io_per_module: Vec::new(),
+                pim_per_module: Vec::new(),
+            });
+        }
+        accs.into_iter()
+            .map(|((op, phase), acc)| {
+                let key = (op.clone(), phase.clone());
+                PhaseSummary {
+                    rounds: acc.io_times.len() as u64,
+                    io_time: acc.io_times.iter().sum(),
+                    io_volume: acc.io_volume,
+                    pim_time: acc.pim_times.iter().sum(),
+                    cpu_work: self.cpu_by_scope.get(&key).copied().unwrap_or(0),
+                    retries: self.retries_by_scope.get(&key).copied().unwrap_or(0),
+                    words_per_round: Dist::from_samples(&acc.io_times),
+                    work_per_round: Dist::from_samples(&acc.pim_times),
+                    io_skew: skew(&acc.io_per_module),
+                    pim_skew: skew(&acc.pim_per_module),
+                    op,
+                    phase,
+                }
+            })
+            .collect()
+    }
+
+    /// The phase summaries as one JSON document:
+    /// `{"events": N, "phases": [...]}`.
+    pub fn summary_json(&self) -> Json {
+        Json::obj(vec![
+            ("events", Json::num(self.events.len() as f64)),
+            (
+                "phases",
+                Json::Arr(self.phase_summaries().iter().map(|s| s.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, sent: Vec<u64>, received: Vec<u64>, pim: Vec<u64>) -> RoundRecord {
+        RoundRecord {
+            name: name.into(),
+            sent,
+            received,
+            pim_work: pim,
+        }
+    }
+
+    #[test]
+    fn rounds_resolve_op_and_phase() {
+        let mut t = Tracer::new();
+        t.on_round(&rec("raw", vec![1], vec![0], vec![0]));
+        t.begin_op("lcp");
+        t.set_phase("lcp/hash-probe");
+        t.on_round(&rec("match.meta.pull", vec![2], vec![2], vec![1]));
+        t.clear_phase();
+        t.on_round(&rec("match.master", vec![1], vec![1], vec![0]));
+        t.end_op();
+        let ev = t.events();
+        assert_eq!((ev[0].op.as_str(), ev[0].phase.as_str()), ("-", "raw"));
+        assert_eq!(ev[1].op, "lcp");
+        assert_eq!(ev[1].phase, "lcp/hash-probe");
+        // cleared phase falls back to the round's own name
+        assert_eq!(ev[2].phase, "match.master");
+        assert_eq!((ev[0].seq, ev[1].seq, ev[2].seq), (0, 1, 2));
+    }
+
+    #[test]
+    fn retry_mode_overrides_but_preserves_phase() {
+        let mut t = Tracer::new();
+        t.begin_op("insert");
+        t.set_phase("insert/graft");
+        t.set_retry(true);
+        t.note_retries(2);
+        t.on_round(&rec("insert.graft", vec![1], vec![1], vec![1]));
+        t.set_retry(false);
+        t.on_round(&rec("insert.graft", vec![1], vec![1], vec![1]));
+        assert_eq!(t.events()[0].phase, RETRANSMIT_PHASE);
+        assert_eq!(t.events()[1].phase, "insert/graft");
+        let sums = t.phase_summaries();
+        let retry_row = sums.iter().find(|s| s.phase == RETRANSMIT_PHASE).unwrap();
+        assert_eq!(retry_row.retries, 2);
+        assert_eq!(retry_row.rounds, 1);
+    }
+
+    #[test]
+    fn ops_nest() {
+        let mut t = Tracer::new();
+        t.begin_op("insert");
+        t.begin_op("recovery");
+        t.set_phase("recovery/rebuild");
+        t.on_round(&rec("recover.reset", vec![1], vec![0], vec![0]));
+        t.end_op();
+        assert_eq!(t.events()[0].op, "recovery");
+        assert_eq!(t.current_op(), "insert");
+    }
+
+    #[test]
+    fn dist_and_skew() {
+        let d = Dist::from_samples(&[4, 1, 3, 2]);
+        assert_eq!((d.min, d.max, d.p50, d.p99), (1, 4, 3, 4));
+        assert!((d.mean - 2.5).abs() < 1e-9);
+        assert_eq!(Dist::from_samples(&[]), Dist::default());
+
+        let mut t = Tracer::new();
+        t.begin_op("get");
+        t.set_phase("get/read");
+        t.on_round(&rec("get.read", vec![3, 1], vec![3, 1], vec![4, 0]));
+        let s = &t.phase_summaries()[0];
+        assert!((s.io_skew - 1.5).abs() < 1e-9); // [6,2] → 6/4
+        assert!((s.pim_skew - 2.0).abs() < 1e-9); // [4,0] → 4/2
+    }
+
+    #[test]
+    fn jsonl_is_parseable_and_deterministic() {
+        let build = || {
+            let mut t = Tracer::new();
+            t.begin_op("lcp");
+            t.set_phase("lcp/block-match");
+            t.on_round(&rec("match.block.pull", vec![5, 0], vec![2, 1], vec![3, 3]));
+            t.on_cpu(7);
+            t
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.summary_json().dump(), b.summary_json().dump());
+        for line in a.to_jsonl().lines() {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("op").unwrap().as_str(), Some("lcp"));
+        }
+        let sum = a.summary_json();
+        let row = &sum.get("phases").unwrap().as_arr().unwrap()[0];
+        assert_eq!(row.get("cpu_work").unwrap().as_num(), Some(7.0));
+    }
+
+    #[test]
+    fn cpu_only_scope_appears_in_summary() {
+        let mut t = Tracer::new();
+        t.begin_op("delete");
+        t.on_cpu(5);
+        let sums = t.phase_summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].op, "delete");
+        assert_eq!(sums[0].phase, "host");
+        assert_eq!(sums[0].cpu_work, 5);
+        assert_eq!(sums[0].rounds, 0);
+        assert_eq!(sums[0].io_skew, 1.0);
+    }
+}

@@ -88,6 +88,75 @@ impl<T> ParallelSlice<T> for [T] {
     }
 }
 
+/// Builder for a scoped "thread pool", mirroring rayon's API. The
+/// stand-in always executes sequentially regardless of the requested
+/// size, but keeping the API lets callers (and tests) assert that
+/// results are identical across pool sizes — which real rayon also
+/// guarantees for the simulator, since module handlers share no state.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Request a thread count (recorded, but execution stays sequential).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in the stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Error building a pool. The stand-in never produces one, but the type
+/// exists so caller code matches real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A configured pool; `install` runs a closure "inside" it (directly,
+/// in the stand-in).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Execute `op` within the pool and return its result.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
 /// The rayon prelude: import to get the `par_*` methods in scope.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice};
@@ -119,5 +188,17 @@ mod tests {
 
         let (a, b) = crate::join(|| 1, || "x");
         assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn thread_pool_installs() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 2 + 2), 4);
+        let default = crate::ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(default.current_num_threads(), 1);
     }
 }
