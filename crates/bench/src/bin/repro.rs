@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--p N] [--json PATH] [--trace PATH] [EXPERIMENT ...]
+//! repro [--quick] [--p N] [--threads N] [--json PATH] [--trace PATH] [EXPERIMENT ...]
 //! ```
 //!
 //! `EXPERIMENT` is any of `t1-space`, `t1-rounds`, `t1-comm`, `skew`,
@@ -32,13 +32,16 @@ const KNOWN: [&str; 11] = [
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--p N] [--json PATH] [--trace PATH] [EXPERIMENT ...]\n\
+        "usage: repro [--quick] [--p N] [--threads N] [--json PATH] [--trace PATH] [EXPERIMENT ...]\n\
          \n\
          Regenerates the PIM-trie paper's tables and figures on the simulator.\n\
          \n\
          options:\n\
          \x20 --quick        reduced sizes (CI scale)\n\
          \x20 --p N          module count (default 16)\n\
+         \x20 --threads N    worker threads for module dispatch and batch ops\n\
+         \x20                (default 0 = RAYON_NUM_THREADS, else all cores);\n\
+         \x20                every measured counter is identical for any N\n\
          \x20 --json PATH    write a deterministic BENCH_repro.json summary\n\
          \x20                (the cost-guard baseline format)\n\
          \x20 --trace PATH   write the canonical traced run as JSONL events\n\
@@ -52,6 +55,7 @@ fn usage() -> String {
 struct Args {
     quick: bool,
     p: usize,
+    threads: usize,
     json: Option<String>,
     trace: Option<String>,
     what: Vec<String>,
@@ -62,6 +66,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         p: 16,
+        threads: 0,
         json: None,
         trace: None,
         what: Vec::new(),
@@ -89,6 +94,13 @@ fn parse_args() -> Args {
                 Ok(v) if v >= 1 => args.p = v,
                 _ => {
                     eprintln!("error: --p needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match value("--threads").parse::<usize>() {
+                Ok(v) => args.threads = v,
+                _ => {
+                    eprintln!("error: --threads needs a non-negative integer");
                     std::process::exit(2);
                 }
             },
@@ -126,6 +138,15 @@ fn write_file(path: &str, contents: &str) {
 
 fn main() {
     let args = parse_args();
+    // All parallel work below runs on this pool. The thread count is
+    // deliberately NOT printed: the output (stdout, --json, --trace) is
+    // byte-identical for every --threads value, and the determinism
+    // test diffs full outputs across thread counts to prove it.
+    let threads = args.threads;
+    pim_trie::with_threads(threads, move || run(args));
+}
+
+fn run(args: Args) {
     let (p, quick) = (args.p, args.quick);
     let run =
         |name: &str| args.what.iter().any(|w| w == "all") || args.what.iter().any(|w| w == name);

@@ -13,8 +13,9 @@ fn trace_jsonl_is_byte_identical_across_runs_and_pool_sizes() {
     assert_eq!(a.jsonl, b.jsonl, "same seed/P must give identical traces");
     assert_eq!(a.summary.dump(), b.summary.dump());
 
-    // pool size must not leak into the trace: the host-side batch work is
-    // deterministic regardless of how rayon schedules it
+    // pool size must not leak into the trace: these are real worker
+    // pools (1 thread vs 8), so this asserts that genuinely concurrent
+    // module dispatch and batch work cannot perturb a single trace byte
     let one = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
         .build()

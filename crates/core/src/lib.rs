@@ -73,6 +73,22 @@ pub use pim_sim::{CrashSpec, FaultPlan, FaultStats};
 use bitstr::hash::PolyHasher;
 use pim_sim::PimSystem;
 
+/// Run `f` on a rayon pool of `threads` threads (0 = automatic:
+/// `RAYON_NUM_THREADS`, else the machine's available parallelism).
+///
+/// Every parallel operation `f` starts — module dispatch in
+/// [`pim_sim::PimSystem::round`], batch hashing, query-trie sorts —
+/// executes on that pool. Results and all metered counters are
+/// bit-identical for any `threads` value (see DESIGN.md
+/// "Observability"); only wall-clock changes.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("spawn worker threads")
+        .install(f)
+}
+
 /// The distributed PIM-trie index (host-side handle).
 pub struct PimTrie {
     pub(crate) sys: PimSystem<ModuleState>,

@@ -157,6 +157,22 @@ fn chaos_is_deterministic_per_seed() {
 }
 
 #[test]
+fn chaos_is_identical_under_a_multi_threaded_pool() {
+    // The whole chaos run — faulted results, retry/rebuild behaviour,
+    // and every fault counter — is a pure function of the seed, so a
+    // genuinely concurrent pool must reproduce the single-threaded
+    // oracle exactly: fault decisions are pure functions of
+    // (plan seed, round, module, stream, index) and module results are
+    // reduced in module order, never in completion order.
+    let single = pim_trie::with_threads(1, || run_chaos(0xC0FFEE));
+    let multi = pim_trie::with_threads(4, || run_chaos(0xC0FFEE));
+    assert_eq!(single.0, multi.0, "lcp results depend on thread count");
+    assert_eq!(single.1, multi.1, "get results depend on thread count");
+    assert_eq!(single.2, multi.2, "delete counts depend on thread count");
+    assert_eq!(single.3, multi.3, "fault stats depend on thread count");
+}
+
+#[test]
 fn zero_fault_runs_pay_nothing() {
     // With no FaultPlan and fault_tolerance off, metering must be
     // bit-identical across runs and all fault counters zero.

@@ -105,6 +105,32 @@ fn all_ops_and_recovery_traced_with_named_phases() {
 }
 
 #[test]
+fn trace_bytes_are_identical_across_thread_counts() {
+    // The JSONL event log is ordered by round sequence, and each event's
+    // per-module columns are collected by module index — so a trace of
+    // the full op mix (faults, retransmits, and a journal rebuild
+    // included) must not differ by a byte between a single-threaded and
+    // a multi-threaded pool.
+    let p = 8;
+    let trace_at = |threads: usize| {
+        pim_trie::with_threads(threads, || {
+            let mut t = faulty_trie(p);
+            t.enable_tracing();
+            run_all_ops(&mut t, p, 1 << 9);
+            t.system_mut()
+                .metrics_mut()
+                .take_tracer()
+                .expect("tracing was enabled")
+                .to_jsonl()
+        })
+    };
+    let one = trace_at(1);
+    let eight = trace_at(8);
+    assert!(!one.is_empty(), "trace is empty");
+    assert_eq!(one, eight, "JSONL trace bytes depend on thread count");
+}
+
+#[test]
 fn tracing_leaves_all_counters_identical() {
     let p = 8;
     let run = |trace: bool| {

@@ -23,10 +23,13 @@
 //! whole game* — a skewed algorithm can have small total volume yet terrible
 //! IO time. [`MetricsDelta::io_balance`] exposes exactly that ratio.
 //!
-//! Modules run concurrently on the rayon pool; since a module handler only
-//! sees its own state and inbox, execution is data-race-free and the
-//! simulation is deterministic for a fixed input (module RNG must be seeded
-//! per module by the caller).
+//! Modules run concurrently on the rayon pool (real `std::thread` workers
+//! — see the in-tree `rayon` crate); since a module handler only sees its
+//! own state and inbox, execution is data-race-free, and because results
+//! and work meters are collected by module index and reduced on the host
+//! in module order, every counter is bit-identical for any thread count —
+//! the simulation is deterministic for a fixed input (module RNG must be
+//! seeded per module by the caller).
 //!
 //! The simulator can additionally inject *faults* — wire bit flips, lost or
 //! mangled replies, module crashes and stragglers — from a seeded, fully

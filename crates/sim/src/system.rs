@@ -135,6 +135,16 @@ impl<M: Send> PimSystem<M> {
     /// charged to the round; the round's IO time is the max per-module
     /// total.
     ///
+    /// Modules are dispatched in parallel on the current rayon pool, yet
+    /// every metered counter is an exact function of (seed, P, workload),
+    /// independent of the thread count: modules share no state (each `f`
+    /// call gets `&mut` to its own module and a private [`PimCtx`] work
+    /// meter), the parallel collect is indexed (result `i` lands in slot
+    /// `i` no matter which thread computed it), and the meters are then
+    /// reduced here on the host, sequentially, in module order. Fault
+    /// decisions are pure functions of (plan seed, round, module, stream,
+    /// index), so they too are schedule-independent.
+    ///
     /// With a [`FaultPlan`] installed (see [`install_faults`]
     /// [`PimSystem::install_faults`]), the round additionally suffers the
     /// plan's faults: scheduled crashes fire before execution, inbound and

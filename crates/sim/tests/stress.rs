@@ -1,0 +1,113 @@
+//! Concurrency stress test: hammer [`PimSystem::round`] with badly
+//! unbalanced per-module work on a real multi-threaded pool and check
+//! that nothing is lost, duplicated, or reduced out of order.
+//!
+//! The handler workload is deliberately uneven (module `m` does work
+//! proportional to a per-round, per-module mix), so the pool's chunk
+//! claiming actually interleaves: fast modules finish many rounds of
+//! work while slow ones still run. Results and all metered counters
+//! must still be exact functions of (P, rounds), identical to the
+//! sequential closed forms computed alongside.
+
+use pim_sim::PimSystem;
+use rayon::ThreadPoolBuilder;
+
+/// Deterministic uneven "work units" for (round, module).
+fn load(round: u64, module: u64, p: u64) -> u64 {
+    // spiky: one module per round gets ~64x the work of the others
+    let hot = (round * 31 + 7) % p;
+    let base = 1 + (module * round) % 5;
+    if module == hot {
+        base + 64
+    } else {
+        base
+    }
+}
+
+/// `rounds` BSP rounds of uneven work at `threads`; returns every
+/// observable: per-module replies of the last round, per-module
+/// cumulative meters, and the scalar metrics.
+#[allow(clippy::type_complexity)]
+fn hammer(threads: usize, p: usize, rounds: u64) -> (Vec<Vec<u64>>, Vec<u64>, Vec<u64>, [u64; 4]) {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(|| {
+            let mut sys: PimSystem<u64> = PimSystem::new(p, |_| 0);
+            let mut last = Vec::new();
+            for r in 0..rounds {
+                let inbox: Vec<Vec<u64>> = (0..p as u64).map(|m| vec![r, m]).collect();
+                last = sys.round("stress", inbox, |ctx, msgs| {
+                    assert_eq!(msgs, vec![r, ctx.id as u64], "inbox routed wrong");
+                    let w = load(r, ctx.id as u64, p as u64);
+                    // spin-work proportional to the load so execution
+                    // really is uneven in time, not just in meters
+                    let mut acc = r.wrapping_add(ctx.id as u64);
+                    for i in 0..w * 100 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    *ctx.state = ctx.state.wrapping_add(acc | 1);
+                    ctx.work(w);
+                    // reply size also varies per module
+                    (0..1 + (ctx.id as u64 % 3)).map(|k| w + k).collect()
+                });
+            }
+            let m = sys.metrics();
+            (
+                last,
+                m.io_per_module().to_vec(),
+                m.pim_per_module().to_vec(),
+                [m.io_rounds(), m.io_time(), m.pim_time(), m.pim_work()],
+            )
+        })
+}
+
+#[test]
+fn uneven_rounds_lose_nothing_and_reduce_in_module_order() {
+    let p = 16;
+    let rounds = 200;
+
+    // closed-form expectations, computed without the simulator
+    let mut want_pim_per_module = vec![0u64; p];
+    let mut want_pim_time = 0u64;
+    for r in 0..rounds {
+        let mut round_max = 0;
+        for m in 0..p as u64 {
+            let w = load(r, m, p as u64);
+            want_pim_per_module[m as usize] += w;
+            round_max = round_max.max(w);
+        }
+        want_pim_time += round_max;
+    }
+
+    let (last, io_pm, pim_pm, scalars) = hammer(8, p, rounds);
+
+    // no lost or duplicated module results: exactly one reply vector
+    // per module, each with the module's own load value, in slot order
+    assert_eq!(last.len(), p);
+    for (m, out) in last.iter().enumerate() {
+        let w = load(rounds - 1, m as u64, p as u64);
+        let want: Vec<u64> = (0..1 + (m as u64 % 3)).map(|k| w + k).collect();
+        assert_eq!(*out, want, "module {m} reply wrong or misrouted");
+    }
+
+    // meters reduced in module order to the exact closed forms
+    assert_eq!(pim_pm, want_pim_per_module, "per-module PIM meters");
+    assert_eq!(scalars[0], rounds, "round count");
+    assert_eq!(scalars[2], want_pim_time, "pim_time must be Σ round maxima");
+    assert_eq!(
+        scalars[3],
+        want_pim_per_module.iter().sum::<u64>(),
+        "total PIM work"
+    );
+
+    // and the whole observable state is thread-count independent
+    for threads in [1, 2, 5] {
+        let got = hammer(threads, p, rounds);
+        assert_eq!(got.0, last, "{threads}-thread replies differ");
+        assert_eq!(got.1, io_pm, "{threads}-thread IO meters differ");
+        assert_eq!(got.2, pim_pm, "{threads}-thread PIM meters differ");
+        assert_eq!(got.3, scalars, "{threads}-thread scalars differ");
+    }
+}

@@ -6,8 +6,13 @@
 //! key, so every query follows one search path).
 //!
 //! ```text
-//! cargo run --release --example skew_demo
+//! cargo run --release --example skew_demo [THREADS]
 //! ```
+//!
+//! `THREADS` sizes the worker pool the module handlers run on
+//! (default: all cores). The histograms are identical for any value —
+//! the simulator's counters don't depend on the thread count — only
+//! wall-clock changes.
 
 use baselines::RangePartitioned;
 use pim_trie::{PimTrie, PimTrieConfig};
@@ -28,6 +33,14 @@ fn show(label: &str, per_module: &[u64]) {
 }
 
 fn main() {
+    let threads = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("THREADS must be a non-negative integer"))
+        .unwrap_or(0); // 0 = RAYON_NUM_THREADS, else all cores
+    pim_trie::with_threads(threads, run);
+}
+
+fn run() {
     let p = 8;
     let keys = workloads::uniform_fixed(1 << 13, 96, 1);
     let values: Vec<u64> = (0..keys.len() as u64).collect();

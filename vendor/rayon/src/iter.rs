@@ -1,0 +1,402 @@
+//! Indexed parallel iterators: rayon's `par_iter` family over slices,
+//! vectors and ranges, executed by the chunked driver in [`crate::pool`].
+//!
+//! Every source here is *indexed*: it knows its length and can produce
+//! the item at any index independently. Combinators (`map`, `zip`,
+//! `enumerate`) compose index-wise, and the terminal operations
+//! (`collect`, `for_each`) hand contiguous index ranges to the pool —
+//! each index is produced exactly once, and `collect` writes the result
+//! of index `i` into output slot `i`. Output order therefore equals
+//! input order **regardless of thread count or scheduling**, which is
+//! what makes the simulator's metering bit-identical on any pool.
+
+use crate::pool::{chunk_size, current_registry, run_bulk};
+use std::marker::PhantomData;
+
+/// An indexed parallel iterator: a fixed-length source whose `i`-th
+/// item can be produced independently of every other index.
+///
+/// This is the crate's fusion of rayon's `ParallelIterator` +
+/// `IndexedParallelIterator`; only indexed sources exist here.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items the iterator will produce.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce item `i`.
+    ///
+    /// # Safety
+    ///
+    /// Callers must invoke this at most once per index `i < len()`:
+    /// sources may move values out of owned storage (`Vec`) or mint
+    /// `&mut` references (`par_iter_mut`), so a second call with the
+    /// same index would duplicate ownership or alias.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+
+    /// Map each item through `f` (applied on the executing thread).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair items index-wise with `other`; the result is as long as the
+    /// shorter input.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach each item's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Run `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let len = self.len();
+        let chunk = chunk_size(len, current_registry().threads());
+        run_bulk(len, chunk, &|start, end| {
+            for i in start..end {
+                // SAFETY: run_bulk hands out disjoint ranges, each once.
+                f(unsafe { self.get(i) });
+            }
+        });
+    }
+
+    /// Collect into a container, preserving index order exactly.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`], mirroring rayon's trait.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Consume `self`, yielding a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Collecting from a [`ParallelIterator`], mirroring rayon's trait.
+pub trait FromParallelIterator<T: Send> {
+    /// Build `Self` from the items of `it`, in index order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only used to write disjoint indices from the
+// bulk driver while the owning allocation is pinned by the caller.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// whole `Send + Sync` wrapper, not the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Vec<T> {
+        let len = it.len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let chunk = chunk_size(len, current_registry().threads());
+        run_bulk(len, chunk, &|start, end| {
+            for i in start..end {
+                // SAFETY: disjoint once-per-index ranges; slot i is
+                // inside the reserved capacity and written exactly once.
+                unsafe { out_ptr.get().add(i).write(it.get(i)) };
+            }
+        });
+        // SAFETY: if run_bulk returned (no panic), all len slots are
+        // initialised. On panic we never get here and written items
+        // leak, which is safe.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Shared-slice source: yields `&T` (from `par_iter`).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        // SAFETY: i < len, checked by the driver contract.
+        unsafe { self.slice.get_unchecked(i) }
+    }
+}
+
+/// Mutable-slice source: yields `&mut T` (from `par_iter_mut`).
+pub struct ParIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the driver hands each index to exactly one thread, so the
+// minted `&mut T`s never alias; T crosses threads, hence T: Send.
+unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        // SAFETY: i < len and each index is minted at most once, so
+        // this &mut is unique for the slice borrow 'a.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Owning vector source: yields `T` by value (from `into_par_iter`).
+///
+/// Items are moved out index-by-index; on drop, the backing buffer is
+/// freed without dropping elements (consumed ones already moved; under
+/// a panic or a short `zip`, unconsumed ones leak — safe, never UB).
+pub struct IntoVec<T> {
+    buf: *mut T,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: see ParIterMut; elements are moved out once per index.
+unsafe impl<T: Send> Send for IntoVec<T> {}
+unsafe impl<T: Send> Sync for IntoVec<T> {}
+
+impl<T: Send> ParallelIterator for IntoVec<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        // SAFETY: i < len, read exactly once (driver contract), and the
+        // Drop impl never drops elements, so no double use.
+        unsafe { self.buf.add(i).read() }
+    }
+}
+
+impl<T> Drop for IntoVec<T> {
+    fn drop(&mut self) {
+        // SAFETY: reconstruct the allocation with length 0: frees the
+        // buffer, drops no (possibly moved-out) elements.
+        unsafe { drop(Vec::from_raw_parts(self.buf, 0, self.cap)) };
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoVec<T>;
+    fn into_par_iter(self) -> IntoVec<T> {
+        let mut v = std::mem::ManuallyDrop::new(self);
+        IntoVec {
+            buf: v.as_mut_ptr(),
+            len: v.len(),
+            cap: v.capacity(),
+        }
+    }
+}
+
+/// Integer-range source (from `(a..b).into_par_iter()`).
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_impl {
+    ($t:ty) => {
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            unsafe fn get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter {
+                    start: self.start,
+                    len,
+                }
+            }
+        }
+    };
+}
+
+range_impl!(usize);
+range_impl!(u64);
+range_impl!(u32);
+
+// ---------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------
+
+/// Index-wise `map` ([`ParallelIterator::map`]).
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, R, F> ParallelIterator for Map<S, F>
+where
+    S: ParallelIterator,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> R {
+        // SAFETY: forwarded driver contract.
+        (self.f)(unsafe { self.base.get(i) })
+    }
+}
+
+/// Index-wise `zip` ([`ParallelIterator::zip`]).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        // SAFETY: forwarded driver contract (i < min of both lengths).
+        unsafe { (self.a.get(i), self.b.get(i)) }
+    }
+}
+
+/// Index-attaching `enumerate` ([`ParallelIterator::enumerate`]).
+pub struct Enumerate<S> {
+    base: S,
+}
+
+impl<S: ParallelIterator> ParallelIterator for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn get(&self, i: usize) -> (usize, S::Item) {
+        // SAFETY: forwarded driver contract.
+        (i, unsafe { self.base.get(i) })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slice entry points
+// ---------------------------------------------------------------------
+
+/// Borrowed slice adapters with rayon's names (`par_iter`,
+/// `par_iter_mut`, and the parallel sorts from [`crate::sort`]).
+pub trait ParallelSlice<T> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> ParIter<'_, T>
+    where
+        T: Sync;
+
+    /// Parallel mutable iteration.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>
+    where
+        T: Send;
+
+    /// Parallel comparison sort. Deterministic for any thread count:
+    /// equal elements keep their original relative order (this engine's
+    /// parallel sort is stable even though the name, kept for rayon
+    /// compatibility, says "unstable").
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        T: Send + Sync,
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+
+    /// Parallel sort by key; same determinism guarantee.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        T: Send + Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T>
+    where
+        T: Sync,
+    {
+        ParIter { slice: self }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>
+    where
+        T: Send,
+    {
+        ParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        T: Send + Sync,
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        crate::sort::par_sort_by(self, compare);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        T: Send + Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        crate::sort::par_sort_by(self, |a, b| f(a).cmp(&f(b)));
+    }
+}

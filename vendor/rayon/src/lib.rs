@@ -1,98 +1,89 @@
-//! Offline stand-in for the [`rayon`] crate.
+//! In-tree parallel execution engine with the [`rayon`] crate's API.
 //!
 //! The build container has no network access, so this crate provides
-//! rayon's method names (`par_iter`, `par_iter_mut`, `into_par_iter`,
-//! `par_sort_unstable_by`, `join`) as **sequential** adapters over the
-//! standard library's iterators. Callers keep their rayon-idiomatic
-//! code; execution is deterministic single-threaded, which also makes
-//! the simulator's metering reproducible run-to-run.
+//! rayon's surface (`par_iter`, `par_iter_mut`, `into_par_iter`,
+//! `par_sort_unstable_by`, `join`, `ThreadPool{Builder}`) backed by a
+//! real `std::thread` work pool — see [`pool`] for the execution model.
+//!
+//! # Determinism
+//!
+//! Unlike upstream rayon, every operation here is *bit-deterministic
+//! in its result for any thread count*:
+//!
+//! * iterator pipelines are indexed — item `i` of the output is
+//!   computed from item `i` of the input, and `collect` writes it into
+//!   slot `i`, so scheduling cannot reorder results;
+//! * the parallel sorts use a strict total order (original index
+//!   breaks ties), so the sorted permutation is unique and equals a
+//!   sequential stable sort;
+//! * `join` always returns `(a(), b())` in position.
+//!
+//! Only *wall-clock* and side-effect interleaving depend on the thread
+//! count. The simulator's metering is pure data flow through these
+//! operations, which is why its counters are exact functions of
+//! (seed, P, workload) — see DESIGN.md "Observability".
+//!
+//! # Pool selection and sizing
+//!
+//! Operations run on the pool `install`ed on the current thread, else
+//! on a lazily-built global pool. A requested size of `0` (the builder
+//! default) resolves to `RAYON_NUM_THREADS` if set to a positive
+//! integer, and otherwise to [`std::thread::available_parallelism`]
+//! (1 if that is unknown). Explicit sizes are taken as-is; a pool of
+//! size `n` spawns `n - 1` workers because the thread that starts a
+//! parallel operation always participates in it.
 //!
 //! [`rayon`]: https://crates.io/crates/rayon
 
 #![warn(missing_docs)]
 
-/// Run two closures (sequentially here) and return both results.
+mod iter;
+mod pool;
+mod sort;
+
+pub use iter::{
+    Enumerate, FromParallelIterator, IntoParallelIterator, IntoVec, Map, ParIter, ParIterMut,
+    ParallelIterator, ParallelSlice, RangeIter, Zip,
+};
+
+use pool::Registry;
+use std::sync::{Arc, Mutex};
+
+/// Run two closures, potentially in parallel, and return both results
+/// as `(a(), b())`.
+///
+/// The calling thread always executes at least one of the closures; an
+/// idle pool thread may pick up the other. If either closure panics,
+/// the panic is re-thrown here after both have finished.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    let fa = Mutex::new(Some(a));
+    let fb = Mutex::new(Some(b));
+    let ra = Mutex::new(None);
+    let rb = Mutex::new(None);
+    pool::run_bulk(2, 1, &|start, end| {
+        for i in start..end {
+            if i == 0 {
+                let f = fa.lock().unwrap().take().expect("join slot a taken once");
+                *ra.lock().unwrap() = Some(f());
+            } else {
+                let f = fb.lock().unwrap().take().expect("join slot b taken once");
+                *rb.lock().unwrap() = Some(f());
+            }
+        }
+    });
+    (
+        ra.into_inner().unwrap().expect("join closure a ran"),
+        rb.into_inner().unwrap().expect("join closure b ran"),
+    )
 }
 
-/// Owned conversion into a "parallel" (here: sequential) iterator.
-pub trait IntoParallelIterator {
-    /// Element type.
-    type Item;
-    /// Backing iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Consume `self`, yielding an iterator.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl<T> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
-    }
-}
-
-impl<Idx> IntoParallelIterator for std::ops::Range<Idx>
-where
-    std::ops::Range<Idx>: Iterator<Item = Idx>,
-{
-    type Item = Idx;
-    type Iter = std::ops::Range<Idx>;
-    fn into_par_iter(self) -> Self::Iter {
-        self
-    }
-}
-
-/// Borrowed slice adapters with rayon's names.
-pub trait ParallelSlice<T> {
-    /// Shared iteration (sequential stand-in for `par_iter`).
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    /// Mutable iteration (sequential stand-in for `par_iter_mut`).
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    /// Unstable sort by comparator (stand-in for `par_sort_unstable_by`).
-    fn par_sort_unstable_by<F>(&mut self, compare: F)
-    where
-        F: FnMut(&T, &T) -> std::cmp::Ordering;
-    /// Unstable sort by key (stand-in for `par_sort_unstable_by_key`).
-    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
-    where
-        F: FnMut(&T) -> K,
-        K: Ord;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-    fn par_sort_unstable_by<F>(&mut self, compare: F)
-    where
-        F: FnMut(&T, &T) -> std::cmp::Ordering,
-    {
-        self.sort_unstable_by(compare)
-    }
-    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
-    where
-        F: FnMut(&T) -> K,
-        K: Ord,
-    {
-        self.sort_unstable_by_key(f)
-    }
-}
-
-/// Builder for a scoped "thread pool", mirroring rayon's API. The
-/// stand-in always executes sequentially regardless of the requested
-/// size, but keeping the API lets callers (and tests) assert that
-/// results are identical across pool sizes — which real rayon also
-/// guarantees for the simulator, since module handlers share no state.
+/// Builder for a scoped [`ThreadPool`], mirroring rayon's API.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -104,67 +95,103 @@ impl ThreadPoolBuilder {
         ThreadPoolBuilder::default()
     }
 
-    /// Request a thread count (recorded, but execution stays sequential).
+    /// Request a thread count. `0` (the default) resolves at [`build`]
+    /// time to `RAYON_NUM_THREADS` if set to a positive integer, else
+    /// to [`std::thread::available_parallelism`] (1 if unknown).
+    ///
+    /// [`build`]: ThreadPoolBuilder::build
     pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
         self.num_threads = n;
         self
     }
 
-    /// Build the pool. Never fails in the stand-in.
+    /// Build the pool, spawning its worker threads. Fails only if the
+    /// OS refuses to spawn a thread.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: if self.num_threads == 0 {
-                1
-            } else {
-                self.num_threads
-            },
-        })
+        let threads = if self.num_threads == 0 {
+            pool::default_threads()
+        } else {
+            self.num_threads
+        };
+        let (registry, handles) = Registry::new(threads).map_err(ThreadPoolBuildError)?;
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// Error building a pool. The stand-in never produces one, but the type
-/// exists so caller code matches real rayon.
+/// Error building a pool (the OS refused to spawn a worker thread).
 #[derive(Debug)]
-pub struct ThreadPoolBuildError;
+pub struct ThreadPoolBuildError(std::io::Error);
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
+        write!(f, "thread pool build error: {}", self.0)
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// A configured pool; `install` runs a closure "inside" it (directly,
-/// in the stand-in).
-#[derive(Debug)]
+/// A configured worker pool. `install` runs a closure with this pool as
+/// the target of every parallel operation it starts; dropping the pool
+/// shuts the workers down (after any queued work drains).
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.threads())
+            .finish()
+    }
 }
 
 impl ThreadPool {
-    /// Execute `op` within the pool and return its result.
+    /// Execute `op` within the pool and return its result. Parallel
+    /// operations started by `op` on this thread use this pool's
+    /// workers; the previous pool association is restored on return.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
+        let _guard = pool::set_current(Arc::clone(&self.registry));
         op()
     }
 
-    /// The configured thread count.
+    /// The pool's logical thread count (workers + the installing
+    /// thread).
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
 /// The rayon prelude: import to get the `par_*` methods in scope.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice};
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn pool(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn adapters_behave_like_std() {
@@ -192,13 +219,189 @@ mod tests {
 
     #[test]
     fn thread_pool_installs() {
-        let pool = crate::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
+        let pool = pool(4);
         assert_eq!(pool.current_num_threads(), 4);
         assert_eq!(pool.install(|| 2 + 2), 4);
         let default = crate::ThreadPoolBuilder::new().build().unwrap();
-        assert_eq!(default.current_num_threads(), 1);
+        // num_threads(0) resolves to RAYON_NUM_THREADS / the machine's
+        // available parallelism — never silently 1 on a parallel machine
+        let want = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        assert_eq!(default.current_num_threads(), want);
+    }
+
+    #[test]
+    fn collect_preserves_order_on_large_inputs() {
+        for threads in [1, 2, 8] {
+            pool(threads).install(|| {
+                let n = 100_000usize;
+                let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3).collect();
+                assert_eq!(out.len(), n);
+                for (i, &x) in out.iter().enumerate() {
+                    assert_eq!(x, i * 3, "index {i} at {threads} threads");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item_once() {
+        for threads in [1, 3, 8] {
+            pool(threads).install(|| {
+                let mut v = vec![0u32; 50_000];
+                v.par_iter_mut().for_each(|x| *x += 1);
+                assert!(v.iter().all(|&x| x == 1), "{threads} threads");
+            });
+        }
+    }
+
+    #[test]
+    fn sort_matches_stable_sort_at_any_thread_count() {
+        // many duplicate keys so tie order is actually exercised
+        let n = 20_000usize;
+        let base: Vec<(u64, usize)> = (0..n).map(|i| ((i as u64 * 2654435761) % 97, i)).collect();
+        let mut want = base.clone();
+        want.sort_by_key(|a| a.0); // std stable sort: ties keep index order
+        for threads in [1, 2, 5, 8] {
+            pool(threads).install(|| {
+                let mut got = base.clone();
+                got.par_sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                assert_eq!(got, want, "{threads} threads");
+            });
+        }
+    }
+
+    #[test]
+    fn sort_by_key_sorts() {
+        let mut v: Vec<i64> = (0..10_000).map(|i| (i * 7919) % 1000 - 500).collect();
+        pool(4).install(|| v.par_sort_unstable_by_key(|x| x.abs()));
+        for w in v.windows(2) {
+            assert!(w[0].abs() <= w[1].abs());
+        }
+    }
+
+    #[test]
+    fn work_really_runs_on_multiple_threads() {
+        // Two concurrent lanes must exist: each closure spins until the
+        // other has started, so a sequential engine would hang. The
+        // barrier has a timeout escape so a regression fails (via the
+        // assert) rather than deadlocks.
+        let pool = pool(2);
+        let started = AtomicUsize::new(0);
+        let both = pool.install(|| {
+            let wait_for_peer = || {
+                started.fetch_add(1, Ordering::SeqCst);
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                while started.load(Ordering::SeqCst) < 2 {
+                    if std::time::Instant::now() > deadline {
+                        return false;
+                    }
+                    std::thread::yield_now();
+                }
+                true
+            };
+            let (a, b) = crate::join(wait_for_peer, wait_for_peer);
+            a && b
+        });
+        assert!(
+            both,
+            "join did not overlap the two closures on a 2-thread pool"
+        );
+    }
+
+    #[test]
+    fn pool_spawns_distinct_threads() {
+        let pool = pool(4);
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..1000usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::yield_now();
+            });
+        });
+        // scheduling-dependent, but ≥1 always; on this pool up to 4
+        let seen = ids.lock().unwrap().len();
+        assert!((1..=4).contains(&seen), "saw {seen} thread ids");
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        pool(3).install(|| {
+            let out: Vec<usize> = (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: Vec<usize> = (0..100usize).into_par_iter().map(|j| i + j).collect();
+                    inner.iter().sum::<usize>()
+                })
+                .collect();
+            for (i, &s) in out.iter().enumerate() {
+                assert_eq!(s, 100 * i + 4950);
+            }
+        });
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        for threads in [1, 4] {
+            let pool = pool(threads);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.install(|| {
+                    (0..10_000usize).into_par_iter().for_each(|i| {
+                        if i == 7777 {
+                            panic!("boom");
+                        }
+                    });
+                })
+            }));
+            assert!(r.is_err(), "{threads} threads");
+            // the pool is still usable after a propagated panic
+            let sum: usize = pool
+                .install(|| (0..100usize).into_par_iter().map(|i| i).collect::<Vec<_>>())
+                .iter()
+                .sum();
+            assert_eq!(sum, 4950);
+        }
+    }
+
+    #[test]
+    fn zip_and_enumerate_stay_aligned() {
+        pool(4).install(|| {
+            let a: Vec<u32> = (0..10_000).collect();
+            let b: Vec<u32> = (0..10_000).map(|x| x * 2).collect();
+            let out: Vec<(usize, u32)> = a
+                .par_iter()
+                .zip(b.par_iter())
+                .enumerate()
+                .map(|(i, (x, y))| (i, x + y))
+                .collect();
+            for (i, (gi, v)) in out.iter().enumerate() {
+                assert_eq!(*gi, i);
+                assert_eq!(*v, 3 * i as u32);
+            }
+        });
+    }
+
+    #[test]
+    fn into_par_iter_drops_each_item_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] usize);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        pool(4).install(|| {
+            let v: Vec<D> = (0..5000).map(D).collect();
+            v.into_par_iter().for_each(drop);
+        });
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5000);
     }
 }

@@ -1,0 +1,309 @@
+//! The work pool: worker threads, the job queue, and the chunked
+//! fork-join driver every parallel operation in this crate runs on.
+//!
+//! # Architecture
+//!
+//! A [`Registry`] owns a FIFO job queue plus `threads - 1` dedicated
+//! worker threads; the thread that *initiates* a parallel operation is
+//! always the remaining executor, so a pool of `n` threads really has
+//! `n` concurrent lanes. There are two kinds of registry:
+//!
+//! * the **global** registry, built lazily on first use and sized from
+//!   `RAYON_NUM_THREADS` (falling back to
+//!   [`std::thread::available_parallelism`]), never torn down;
+//! * **scoped** registries owned by a [`ThreadPool`](crate::ThreadPool);
+//!   `install` marks the calling thread (via TLS) so every parallel
+//!   operation inside the closure uses that pool, and dropping the pool
+//!   joins its workers.
+//!
+//! # The bulk driver
+//!
+//! [`run_bulk`] executes `body(start, end)` over a partition of
+//! `0..len` into fixed-size chunks. Chunks are claimed from a shared
+//! atomic cursor: the calling thread claims chunks in a loop, and up to
+//! `threads - 1` *helper jobs* pushed onto the queue do the same, so an
+//! idle pool reaches full occupancy while a busy pool degrades to the
+//! caller doing everything itself — either way every chunk runs exactly
+//! once and the operation cannot deadlock, even when `body` itself
+//! starts nested parallel operations (the nested caller participates in
+//! its own work, so it never waits on an empty queue).
+//!
+//! Determinism is by construction, not by scheduling: the driver hands
+//! out *index ranges*, and every consumer in this crate writes results
+//! by index (or reduces them on the calling thread in index order), so
+//! outputs are bit-identical for any thread count, chunk size, or
+//! interleaving.
+//!
+//! Panics inside `body` are caught per-chunk, the first payload is kept,
+//! and the payload is re-thrown on the calling thread after *all*
+//! helpers have retired — the driver never returns (or unwinds) while
+//! another thread can still observe its stack frame.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A job queue plus the worker threads that drain it.
+pub(crate) struct Registry {
+    queue: Mutex<VecDeque<Job>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Logical executor count *including* the initiating thread.
+    threads: usize,
+}
+
+impl Registry {
+    /// Build a registry with `threads` logical executors (spawning
+    /// `threads - 1` workers). Fails only if the OS refuses a thread.
+    pub(crate) fn new(
+        threads: usize,
+    ) -> std::io::Result<(Arc<Registry>, Vec<std::thread::JoinHandle<()>>)> {
+        let threads = threads.max(1);
+        let reg = Arc::new(Registry {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            threads,
+        });
+        let mut handles = Vec::with_capacity(threads - 1);
+        for i in 0..threads - 1 {
+            let r = Arc::clone(&reg);
+            let h = std::thread::Builder::new()
+                .name(format!("pim-rayon-{i}"))
+                .spawn(move || worker_loop(r))?;
+            handles.push(h);
+        }
+        Ok((reg, handles))
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub(crate) fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.work_cv.notify_one();
+    }
+
+    /// Non-blocking pop, used by a waiting bulk-owner to keep the queue
+    /// draining (see `run_bulk`'s deadlock-freedom argument).
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// Wake every worker and let them exit once the queue is drained.
+    /// Already-queued jobs still run (a bulk driver may be waiting on
+    /// one of its helpers).
+    pub(crate) fn terminate(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.work_cv.notify_all();
+    }
+}
+
+fn worker_loop(reg: Arc<Registry>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&reg)));
+    loop {
+        let job = {
+            let mut q = reg.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if reg.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = reg.work_cv.wait(q).unwrap();
+            }
+        };
+        match job {
+            Some(j) => j(), // jobs catch their own panics (see BulkShared)
+            None => return,
+        }
+    }
+}
+
+thread_local! {
+    /// The registry parallel operations on this thread should use:
+    /// set permanently on workers, and temporarily by `install`.
+    static CURRENT: std::cell::RefCell<Option<Arc<Registry>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The registry for parallel work started on the current thread.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    if let Some(r) = CURRENT.with(|c| c.borrow().clone()) {
+        return r;
+    }
+    Arc::clone(global_registry())
+}
+
+fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let (reg, _handles) = Registry::new(default_threads()).expect("spawn global thread pool");
+        // global workers live for the process; handles are dropped
+        reg
+    })
+}
+
+/// Restore the previous TLS registry when an `install` scope ends.
+pub(crate) struct InstallGuard {
+    prev: Option<Arc<Registry>>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+pub(crate) fn set_current(reg: Arc<Registry>) -> InstallGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(reg));
+    InstallGuard { prev }
+}
+
+/// The thread count a size-0 request resolves to: `RAYON_NUM_THREADS`
+/// if set to a positive integer, else the machine's
+/// [`std::thread::available_parallelism`] (1 if unknown).
+pub(crate) fn default_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Chunk size for a data-parallel operation over `len` items: about
+/// four chunks per executor, so uneven per-item work still balances,
+/// but never less than one item.
+pub(crate) fn chunk_size(len: usize, threads: usize) -> usize {
+    len.div_ceil((4 * threads).max(1)).max(1)
+}
+
+/// Shared state of one bulk operation. Lives on the initiating thread's
+/// stack; helper jobs receive a lifetime-erased reference which is
+/// valid because `run_bulk` does not return until `helpers_left == 0`.
+struct BulkShared {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+    body: &'static (dyn Fn(usize, usize) + Sync),
+    helpers_left: Mutex<usize>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl BulkShared {
+    /// Claim and run chunks until the cursor is exhausted.
+    fn work(&self) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.len {
+                return;
+            }
+            let end = (start + self.chunk).min(self.len);
+            if let Err(p) = std::panic::catch_unwind(AssertUnwindSafe(|| (self.body)(start, end))) {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+        }
+    }
+
+    fn retire_helper(&self) {
+        let mut left = self.helpers_left.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+struct SharedPtr(*const BulkShared);
+// SAFETY: BulkShared is all Sync state; the pointer outlives every
+// helper because run_bulk blocks until all helpers retire.
+unsafe impl Send for SharedPtr {}
+
+impl SharedPtr {
+    /// Accessor (rather than field access) so closures capture the
+    /// whole `Send` wrapper, not the raw pointer field.
+    fn get(&self) -> *const BulkShared {
+        self.0
+    }
+}
+
+/// Run `body(start, end)` over a partition of `0..len` into chunks of
+/// `chunk` items, on the current registry. See the module docs for the
+/// execution and panic model.
+pub(crate) fn run_bulk(len: usize, chunk: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let reg = current_registry();
+    let chunk = chunk.max(1);
+    let n_chunks = len.div_ceil(chunk);
+    if reg.threads() <= 1 || n_chunks <= 1 {
+        body(0, len);
+        return;
+    }
+    let helpers = (reg.threads() - 1).min(n_chunks - 1);
+    // SAFETY: the erased borrow never escapes this call — see BulkShared.
+    let body_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(body) };
+    let shared = BulkShared {
+        next: AtomicUsize::new(0),
+        len,
+        chunk,
+        body: body_static,
+        helpers_left: Mutex::new(helpers),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+    for _ in 0..helpers {
+        let p = SharedPtr(&shared as *const BulkShared);
+        reg.push(Box::new(move || {
+            // SAFETY: see SharedPtr.
+            let shared = unsafe { &*p.get() };
+            shared.work();
+            shared.retire_helper();
+        }));
+    }
+    shared.work();
+    // Wait for the helpers to retire — but keep draining the queue
+    // while doing so. A queued job may be a *nested* operation's helper
+    // whose owner is a worker blocked in this same loop; if every
+    // waiting owner only slept, those jobs would never run and the pool
+    // would deadlock. Running them here guarantees progress: any queued
+    // job either does chunk work or no-ops and retires. The timed wait
+    // covers the window where a job is pushed after we checked.
+    loop {
+        {
+            let left = shared.helpers_left.lock().unwrap();
+            if *left == 0 {
+                break;
+            }
+        }
+        if let Some(job) = reg.try_pop() {
+            job();
+            continue;
+        }
+        let left = shared.helpers_left.lock().unwrap();
+        if *left > 0 {
+            let _ = shared
+                .done_cv
+                .wait_timeout(left, std::time::Duration::from_millis(1))
+                .unwrap();
+        }
+    }
+    let panic = shared.panic.lock().unwrap().take();
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic parallel sort.
+//!
+//! The parallel path never compares elements under a tie: it sorts a
+//! vector of *indices* under the strict total order
+//! `compare(&v[a], &v[b]).then(a.cmp(&b))` — the original position
+//! breaks ties, so the sorted permutation is **unique** and identical
+//! to what a sequential stable sort produces. Chunk boundaries and
+//! merge trees (which do depend on the thread count) therefore cannot
+//! change the result: any schedule converges on the same permutation,
+//! which is applied to the data with a panic-free bitwise pass.
+//!
+//! Small inputs (or a one-thread pool) fall back to the standard
+//! library's stable `sort_by`, which yields the same order.
+
+use crate::pool::{chunk_size, current_registry, run_bulk};
+use std::cmp::Ordering;
+
+/// Below this length the parallel machinery costs more than it saves.
+const SEQ_CUTOFF: usize = 4096;
+
+struct SendPtr<T>(*mut T);
+// SAFETY: used only to write disjoint indices from the bulk driver
+// while the owning allocation is pinned by this call frame.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// whole `Send + Sync` wrapper, not the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+struct SendConstPtr<T>(*const T);
+// SAFETY: shared reads only (T: Sync at the call sites).
+unsafe impl<T: Sync> Send for SendConstPtr<T> {}
+unsafe impl<T: Sync> Sync for SendConstPtr<T> {}
+
+impl<T> SendConstPtr<T> {
+    /// See [`SendPtr::get`].
+    fn get(&self) -> *const T {
+        self.0
+    }
+}
+
+/// Sort `v` by `compare`, in parallel on the current pool. Equal
+/// elements keep their original relative order (stable), for any
+/// thread count.
+pub(crate) fn par_sort_by<T, F>(v: &mut [T], compare: F)
+where
+    T: Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let len = v.len();
+    let threads = current_registry().threads();
+    if len <= SEQ_CUTOFF || threads <= 1 {
+        v.sort_by(|a, b| compare(a, b));
+        return;
+    }
+
+    let chunk = chunk_size(len, threads);
+    let mut idx: Vec<usize> = (0..len).collect();
+    {
+        let data: &[T] = v;
+        let strict = |a: usize, b: usize| compare(&data[a], &data[b]).then(a.cmp(&b));
+
+        // Phase 1: sort each chunk of the index vector independently.
+        // The driver hands out exactly one chunk per body call.
+        let idx_ptr = SendPtr(idx.as_mut_ptr());
+        run_bulk(len, chunk, &|start, end| {
+            // SAFETY: chunks are disjoint subranges of idx.
+            let s =
+                unsafe { std::slice::from_raw_parts_mut(idx_ptr.get().add(start), end - start) };
+            s.sort_unstable_by(|&a, &b| strict(a, b));
+        });
+
+        // Phase 2: level-by-level pairwise merges of adjacent runs,
+        // ping-ponging between two index buffers.
+        let mut src = idx;
+        let mut dst: Vec<usize> = vec![0; len];
+        let mut run = chunk;
+        while run < len {
+            let n_pairs = len.div_ceil(2 * run);
+            {
+                let src_ref: &[usize] = &src;
+                let dst_ptr = SendPtr(dst.as_mut_ptr());
+                run_bulk(n_pairs, 1, &|ps, pe| {
+                    for pair in ps..pe {
+                        let lo = 2 * run * pair;
+                        let mid = (lo + run).min(len);
+                        let hi = (lo + 2 * run).min(len);
+                        merge_runs(src_ref, lo, mid, hi, &dst_ptr, &strict);
+                    }
+                });
+            }
+            std::mem::swap(&mut src, &mut dst);
+            run *= 2;
+        }
+        idx = src;
+    }
+
+    // Phase 3 (panic-free: no user code): apply the permutation with
+    // bitwise moves through a scratch buffer, then hand ownership of
+    // every element back to `v` in one copy.
+    let mut scratch: Vec<T> = Vec::with_capacity(len);
+    {
+        let out = SendPtr(scratch.as_mut_ptr());
+        let src = SendConstPtr(v.as_ptr());
+        let idx_ref: &[usize] = &idx;
+        run_bulk(len, chunk, &|start, end| {
+            for (i, &src_i) in idx_ref.iter().enumerate().take(end).skip(start) {
+                // SAFETY: idx is a permutation, so each source slot is
+                // read exactly once; each destination slot is written
+                // exactly once, inside the reserved capacity.
+                unsafe { out.get().add(i).write(std::ptr::read(src.get().add(src_i))) };
+            }
+        });
+    }
+    // SAFETY: every element of v was moved into scratch exactly once;
+    // copying them back restores unique ownership in v. scratch's len
+    // stays 0, so its Drop frees only the buffer.
+    unsafe { std::ptr::copy_nonoverlapping(scratch.as_ptr(), v.as_mut_ptr(), len) };
+}
+
+/// Merge sorted index runs `src[lo..mid]` and `src[mid..hi]` into
+/// `dst[lo..hi]` under the strict order.
+fn merge_runs<F>(src: &[usize], lo: usize, mid: usize, hi: usize, dst: &SendPtr<usize>, strict: &F)
+where
+    F: Fn(usize, usize) -> Ordering,
+{
+    let mut a = lo;
+    let mut b = mid;
+    let mut out = lo;
+    // SAFETY (all writes below): pairs cover disjoint dst ranges
+    // [lo..hi), and out stays within this pair's range.
+    while a < mid && b < hi {
+        let take_a = strict(src[a], src[b]) != Ordering::Greater;
+        let v = if take_a { src[a] } else { src[b] };
+        if take_a {
+            a += 1;
+        } else {
+            b += 1;
+        }
+        unsafe { dst.0.add(out).write(v) };
+        out += 1;
+    }
+    while a < mid {
+        unsafe { dst.0.add(out).write(src[a]) };
+        a += 1;
+        out += 1;
+    }
+    while b < hi {
+        unsafe { dst.0.add(out).write(src[b]) };
+        b += 1;
+        out += 1;
+    }
+}
