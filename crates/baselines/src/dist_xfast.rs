@@ -9,12 +9,12 @@
 //! `O(n·w)` total space — exactly the costs Table 1 charges this design.
 
 use pim_sim::{PimSystem, Wire};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Module-local state: a shard of the per-level prefix tables.
 pub struct XFastModule {
     /// (level, prefix) present?
-    table: HashMap<(u8, u64), ()>,
+    table: BTreeMap<(u8, u64), ()>,
 }
 
 /// The distributed x-fast trie (host handle).
@@ -51,7 +51,7 @@ impl DistXFastTrie {
         assert!((1..=64).contains(&width));
         DistXFastTrie {
             sys: PimSystem::new(p, |_| XFastModule {
-                table: HashMap::new(),
+                table: BTreeMap::new(),
             }),
             width,
             n_keys: 0,

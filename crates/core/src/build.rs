@@ -28,7 +28,7 @@ use bitstr::hash::{HashVal, IncrementalHash, PolyHasher};
 use bitstr::{BitStr, WORD_BITS};
 use pim_sim::PimSystem;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use trie_core::Trie;
 
 /// The metadata the hash value manager stores per block root (derived from
@@ -138,7 +138,7 @@ impl PimTrie {
             n_keys: 0,
             place_rng: rand_chacha::ChaCha8Rng::seed_from_u64(0x51AC_EE01),
             redo_paths: 0,
-            chunk_sizes: HashMap::new(),
+            chunk_sizes: BTreeMap::new(),
             root_block: BlockRef { module: 0, slot: 0 },
             seq: 0,
             journal: std::collections::BTreeMap::new(),
@@ -445,9 +445,9 @@ pub(crate) fn cut_decompose(
     tree: &mut [ChunkNode],
     root: usize,
     k_smb: usize,
-) -> (Vec<Plan>, usize, HashMap<usize, usize>) {
+) -> (Vec<Plan>, usize, BTreeMap<usize, usize>) {
     let mut plans = Vec::new();
-    let mut locate = HashMap::new();
+    let mut locate = BTreeMap::new();
     let root_plan = rec(tree, root, k_smb.max(1), &mut plans, &mut locate);
     (plans, root_plan, locate)
 }
@@ -490,7 +490,7 @@ fn rec(
     root: usize,
     k_smb: usize,
     plans: &mut Vec<Plan>,
-    locate: &mut HashMap<usize, usize>,
+    locate: &mut BTreeMap<usize, usize>,
 ) -> usize {
     let n = subtree_size(tree, root);
     if n <= k_smb {
@@ -540,7 +540,7 @@ pub(crate) struct PlaceJob {
 pub(crate) struct PlacedPlan {
     pub mref: MetaRef,
     /// chunk-node idx -> meta node slot
-    pub node_slots: HashMap<usize, u32>,
+    pub node_slots: BTreeMap<usize, u32>,
 }
 
 impl PimTrie {
@@ -614,7 +614,7 @@ impl PimTrie {
                     };
                     let (ji, pi) = origin[m][j];
                     let plan = &jobs[ji].plans[pi];
-                    let mut map = HashMap::new();
+                    let mut map = BTreeMap::new();
                     for (i, &cn) in plan.nodes.iter().enumerate() {
                         map.insert(cn, node_slots[i]);
                     }
@@ -670,7 +670,7 @@ impl PimTrie {
         replace_root_at: Option<MetaRef>,
         extra: impl Iterator<Item = &'a NewMetaChild>,
     ) -> Req {
-        let idx_of: HashMap<usize, u32> = plan
+        let idx_of: BTreeMap<usize, u32> = plan
             .nodes
             .iter()
             .enumerate()

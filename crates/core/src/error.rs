@@ -45,6 +45,11 @@ pub enum PimTrieError {
         /// the module that lost its state
         module: u32,
     },
+    /// A module's reply violated the request/response protocol (wrong
+    /// variant, or a query left unanswered). Always a bug; surfaced as
+    /// an error so wire-path callers fail the operation cleanly instead
+    /// of unwinding mid-batch.
+    Protocol(String),
 }
 
 impl fmt::Display for PimTrieError {
@@ -72,6 +77,7 @@ impl fmt::Display for PimTrieError {
             PimTrieError::ModuleLost { module } => {
                 write!(f, "module {module} lost its state and rebuild failed")
             }
+            PimTrieError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
 }

@@ -21,7 +21,7 @@ use crate::refs::Slab;
 use bitstr::hash::{HashVal, HashWidth, IncrementalHash, PolyHasher};
 use bitstr::{BitSlice, BitStr, WORD_BITS};
 use fast_trie::RemIndex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use trie_core::{NodeId, Trie};
 
 const W: u64 = WORD_BITS as u64;
@@ -46,13 +46,13 @@ struct RemGroup {
     rems: RemIndex,
     /// exact second layer: rem bits -> entry slots (a Vec because narrow
     /// digests can merge groups of different true `S_pre`)
-    by_rem: HashMap<BitStr, Vec<u32>>,
+    by_rem: BTreeMap<BitStr, Vec<u32>>,
 }
 
 /// The two-layer index over root strings (used by the master table and by
 /// every meta-block).
 pub struct HashIndex<R> {
-    groups: HashMap<u64, RemGroup>,
+    groups: BTreeMap<u64, RemGroup>,
     entries: Slab<IndexEntry<R>>,
     width: HashWidth,
 }
@@ -61,7 +61,7 @@ impl<R: Copy> HashIndex<R> {
     /// Empty index comparing digests of the given width.
     pub fn new(width: HashWidth) -> Self {
         HashIndex {
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             entries: Slab::new(),
             width,
         }
@@ -91,7 +91,7 @@ impl<R: Copy> HashIndex<R> {
         let slot = self.entries.insert(entry);
         let group = self.groups.entry(digest).or_insert_with(|| RemGroup {
             rems: RemIndex::new(WORD_BITS as u32),
-            by_rem: HashMap::new(),
+            by_rem: BTreeMap::new(),
         });
         group.rems.insert(rem.as_slice());
         group.by_rem.entry(rem).or_default().push(slot);

@@ -103,7 +103,7 @@ pub struct PimTrie {
     /// host-side director state: approximate node count per meta-block
     /// tree (chunk), keyed by the chunk's root meta-block — drives the
     /// K_MB promotion rule of §5.2
-    pub(crate) chunk_sizes: std::collections::HashMap<refs::MetaRef, usize>,
+    pub(crate) chunk_sizes: std::collections::BTreeMap<refs::MetaRef, usize>,
     /// the data trie's root block (depth 0); its address is stable across
     /// repartitions
     pub(crate) root_block: refs::BlockRef,

@@ -32,7 +32,7 @@ use crate::refs::{BlockRef, MetaRef};
 use crate::PimTrie;
 use bitstr::hash::{HashVal, IncrementalHash};
 use bitstr::{BitStr, WORD_BITS};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use trie_core::query::QueryTrie;
 use trie_core::{NodeId, Trie};
 
@@ -74,7 +74,7 @@ pub struct MatchedTrie {
     /// per qt node id: data anchor of the deepest match on its path
     pub anchor_of: Vec<Option<Anchor>>,
     /// meta location (meta-block, node slot) per matched block
-    pub block_meta: HashMap<BlockRef, (MetaRef, u32)>,
+    pub block_meta: BTreeMap<BlockRef, (MetaRef, u32)>,
     /// per qt node id: this node's result is untrusted (§ 4.4.3)
     pub flagged: Vec<bool>,
     /// counters
@@ -195,7 +195,7 @@ pub(crate) fn make_piece(
     ctxs: &[Option<NodeCtx>],
     hasher: &bitstr::hash::PolyHasher,
     from: Option<QtPos>,
-    cuts: &HashMap<u32, Vec<u64>>,
+    cuts: &BTreeMap<u32, Vec<u64>>,
 ) -> QueryPiece {
     let mut piece = Trie::new();
     let mut tags: Vec<u32> = vec![0];
@@ -310,7 +310,7 @@ impl PimTrie {
                 qt,
                 depth_of: vec![0; bound],
                 anchor_of: vec![None; bound],
-                block_meta: HashMap::new(),
+                block_meta: BTreeMap::new(),
                 flagged: vec![false; bound],
                 stats,
             });
@@ -324,7 +324,7 @@ impl PimTrie {
         let total = qt.trie.size_words() as u64;
         let kb_master = (total / (p as u64 * lg).max(1)).max(16);
         let master_roots = trie_core::partition::partition_roots(&qt.trie, kb_master);
-        let mut cuts: HashMap<u32, Vec<u64>> = HashMap::new();
+        let mut cuts: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         for r in &master_roots {
             if *r != NodeId::ROOT {
                 cuts.entry(r.0)
@@ -342,7 +342,7 @@ impl PimTrie {
         }
         let replies = self.rounds("match.master", inbox)?;
         let mut matches: Vec<RootMatch> = Vec::new();
-        let mut seen: HashSet<(u32, u64, BlockRef)> = HashSet::new();
+        let mut seen: BTreeSet<(u32, u64, BlockRef)> = BTreeSet::new();
         for resp in replies.into_iter().flatten() {
             let Resp::Matches(ms) = resp else {
                 panic!("master: unexpected response")
@@ -362,7 +362,7 @@ impl PimTrie {
             .filter(|m| m.descend.is_some())
             .copied()
             .collect();
-        let mut frontier_seen: HashSet<(MetaRef, u32, u64)> = frontier
+        let mut frontier_seen: BTreeSet<(MetaRef, u32, u64)> = frontier
             .iter()
             .map(|m| (m.descend.unwrap(), m.qt_below, m.depth))
             .collect();
@@ -372,7 +372,7 @@ impl PimTrie {
             assert!(guard < 64, "meta descent did not terminate");
             stats.descend_rounds += 1;
             // cut map from every match known so far
-            let mut cutmap: HashMap<u32, Vec<u64>> = HashMap::new();
+            let mut cutmap: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
             for m in &matches {
                 cutmap.entry(m.qt_below).or_default().push(m.depth);
             }
@@ -468,11 +468,11 @@ impl PimTrie {
 
         // ---- Phase 3: block matching (Algorithm 2) --------------------
         self.t_phase("block-match");
-        let mut cutmap: HashMap<u32, Vec<u64>> = HashMap::new();
+        let mut cutmap: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         for m in &matches {
             cutmap.entry(m.qt_below).or_default().push(m.depth);
         }
-        let mut block_meta = HashMap::new();
+        let mut block_meta = BTreeMap::new();
         for m in &matches {
             block_meta.insert(m.block, (m.meta, m.node_slot));
         }
@@ -585,7 +585,7 @@ impl PimTrie {
 
         // ---- Assemble -------------------------------------------------
         // Deepest result per qt node, anchored in its block.
-        let mut best: HashMap<u32, (u64, Anchor)> = HashMap::new();
+        let mut best: BTreeMap<u32, (u64, Anchor)> = BTreeMap::new();
         // at-mirror stops to adjudicate after depths are known
         let mut mirror_stops: Vec<(u32, u64)> = Vec::new();
         for (block, r) in &results {
@@ -655,7 +655,7 @@ impl PimTrie {
         // child block itself matched with zero extension. Only an
         // uncovered stop indicates a hidden collision and forces a redo.
         if !mirror_stops.is_empty() {
-            let mut match_pos: HashMap<u32, Vec<u64>> = HashMap::new();
+            let mut match_pos: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
             for m in &matches {
                 match_pos.entry(m.qt_below).or_default().push(m.depth);
             }
@@ -821,7 +821,7 @@ mod tests {
         let hasher = PolyHasher::with_seed(7);
         let qt = qt_of(&["00001001", "101001", "101011"]);
         let ctxs = node_ctxs(&qt.trie, &hasher);
-        let piece = make_piece(&qt.trie, &ctxs, &hasher, None, &HashMap::new());
+        let piece = make_piece(&qt.trie, &ctxs, &hasher, None, &BTreeMap::new());
         assert_eq!(piece.root_depth, 0);
         assert_eq!(piece.trie.n_nodes(), qt.trie.n_nodes());
         // tags are a bijection onto qt nodes
@@ -842,7 +842,7 @@ mod tests {
         let ctxs = node_ctxs(&qt.trie, &hasher);
         // cut the deep edge at depth 5
         let deep = qt.key_node[0]; // node for "111111"
-        let mut cuts: HashMap<u32, Vec<u64>> = HashMap::new();
+        let mut cuts: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
         cuts.insert(deep.0, vec![5]);
         let piece = make_piece(&qt.trie, &ctxs, &hasher, None, &cuts);
         // the piece must contain a leaf at depth 5 tagged with `deep`
@@ -866,7 +866,13 @@ mod tests {
         let ctxs = node_ctxs(&qt.trie, &hasher);
         let deep = qt.key_node[0];
         // root the piece at depth 3, inside the edge into `deep`
-        let piece = make_piece(&qt.trie, &ctxs, &hasher, Some((deep.0, 3)), &HashMap::new());
+        let piece = make_piece(
+            &qt.trie,
+            &ctxs,
+            &hasher,
+            Some((deep.0, 3)),
+            &BTreeMap::new(),
+        );
         assert_eq!(piece.root_depth, 3);
         assert_eq!(piece.root_rem, b("111"));
         // remaining 5 bits hang below the piece root
@@ -881,7 +887,7 @@ mod tests {
         let qt = qt_of(&["1010", "1011", "10"]);
         let ctxs = node_ctxs(&qt.trie, &hasher);
         let mid = qt.key_node[2]; // node for "10"
-        let piece = make_piece(&qt.trie, &ctxs, &hasher, Some((mid.0, 2)), &HashMap::new());
+        let piece = make_piece(&qt.trie, &ctxs, &hasher, Some((mid.0, 2)), &BTreeMap::new());
         assert_eq!(piece.root_depth, 2);
         // subtree below "10": "10"→"1"→{"0","1"}
         assert_eq!(piece.trie.n_nodes(), 4);

@@ -20,7 +20,7 @@ use crate::refs::{BlockRef, MetaRef, Slab, TrieMsg};
 use bitstr::hash::{HashVal, HashWidth};
 use bitstr::BitStr;
 use pim_sim::{PimCtx, Wire};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use trie_core::{NodeId, Trie, TriePos, Value};
 
 /// Sentinel value marking a mirror leaf inside a block trie: it pins the
@@ -44,7 +44,7 @@ pub struct DataBlock {
     /// Parent block (None for the trie root block).
     pub parent: Option<BlockRef>,
     /// Mirror leaves: block node id → child block.
-    pub mirrors: HashMap<NodeId, BlockRef>,
+    pub mirrors: BTreeMap<NodeId, BlockRef>,
     /// Where this block's meta node lives: (meta-block, node slot). Wired
     /// by `SetBlockMeta` right after placement.
     pub meta: Option<(MetaRef, u32)>,
@@ -153,7 +153,7 @@ pub struct ModuleState {
     /// by the chunk's root meta-block ref.
     pub master: HashIndex<MasterTarget>,
     /// master removal map: chunk mref -> master entry slot
-    pub master_slots: HashMap<MetaRef, u32>,
+    pub master_slots: BTreeMap<MetaRef, u32>,
     /// digest width shared by all indexes on this module
     pub width: HashWidth,
     /// Set by the host's crash callback when this module's memory was
@@ -164,7 +164,7 @@ pub struct ModuleState {
     /// At-most-once reply cache of the sealed-wire protocol: replies of
     /// the current round sequence keyed by `(seq, idx)`, so a retried
     /// request is answered from cache instead of being re-executed.
-    pub reply_cache: HashMap<(u64, u32), Resp>,
+    pub reply_cache: BTreeMap<(u64, u32), Resp>,
     /// Round sequence the reply cache belongs to.
     pub cache_seq: u64,
 }
@@ -176,10 +176,10 @@ impl ModuleState {
             blocks: Slab::new(),
             metas: Slab::new(),
             master: HashIndex::new(width),
-            master_slots: HashMap::new(),
+            master_slots: BTreeMap::new(),
             width,
             crashed: false,
-            reply_cache: HashMap::new(),
+            reply_cache: BTreeMap::new(),
             cache_seq: 0,
         }
     }
@@ -918,7 +918,7 @@ pub fn handle(
             // Offset adjustment across successive splits of the same edge:
             // splitting at offset o keeps the lower part on the node, so a
             // later anchor at original offset o' > o sits at o' - o.
-            let mut shift: HashMap<u32, u32> = HashMap::new();
+            let mut shift: BTreeMap<u32, u32> = BTreeMap::new();
             for g in grafts {
                 work += g.subtree.0.size_words() as u64 + 4;
                 let s = shift.get(&g.anchor_node).copied().unwrap_or(0);

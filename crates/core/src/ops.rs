@@ -9,7 +9,7 @@ use crate::module::{GraftMsg, Req, Resp, MIRROR_VALUE};
 use crate::refs::{BitsMsg, BlockRef, MetaRef, TrieMsg};
 use crate::PimTrie;
 use bitstr::BitStr;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use trie_core::{NodeId, Trie};
 
 impl PimTrie {
@@ -105,13 +105,13 @@ impl PimTrie {
     fn insert_core(&mut self, keys: &[BitStr], values: &[u64]) -> Result<(), PimTrieError> {
         let mt = self.match_batch(keys)?;
         // value per key node: last batch occurrence wins
-        let mut val_of: HashMap<u32, u64> = HashMap::new();
+        let mut val_of: BTreeMap<u32, u64> = BTreeMap::new();
         for (i, _) in keys.iter().enumerate() {
             val_of.insert(mt.qt.key_node[i].0, values[i]);
         }
         // Split flagged keys out for the exact path.
         let mut flagged_keys: Vec<(BitStr, u64)> = Vec::new();
-        let mut seen_flagged: HashSet<u32> = HashSet::new();
+        let mut seen_flagged: BTreeSet<u32> = BTreeSet::new();
         for (i, k) in keys.iter().enumerate() {
             let node = mt.qt.key_node[i];
             if mt.flagged[node.idx()] && seen_flagged.insert(node.0) {
@@ -281,7 +281,7 @@ impl PimTrie {
         let p = self.sys.p();
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
         let mut origin: Vec<Vec<BlockRef>> = (0..p).map(|_| Vec::new()).collect();
-        let mut sent: HashSet<u32> = HashSet::new();
+        let mut sent: BTreeSet<u32> = BTreeSet::new();
         let mut slow: Vec<BitStr> = Vec::new();
         for (i, k) in keys.iter().enumerate() {
             let node = mt.qt.key_node[i];
@@ -562,12 +562,12 @@ impl PimTrie {
             pieces: Vec<trie_core::partition::Block>,
             root_idx: usize,
             placed: Vec<Option<Piece>>,
-            old_mirrors: HashMap<NodeId, BlockRef>,
+            old_mirrors: BTreeMap<NodeId, BlockRef>,
         }
         let mut plans: Vec<Plan> = Vec::new();
         for (bref, bd) in brefs.into_iter().zip(bds) {
             let mut trie = bd.trie.0.clone();
-            let old_mirrors: HashMap<NodeId, BlockRef> =
+            let old_mirrors: BTreeMap<NodeId, BlockRef> =
                 bd.mirrors.iter().map(|(n, r)| (NodeId(*n), *r)).collect();
             // long-edge cutting before partitioning (§4.2)
             trie.split_long_edges((self.cfg.k_b as usize * 64 / 4).max(64));
@@ -663,7 +663,7 @@ impl PimTrie {
         // Round 3: wire mirrors, parents, and replace root pieces.
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
         for plan in &plans {
-            let piece_of_orig: HashMap<NodeId, usize> = plan
+            let piece_of_orig: BTreeMap<NodeId, usize> = plan
                 .pieces
                 .iter()
                 .enumerate()
@@ -671,7 +671,7 @@ impl PimTrie {
                 .collect();
             // parent piece of each piece: the piece holding its boundary
             // mirror (computed once; the inner position() scan was O(n²))
-            let mut parent_of: HashMap<usize, usize> = HashMap::new();
+            let mut parent_of: BTreeMap<usize, usize> = BTreeMap::new();
             for (pbi, pb) in plan.pieces.iter().enumerate() {
                 for (_, orig) in &pb.mirrors {
                     if let Some(cbi) = piece_of_orig.get(orig) {
@@ -745,20 +745,20 @@ impl PimTrie {
             let order: Vec<usize> = (0..plan.pieces.len())
                 .filter(|bi| *bi != plan.root_idx)
                 .collect();
-            let order_pos: HashMap<usize, u32> = order
+            let order_pos: BTreeMap<usize, u32> = order
                 .iter()
                 .enumerate()
                 .map(|(i, bi)| (*bi, i as u32))
                 .collect();
             let mut nodes = Vec::with_capacity(order.len());
             let mut parents = Vec::with_capacity(order.len());
-            let piece_of_orig: HashMap<NodeId, usize> = plan
+            let piece_of_orig: BTreeMap<NodeId, usize> = plan
                 .pieces
                 .iter()
                 .enumerate()
                 .map(|(bi, b)| (b.orig_root, bi))
                 .collect();
-            let mut parent_of: HashMap<usize, usize> = HashMap::new();
+            let mut parent_of: BTreeMap<usize, usize> = BTreeMap::new();
             for (pbi, pb) in plan.pieces.iter().enumerate() {
                 for (_, orig) in &pb.mirrors {
                     if let Some(cbi) = piece_of_orig.get(orig) {
@@ -1017,7 +1017,7 @@ impl PimTrie {
         let mut job_mref: Vec<MetaRef> = Vec::new();
         for (mref, full) in mrefs.iter().zip(fulls) {
             let full = full.unwrap();
-            let idx_of: HashMap<u32, usize> = full
+            let idx_of: BTreeMap<u32, usize> = full
                 .nodes
                 .iter()
                 .enumerate()
@@ -1181,7 +1181,7 @@ impl PimTrie {
 
 /// Build the graft subtree hanging below position `(below, depth)` of the
 /// query trie, with real values substituted at key nodes.
-fn subtree_for_graft(qt: &Trie, below: NodeId, depth: u64, val_of: &HashMap<u32, u64>) -> Trie {
+fn subtree_for_graft(qt: &Trie, below: NodeId, depth: u64, val_of: &BTreeMap<u32, u64>) -> Trie {
     let mut out = Trie::new();
     let n = qt.node(below);
     let start = depth as usize - (n.depth as usize - n.edge.len());
@@ -1192,7 +1192,7 @@ fn subtree_for_graft(qt: &Trie, below: NodeId, depth: u64, val_of: &HashMap<u32,
     out
 }
 
-fn value_for(qt: &Trie, id: NodeId, val_of: &HashMap<u32, u64>) -> Option<u64> {
+fn value_for(qt: &Trie, id: NodeId, val_of: &BTreeMap<u32, u64>) -> Option<u64> {
     qt.node(id).value.and_then(|_| val_of.get(&id.0).copied())
 }
 
@@ -1201,7 +1201,7 @@ fn copy_values_subtree(
     src: NodeId,
     out: &mut Trie,
     dst: NodeId,
-    val_of: &HashMap<u32, u64>,
+    val_of: &BTreeMap<u32, u64>,
 ) {
     for c in qt.node(src).children.iter().flatten() {
         let cn = qt.node(*c);
@@ -1214,7 +1214,7 @@ fn copy_values_subtree(
 fn collect_keys_below(
     qt: &Trie,
     from: NodeId,
-    val_of: &HashMap<u32, u64>,
+    val_of: &BTreeMap<u32, u64>,
     _keys: &[BitStr],
     _mt: &MatchedTrie,
     out: &mut Vec<(BitStr, u64)>,

@@ -81,7 +81,9 @@ impl PimTrie {
                 for (j, resp) in rs.into_iter().enumerate() {
                     let qi = origin[m][j];
                     let Resp::Descend(d) = resp else {
-                        panic!("slowpath: unexpected response")
+                        return Err(PimTrieError::Protocol(format!(
+                            "slowpath: unexpected response variant from module {m}"
+                        )));
                     };
                     states[qi].consumed += d.consumed;
                     match d.next {
@@ -104,7 +106,14 @@ impl PimTrie {
             }
             active = next_active;
         }
-        Ok(out.into_iter().map(|o| o.unwrap()).collect())
+        out.into_iter()
+            .enumerate()
+            .map(|(qi, o)| {
+                o.ok_or_else(|| {
+                    PimTrieError::Protocol(format!("slowpath: query {qi} never completed"))
+                })
+            })
+            .collect()
     }
 
     /// Exact LCP lengths via the slow path (oracle / baseline).

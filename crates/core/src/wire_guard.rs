@@ -41,6 +41,9 @@ use pim_sim::{PimCtx, Wire};
 use std::sync::OnceLock;
 
 fn crc64() -> &'static Crc64Hasher {
+    // lint: allow(global-state) — memoized CRC-64/ECMA lookup table: the
+    // init is a pure function of the fixed polynomial, so every thread
+    // observes the identical table regardless of who initializes it.
     static CRC: OnceLock<Crc64Hasher> = OnceLock::new();
     CRC.get_or_init(Crc64Hasher::ecma)
 }

@@ -24,7 +24,7 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -43,7 +43,7 @@ pub struct EulerForest {
     els: Vec<El>,
     free: Vec<u32>,
     /// per-vertex: neighbor -> element id of the directed edge v→neighbor
-    out: Vec<HashMap<u32, u32>>,
+    out: Vec<BTreeMap<u32, u32>>,
     rng: u64,
     n_edges: usize,
 }
@@ -54,7 +54,7 @@ impl EulerForest {
         EulerForest {
             els: Vec::new(),
             free: Vec::new(),
-            out: vec![HashMap::new(); n],
+            out: vec![BTreeMap::new(); n],
             rng: seed | 1,
             n_edges: 0,
         }
@@ -72,7 +72,7 @@ impl EulerForest {
 
     /// Add a fresh isolated vertex, returning its id.
     pub fn add_vertex(&mut self) -> u32 {
-        self.out.push(HashMap::new());
+        self.out.push(BTreeMap::new());
         self.out.len() as u32 - 1
     }
 

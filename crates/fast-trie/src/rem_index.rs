@@ -19,6 +19,9 @@
 
 use crate::yfast::YFastTrie;
 use bitstr::{BitSlice, BitStr};
+// lint: allow(unordered-iter) — validity vectors are looked up by the
+// exact padded integer (probe-only, never iterated), so hash order is
+// unobservable; candidate order is fixed by the explicit sort in query.
 use std::collections::HashMap;
 
 /// Second-layer index over bit-strings of length `0..=w` (`w <= 64`).
@@ -27,7 +30,7 @@ pub struct RemIndex {
     yfast: YFastTrie,
     /// padded integer -> bitmask of valid prefix lengths (bit `l` set iff
     /// the length-`l` prefix of the integer is a stored string).
-    validity: HashMap<u64, u128>,
+    validity: HashMap<u64, u128>, // lint: allow(unordered-iter) — probed by key, never iterated
     len: usize,
 }
 
@@ -38,7 +41,7 @@ impl RemIndex {
         RemIndex {
             w,
             yfast: YFastTrie::new(w),
-            validity: HashMap::new(),
+            validity: HashMap::new(), // lint: allow(unordered-iter) — see field
             len: 0,
         }
     }

@@ -7,6 +7,10 @@
 //! `O(log w)` table probes, then resolve through the subtree min/max and
 //! the leaf links. Updates touch every level: `O(w)`.
 
+// lint: allow(unordered-iter) — the x-fast trie is hash-table-based by
+// design (one table per prefix level, probed by key); nothing here
+// iterates a map, so hash order can never reach an output. Ascending
+// iteration goes through the sorted leaf linked list instead.
 use std::collections::HashMap;
 
 #[derive(Clone, Copy, Debug)]
@@ -26,8 +30,8 @@ pub struct XFastTrie {
     width: u32,
     /// `levels[l]` maps an `l`-bit prefix (right-aligned) to its subtree
     /// min/max. `levels[0]` holds at most the single root entry.
-    levels: Vec<HashMap<u64, SubtreeInfo>>,
-    leaves: HashMap<u64, Leaf>,
+    levels: Vec<HashMap<u64, SubtreeInfo>>, // lint: allow(unordered-iter) — probed by key, never iterated
+    leaves: HashMap<u64, Leaf>, // lint: allow(unordered-iter) — probed by key; order comes from the leaf links
     len: usize,
 }
 
@@ -37,8 +41,8 @@ impl XFastTrie {
         assert!((1..=64).contains(&width));
         XFastTrie {
             width,
-            levels: (0..=width).map(|_| HashMap::new()).collect(),
-            leaves: HashMap::new(),
+            levels: (0..=width).map(|_| HashMap::new()).collect(), // lint: allow(unordered-iter) — see field
+            leaves: HashMap::new(), // lint: allow(unordered-iter) — see field
             len: 0,
         }
     }

@@ -6,13 +6,13 @@
 //! amortised `O(log w)` updates while keeping `O(log w)` queries.
 
 use crate::xfast::XFastTrie;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A y-fast trie over `width`-bit integers.
 pub struct YFastTrie {
     width: u32,
     reps: XFastTrie,
-    buckets: HashMap<u64, BTreeSet<u64>>,
+    buckets: BTreeMap<u64, BTreeSet<u64>>,
     len: usize,
     /// Bucket split threshold (2·w by default).
     cap: usize,
@@ -24,7 +24,7 @@ impl YFastTrie {
         YFastTrie {
             width,
             reps: XFastTrie::new(width),
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
             len: 0,
             cap: 2 * width as usize,
         }
@@ -168,12 +168,10 @@ impl YFastTrie {
         self.succ_or_eq(x + 1)
     }
 
-    /// Iterate keys ascending.
+    /// Iterate keys ascending. Buckets are keyed by their minimum and
+    /// ordered, so chaining them in key order is already sorted.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        let mut reps: Vec<u64> = self.buckets.keys().copied().collect();
-        reps.sort_unstable();
-        reps.into_iter()
-            .flat_map(|r| self.buckets[&r].iter().copied().collect::<Vec<_>>())
+        self.buckets.values().flat_map(|b| b.iter().copied())
     }
 
     /// Number of buckets — exposed for space accounting and tests.

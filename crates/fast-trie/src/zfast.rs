@@ -17,14 +17,14 @@
 use crate::two_fattest;
 use bitstr::hash::{HashVal, IncrementalHash, PolyHasher};
 use bitstr::{BitSlice, BitStr};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use trie_core::{LcpResult, NodeId, Trie, Value};
 
 /// A dynamic z-fast trie over variable-length bit-strings.
 pub struct ZFastTrie {
     trie: Trie,
     hasher: PolyHasher,
-    handles: HashMap<HashVal, NodeId>,
+    handles: BTreeMap<HashVal, NodeId>,
     probes: std::cell::Cell<u64>,
 }
 
@@ -34,7 +34,7 @@ impl ZFastTrie {
         ZFastTrie {
             trie: Trie::new(),
             hasher: PolyHasher::with_seed(seed),
-            handles: HashMap::new(),
+            handles: BTreeMap::new(),
             probes: std::cell::Cell::new(0),
         }
     }
@@ -126,7 +126,7 @@ impl ZFastTrie {
         // are gone afterwards. So snapshot all handles by node id first.
         // (Cheap: delete touches O(1) nodes; we snapshot lazily via a
         // reverse map rebuild only for the touched ids.)
-        let reverse: HashMap<NodeId, HashVal> =
+        let reverse: BTreeMap<NodeId, HashVal> =
             self.handles.iter().map(|(h, id)| (*id, *h)).collect();
         let info = self.trie.delete_with_info(key)?;
         for id in &info.removed {

@@ -1,0 +1,23 @@
+//! `pimtrie-lint`: workspace-native static analysis for the PIM-trie
+//! reproduction.
+//!
+//! Every bound this workspace validates rests on counters that are
+//! *exact functions of (seed, P, workload)*: the cost-regression gate
+//! and the thread-count-invariance proofs are only sound if no code
+//! path sneaks in unordered iteration, wall-clock reads, hidden global
+//! state, or unaudited `unsafe`. Clippy cannot see those
+//! project-specific invariants; this crate can, and CI runs it as the
+//! `lint-invariants` gate.
+//!
+//! See [`rules`] for the rule set and the waiver syntax, [`lexer`] for
+//! the token model, [`ratchet`] for the panic budget, and [`walk`] for
+//! what is scanned. The binary front-end lives in `src/main.rs`
+//! (`cargo run -p pimtrie-lint`).
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod ratchet;
+pub mod report;
+pub mod rules;
+pub mod walk;

@@ -1,0 +1,160 @@
+//! Binary front-end: scan the workspace, apply the rules, report.
+//!
+//! ```text
+//! pimtrie-lint [--root DIR] [--json FILE] [--ratchet FILE] [--write-ratchet] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean (all findings waived, ratchet respected),
+//! `1` at least one active finding or ratchet regression, `2` usage or
+//! I/O error. CI treats anything non-zero as a failed gate.
+
+use pimtrie_lint::rules::{check_file, Finding};
+use pimtrie_lint::{ratchet, report, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    ratchet: Option<PathBuf>,
+    write_ratchet: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: pimtrie-lint [--root DIR] [--json FILE] [--ratchet FILE] \
+                     [--write-ratchet] [--quiet]
+
+Scans the workspace tree for violations of the determinism and
+unsafe-audit invariants (rules: safety-comment, unordered-iter,
+wallclock, global-state, panic-ratchet). See DESIGN.md \"Static
+analysis & invariants\".
+
+  --root DIR        workspace root to scan (default: .)
+  --json FILE       also write findings as JSONL (includes waived ones)
+  --ratchet FILE    panic-ratchet baseline (default: ROOT/crates/lint/ratchet.json)
+  --write-ratchet   rewrite the baseline to the observed counts and exit
+  --quiet           suppress the human report (exit code still set)";
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        json: None,
+        ratchet: None,
+        write_ratchet: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let path_arg = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--root" => opts.root = path_arg(&mut args)?,
+            "--json" => opts.json = Some(path_arg(&mut args)?),
+            "--ratchet" => opts.ratchet = Some(path_arg(&mut args)?),
+            "--write-ratchet" => opts.write_ratchet = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Opts) -> Result<ExitCode, String> {
+    let items =
+        walk::collect(&opts.root).map_err(|e| format!("scanning {}: {e}", opts.root.display()))?;
+    if items.is_empty() {
+        return Err(format!(
+            "no Rust sources found under {}",
+            opts.root.display()
+        ));
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut counts = ratchet::Ratchet::new();
+    for item in &items {
+        let src = std::fs::read_to_string(&item.abs)
+            .map_err(|e| format!("reading {}: {e}", item.abs.display()))?;
+        let rep = check_file(&item.ctx, &src);
+        findings.extend(rep.findings);
+        if rep.panics.count > 0 {
+            *counts.entry(item.ctx.krate.clone()).or_insert(0) += rep.panics.count;
+        }
+    }
+
+    let ratchet_path = opts
+        .ratchet
+        .clone()
+        .unwrap_or_else(|| opts.root.join("crates/lint/ratchet.json"));
+    let ratchet_rel = ratchet_path
+        .strip_prefix(&opts.root)
+        .unwrap_or(&ratchet_path)
+        .display()
+        .to_string();
+
+    if opts.write_ratchet {
+        std::fs::write(&ratchet_path, ratchet::render(&counts))
+            .map_err(|e| format!("writing {}: {e}", ratchet_path.display()))?;
+        if !opts.quiet {
+            println!(
+                "wrote panic-ratchet baseline for {} crates to {}",
+                counts.len(),
+                ratchet_path.display()
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut notices = Vec::new();
+    match std::fs::read_to_string(&ratchet_path) {
+        Ok(text) => {
+            let baseline = ratchet::parse(&text)?;
+            let (f, n) = ratchet::check(&counts, &baseline, &ratchet_rel);
+            findings.extend(f);
+            notices.extend(n);
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => notices.push(format!(
+            "no panic-ratchet baseline at {} — run with --write-ratchet to create one \
+             (ratchet rule skipped)",
+            ratchet_path.display()
+        )),
+        Err(e) => return Err(format!("reading {}: {e}", ratchet_path.display())),
+    }
+
+    if let Some(json_path) = &opts.json {
+        std::fs::write(json_path, report::jsonl(&findings))
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+    if !opts.quiet {
+        print!("{}", report::human(&findings, &notices, items.len()));
+    }
+    let active = findings.iter().filter(|f| f.waived.is_none()).count();
+    Ok(if active == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pimtrie-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("pimtrie-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The panic ratchet: a committed per-crate budget of
+//! `unwrap`/`expect`/`panic!` sites that may only go down.
+//!
+//! The baseline lives at `crates/lint/ratchet.json` as a flat JSON
+//! object `{ "<crate>": <count>, … }` with keys sorted, written and
+//! parsed here with no dependencies (the format is deliberately a tiny
+//! subset of JSON — see [`parse`]).
+//!
+//! Semantics at check time, per crate:
+//!
+//! * count **above** budget → a `panic-ratchet` finding (fails the run);
+//! * count **below** budget → an informational nudge to tighten the
+//!   baseline (`--write-ratchet` rewrites it);
+//! * crate missing from the baseline → budget 0 (new crates start
+//!   panic-free and must buy any panics by committing a baseline bump
+//!   in review).
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Per-crate panic budgets, ordered by crate name.
+pub type Ratchet = BTreeMap<String, u64>;
+
+/// Parse the baseline: one flat object of string keys to non-negative
+/// integers. Anything else is an error (the file is machine-written;
+/// strictness catches hand-edit mistakes).
+pub fn parse(src: &str) -> Result<Ratchet, String> {
+    let mut out = Ratchet::new();
+    let s = src.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("ratchet: expected a JSON object")?;
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part
+            .split_once(':')
+            .ok_or_else(|| format!("ratchet: bad entry {part:?}"))?;
+        let k = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("ratchet: bad key {part:?}"))?;
+        let v: u64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("ratchet: bad count {part:?}"))?;
+        out.insert(k.to_string(), v);
+    }
+    Ok(out)
+}
+
+/// Render the baseline deterministically (sorted keys, one per line).
+pub fn render(r: &Ratchet) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in r.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{k}\": {v}{}\n",
+            if i + 1 < r.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Compare tallied counts to the baseline. Returns the findings for
+/// over-budget crates plus human notices for under-budget ones.
+pub fn check(
+    counts: &Ratchet,
+    baseline: &Ratchet,
+    ratchet_path: &str,
+) -> (Vec<Finding>, Vec<String>) {
+    let mut findings = Vec::new();
+    let mut notices = Vec::new();
+    for (krate, &n) in counts {
+        let budget = baseline.get(krate).copied().unwrap_or(0);
+        if n > budget {
+            findings.push(Finding {
+                rule: "panic-ratchet",
+                path: ratchet_path.to_string(),
+                line: 0,
+                krate: krate.clone(),
+                msg: format!(
+                    "crate `{krate}` has {n} unwrap/expect/panic! sites, over its ratchet budget \
+                     of {budget} — remove panics or justify a baseline bump in review"
+                ),
+                waived: None,
+            });
+        } else if n < budget {
+            notices.push(format!(
+                "crate `{krate}` is under its panic budget ({n} < {budget}) — run with \
+                 --write-ratchet to tighten the baseline"
+            ));
+        }
+    }
+    // crates that vanished entirely should be dropped from the baseline
+    for krate in baseline.keys() {
+        if !counts.contains_key(krate) {
+            notices.push(format!(
+                "crate `{krate}` in the ratchet baseline no longer exists — run with \
+                 --write-ratchet to drop it"
+            ));
+        }
+    }
+    (findings, notices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut r = Ratchet::new();
+        r.insert("core".into(), 90);
+        r.insert("sim".into(), 25);
+        let text = render(&r);
+        assert_eq!(parse(&text).unwrap(), r);
+        assert_eq!(text, "{\n  \"core\": 90,\n  \"sim\": 25\n}\n");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(parse("{}").unwrap(), Ratchet::new());
+        assert_eq!(render(&Ratchet::new()), "{\n}\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("[1]").is_err());
+        assert!(parse("{\"a\": -1}").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn over_under_and_stale() {
+        let counts = parse(r#"{"a": 5, "b": 1, "new": 2}"#).unwrap();
+        let base = parse(r#"{"a": 3, "b": 4, "gone": 7}"#).unwrap();
+        let (f, n) = check(&counts, &base, "ratchet.json");
+        assert_eq!(f.len(), 2); // a over budget; new over implicit 0
+        assert!(f.iter().any(|f| f.krate == "a"));
+        assert!(f.iter().any(|f| f.krate == "new"));
+        assert_eq!(n.len(), 2); // b under budget; gone stale
+    }
+}

@@ -1,0 +1,661 @@
+//! The invariant rules, applied to one lexed file at a time.
+//!
+//! | rule             | invariant it protects                                      |
+//! |------------------|------------------------------------------------------------|
+//! | `safety-comment` | every `unsafe` block/impl carries a written `// SAFETY:` audit |
+//! | `unordered-iter` | no `HashMap`/`HashSet` in the deterministic crates (their iteration order is seeded per process and would leak into metered counters) |
+//! | `wallclock`      | `Instant::now`/`SystemTime` only in timing-owned crates (`crates/bench`, `vendor/criterion`) — counters stay exact functions of (seed, P, workload) |
+//! | `global-state`   | no `static mut` / interior-mutable statics (hidden cross-run or cross-thread coupling) |
+//! | `panic-ratchet`  | `unwrap`/`expect`/`panic!` per library crate may only decrease (see [`crate::ratchet`]) |
+//!
+//! A finding can be **waived** in place with
+//! `// lint: allow(<rule>) — <reason>`; the reason is mandatory and the
+//! waiver must sit on the offending line or the line directly above it.
+//! Waived findings are still reported (and land in the JSONL export with
+//! `"waived":true`) but do not fail the run. `panic-ratchet` has no
+//! waiver syntax — its budget is the committed baseline file.
+
+use crate::lexer::{lex, Lexed, Tok};
+
+/// Where a file sits in its crate, which decides rule applicability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library/binary sources (`src/**`): all rules apply.
+    Src,
+    /// Integration tests, benches, examples: only `safety-comment`
+    /// applies (they neither run in metered paths nor ship).
+    Aux,
+}
+
+/// Per-file context the rules need.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated (stable across hosts).
+    pub path: String,
+    /// Crate short name (directory under `crates/` or `vendor/`).
+    pub krate: String,
+    /// File classification.
+    pub class: FileClass,
+    /// Whether the crate is on the deterministic-metering list.
+    pub deterministic: bool,
+    /// Whether the crate owns timing (wall-clock reads allowed).
+    pub owns_timing: bool,
+}
+
+/// One rule violation (possibly waived).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (`safety-comment`, `unordered-iter`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Crate short name.
+    pub krate: String,
+    /// Human-readable description.
+    pub msg: String,
+    /// Set when an inline waiver with a written reason covers this
+    /// finding; carries the reason.
+    pub waived: Option<String>,
+}
+
+/// `unwrap`/`expect`/`panic!` occurrences found in one file (library
+/// code outside `#[cfg(test)]` only).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PanicCount {
+    /// Number of sites.
+    pub count: u64,
+}
+
+/// Everything one file contributes to the run.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Rule findings, in source order.
+    pub findings: Vec<Finding>,
+    /// Panic-ratchet contribution.
+    pub panics: PanicCount,
+}
+
+const RULE_SAFETY: &str = "safety-comment";
+const RULE_UNORDERED: &str = "unordered-iter";
+const RULE_WALLCLOCK: &str = "wallclock";
+const RULE_GLOBAL: &str = "global-state";
+
+/// Interior-mutability wrappers that make a `static` shared mutable
+/// state. (`OnceLock`/`OnceCell`/`LazyLock` are included: even
+/// idempotent init is cross-thread coupling worth an explicit waiver.)
+const INTERIOR_MUTABLE: &[&str] = &[
+    "AtomicBool",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "Cell",
+    "LazyCell",
+    "LazyLock",
+    "Mutex",
+    "OnceCell",
+    "OnceLock",
+    "RefCell",
+    "RwLock",
+    "UnsafeCell",
+];
+
+/// Run every rule over one file's source text.
+pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let in_test = test_region_mask(&lexed.toks);
+    let mut rep = FileReport::default();
+
+    rule_safety_comment(ctx, &lexed, &mut rep);
+    if ctx.class == FileClass::Src {
+        rule_unordered_iter(ctx, &lexed, &in_test, &mut rep);
+        rule_wallclock(ctx, &lexed, &in_test, &mut rep);
+        rule_global_state(ctx, &lexed, &in_test, &mut rep);
+        rule_panic_ratchet(&lexed, &in_test, &mut rep);
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------
+// `#[cfg(test)] mod …` tracking
+// ---------------------------------------------------------------------
+
+/// For each token, whether it sits inside a `#[cfg(test)] mod … { … }`
+/// region. Test-only code is exempt from the determinism rules (it
+/// never runs in metered paths) though not from `safety-comment`.
+pub fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut depth = 0usize;
+    // brace depths at which a cfg(test) mod body opened
+    let mut regions: Vec<usize> = Vec::new();
+    let mut pending_attr = false; // saw #[cfg(test)]-style attribute
+    let mut pending_mod = false; // … followed by `mod`, awaiting `{`
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_sym('#') && toks.get(i + 1).is_some_and(|t| t.is_sym('[')) {
+            // scan the attribute for `cfg` … `test` up to the matching `]`
+            let mut j = i + 2;
+            let mut bracket = 1usize;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < toks.len() && bracket > 0 {
+                let a = &toks[j];
+                if a.is_sym('[') {
+                    bracket += 1;
+                } else if a.is_sym(']') {
+                    bracket -= 1;
+                } else if a.is_ident("cfg") {
+                    saw_cfg = true;
+                } else if a.is_ident("test") {
+                    saw_test = true;
+                } else if a.is_ident("not") {
+                    saw_not = true; // `#[cfg(not(test))]` is NOT test code
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test && !saw_not {
+                pending_attr = true;
+            }
+            let inside = !regions.is_empty();
+            for m in mask.iter_mut().take(j.min(toks.len())).skip(i) {
+                *m = inside;
+            }
+            i = j;
+            continue;
+        }
+        if pending_attr && t.is_ident("mod") {
+            pending_mod = true;
+            pending_attr = false;
+        } else if pending_attr && (t.is_ident("fn") || t.is_sym(';')) {
+            // `#[cfg(test)]` on a lone item (fn, use, …): treat the
+            // next braced body as test code too, via the same path
+            if t.is_ident("fn") {
+                pending_mod = true;
+            }
+            pending_attr = false;
+        }
+        if pending_mod && t.is_sym(';') {
+            pending_mod = false; // `mod tests;` — out-of-line module
+        }
+        if t.is_sym('{') {
+            depth += 1;
+            if pending_mod {
+                regions.push(depth);
+                pending_mod = false;
+            }
+        }
+        mask[i] = !regions.is_empty();
+        if t.is_sym('}') {
+            if regions.last() == Some(&depth) {
+                regions.pop();
+            }
+            depth = depth.saturating_sub(1);
+        }
+        i += 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------
+
+/// Look for `lint: allow(<rule>)` covering `line` (same line or the
+/// line directly above, which must be comment-only). Returns the
+/// written reason, or an empty string when the waiver is malformed
+/// (missing reason) — the caller reports that as a finding.
+fn waiver_for(lexed: &Lexed, line: u32, rule: &str) -> Option<String> {
+    let try_line = |l: u32| -> Option<String> {
+        let text = lexed.comments.get(&l)?;
+        let tag = format!("lint: allow({rule})");
+        let at = text.find(&tag)?;
+        let rest = text[at + tag.len()..]
+            .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+            .trim();
+        Some(rest.to_string())
+    };
+    if let Some(r) = try_line(line) {
+        return Some(r);
+    }
+    // Walk the contiguous comment-only block directly above, so a
+    // waiver's reason may wrap across lines.
+    let mut l = line;
+    while l > 1 && lexed.is_comment_only(l - 1) {
+        l -= 1;
+        if let Some(r) = try_line(l) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// Apply the waiver protocol: push the finding, marked waived when a
+/// well-formed waiver covers it; a reason-less waiver is itself called
+/// out in the message.
+fn push_with_waiver(rep: &mut FileReport, lexed: &Lexed, mut f: Finding) {
+    match waiver_for(lexed, f.line, f.rule) {
+        Some(reason) if !reason.is_empty() => f.waived = Some(reason),
+        Some(_) => {
+            f.msg
+                .push_str(" [waiver present but missing a reason — write `lint: allow(…) — why`]");
+        }
+        None => {}
+    }
+    rep.findings.push(f);
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/// `safety-comment`: each `unsafe` block or `unsafe impl` needs
+/// `SAFETY:` in a comment on its own line or in the contiguous
+/// comment block directly above. `unsafe fn`/`unsafe trait`
+/// declarations are exempt (their contract belongs in `# Safety` docs;
+/// each *use* is a block and is checked).
+fn rule_safety_comment(ctx: &FileCtx, lexed: &Lexed, rep: &mut FileReport) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let what = match lexed.toks.get(i + 1) {
+            Some(n) if n.is_sym('{') => "unsafe block",
+            Some(n) if n.is_ident("impl") => "unsafe impl",
+            Some(n) if n.is_ident("fn") || n.is_ident("trait") || n.is_ident("extern") => continue,
+            _ => "unsafe",
+        };
+        // Accept the justification on the `unsafe` line, above it, or
+        // above the start of the enclosing statement (rustfmt wraps
+        // `let x = unsafe { … }` across lines). The statement start is
+        // the first token after the previous `;` / `{` / `}` — or the
+        // file's first token when there is no such boundary.
+        let stmt_line = lexed.toks[..i]
+            .iter()
+            .rposition(|p| p.is_sym(';') || p.is_sym('{') || p.is_sym('}'))
+            .and_then(|j| lexed.toks.get(j + 1))
+            .or(lexed.toks.first())
+            .map_or(t.line, |s| s.line);
+        if has_safety_comment(lexed, t.line) || has_safety_comment(lexed, stmt_line) {
+            continue;
+        }
+        rep.findings.push(Finding {
+            rule: RULE_SAFETY,
+            path: ctx.path.clone(),
+            line: t.line,
+            krate: ctx.krate.clone(),
+            msg: format!("{what} without a `// SAFETY:` justification directly above"),
+            waived: None,
+        });
+    }
+}
+
+fn has_safety_comment(lexed: &Lexed, line: u32) -> bool {
+    let contains = |l: u32| lexed.comments.get(&l).is_some_and(|c| c.contains("SAFETY"));
+    if contains(line) {
+        return true;
+    }
+    // walk the contiguous pure-comment block directly above
+    let mut l = line;
+    while l > 1 && lexed.is_comment_only(l - 1) {
+        l -= 1;
+        if contains(l) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `unordered-iter`: any `HashMap`/`HashSet` mention in a deterministic
+/// crate's library code. Hash iteration order is seeded per process, so
+/// one stray loop silently un-pins every counter the cost model proves;
+/// membership-only uses may stay, but must say so in a waiver.
+fn rule_unordered_iter(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+    if !ctx.deterministic {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        if name == "HashMap" || name == "HashSet" {
+            push_with_waiver(
+                rep,
+                lexed,
+                Finding {
+                    rule: RULE_UNORDERED,
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    krate: ctx.krate.clone(),
+                    msg: format!(
+                        "{name} in deterministic crate `{}` — use BTreeMap/BTreeSet (or waive a \
+                         provably non-iterated use)",
+                        ctx.krate
+                    ),
+                    waived: None,
+                },
+            );
+        }
+    }
+}
+
+/// `wallclock`: `Instant::now` / `SystemTime` outside the crates that
+/// own timing. A wall-clock read anywhere else can leak scheduling into
+/// results that must be exact functions of (seed, P, workload).
+fn rule_wallclock(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+    if ctx.owns_timing {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let hit = if t.is_ident("SystemTime") {
+            Some("SystemTime")
+        } else if t.is_ident("Instant")
+            && lexed.toks.get(i + 1).is_some_and(|a| a.is_sym(':'))
+            && lexed.toks.get(i + 2).is_some_and(|a| a.is_sym(':'))
+            && lexed.toks.get(i + 3).is_some_and(|a| a.is_ident("now"))
+        {
+            Some("Instant::now")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            push_with_waiver(
+                rep,
+                lexed,
+                Finding {
+                    rule: RULE_WALLCLOCK,
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    krate: ctx.krate.clone(),
+                    msg: format!(
+                        "{what} outside timing-owned crates (crates/bench, vendor/criterion)"
+                    ),
+                    waived: None,
+                },
+            );
+        }
+    }
+}
+
+/// `global-state`: `static mut`, and `static X: T` where `T` mentions an
+/// interior-mutability wrapper. Thread-locals count too — per-thread
+/// state still decouples results from (seed, P, workload) unless argued
+/// otherwise in a waiver.
+fn rule_global_state(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if in_test[i] || !t.is_ident("static") {
+            continue;
+        }
+        // `unsafe` blocks aside, `static` as an ident only opens a
+        // static item here (lifetimes are not emitted as idents).
+        let msg = if lexed.toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            Some("`static mut` item".to_string())
+        } else {
+            // scan `name : <type tokens> = | ;` for wrapper names
+            let mut j = i + 1;
+            let mut saw_colon = false;
+            let mut wrapper = None;
+            while j < lexed.toks.len() && wrapper.is_none() {
+                let a = &lexed.toks[j];
+                if a.is_sym('=') || a.is_sym(';') || a.is_sym('{') {
+                    break;
+                }
+                if a.is_sym(':') {
+                    saw_colon = true;
+                } else if saw_colon {
+                    if let Some(id) = a.ident() {
+                        if INTERIOR_MUTABLE.contains(&id) {
+                            wrapper = Some(id.to_string());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            wrapper.map(|w| format!("interior-mutable static (`{w}`)"))
+        };
+        if let Some(what) = msg {
+            push_with_waiver(
+                rep,
+                lexed,
+                Finding {
+                    rule: RULE_GLOBAL,
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    krate: ctx.krate.clone(),
+                    msg: format!("{what} — global mutable state needs an explicit waiver"),
+                    waived: None,
+                },
+            );
+        }
+    }
+}
+
+/// `panic-ratchet`: count `.unwrap(`, `.expect(`, `panic!` sites. The
+/// comparison against the committed per-crate budget happens in
+/// [`crate::ratchet`] once all files are tallied.
+fn rule_panic_ratchet(lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let prev_dot = i > 0 && lexed.toks[i - 1].is_sym('.');
+        let next_paren = lexed.toks.get(i + 1).is_some_and(|n| n.is_sym('('));
+        let next_bang = lexed.toks.get(i + 1).is_some_and(|n| n.is_sym('!'));
+        let hit = ((t.is_ident("unwrap") || t.is_ident("expect")) && prev_dot && next_paren)
+            || (t.is_ident("panic") && next_bang);
+        if hit {
+            rep.panics.count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(deterministic: bool, owns_timing: bool, class: FileClass) -> FileCtx {
+        FileCtx {
+            path: "crates/x/src/lib.rs".into(),
+            krate: "x".into(),
+            class,
+            deterministic,
+            owns_timing,
+        }
+    }
+
+    fn det_src() -> FileCtx {
+        ctx(true, false, FileClass::Src)
+    }
+
+    fn rules_of(rep: &FileReport) -> Vec<&'static str> {
+        rep.findings
+            .iter()
+            .filter(|f| f.waived.is_none())
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    // ---- safety-comment ----
+
+    #[test]
+    fn unsafe_block_needs_safety_comment() {
+        let rep = check_file(&det_src(), "fn f() { unsafe { g() } }\n");
+        assert_eq!(rules_of(&rep), ["safety-comment"]);
+
+        let ok = "fn f() {\n    // SAFETY: g is sound here\n    unsafe { g() }\n}\n";
+        assert!(check_file(&det_src(), ok).findings.is_empty());
+    }
+
+    #[test]
+    fn safety_comment_above_statement_start() {
+        // rustfmt wraps `let x = unsafe {…}` — the audit sits above `let`.
+        let src = "// SAFETY: disjoint indices\nlet s =\n    unsafe { go() };\n";
+        assert!(check_file(&det_src(), src).findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_checked_fn_exempt() {
+        let rep = check_file(&det_src(), "unsafe impl Send for T {}\n");
+        assert_eq!(rules_of(&rep), ["safety-comment"]);
+        // `unsafe fn` / `unsafe trait` carry their contract in docs instead
+        assert!(
+            check_file(&det_src(), "unsafe fn f() {}\nunsafe trait T {}\n")
+                .findings
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn unsafe_in_raw_string_or_comment_ignored() {
+        let src = "// unsafe { }\nlet s = r#\"unsafe { }\"#;\n/* unsafe */\n";
+        assert!(check_file(&det_src(), src).findings.is_empty());
+    }
+
+    // ---- unordered-iter ----
+
+    #[test]
+    fn hashmap_flagged_only_in_deterministic_src() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of(&check_file(&det_src(), src)), ["unordered-iter"]);
+        assert!(check_file(&ctx(false, false, FileClass::Src), src)
+            .findings
+            .is_empty());
+        assert!(check_file(&ctx(true, false, FileClass::Aux), src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_cfg_test_mod_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(check_file(&det_src(), src).findings.is_empty());
+        // …but cfg(not(test)) is live code
+        let live = "#[cfg(not(test))]\nmod m {\n    use std::collections::HashSet;\n}\n";
+        assert_eq!(rules_of(&check_file(&det_src(), live)), ["unordered-iter"]);
+    }
+
+    #[test]
+    fn waiver_with_reason_waives() {
+        let src = "// lint: allow(unordered-iter) — probed by key, never iterated\n\
+                   use std::collections::HashMap;\n";
+        let rep = check_file(&det_src(), src);
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(
+            rep.findings[0].waived.as_deref(),
+            Some("probed by key, never iterated")
+        );
+        assert!(rules_of(&rep).is_empty());
+    }
+
+    #[test]
+    fn waiver_reason_may_wrap_lines() {
+        let src = "// lint: allow(unordered-iter) — a reason whose tail\n\
+                   // wraps onto the following comment line\n\
+                   use std::collections::HashMap;\n";
+        assert!(rules_of(&check_file(&det_src(), src)).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_stays_active() {
+        let src = "use std::collections::HashMap; // lint: allow(unordered-iter)\n";
+        let rep = check_file(&det_src(), src);
+        assert_eq!(rules_of(&rep), ["unordered-iter"]);
+        assert!(rep.findings[0].msg.contains("missing a reason"));
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_apply() {
+        let src = "// lint: allow(wallclock) — wrong rule\n\
+                   use std::collections::HashMap;\n";
+        assert_eq!(rules_of(&check_file(&det_src(), src)), ["unordered-iter"]);
+    }
+
+    // ---- wallclock ----
+
+    #[test]
+    fn wallclock_outside_timing_crates() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(rules_of(&check_file(&det_src(), src)), ["wallclock"]);
+        assert!(check_file(&ctx(false, true, FileClass::Src), src)
+            .findings
+            .is_empty());
+        // `Instant` without `::now` (e.g. a type position) is fine
+        assert!(check_file(&det_src(), "fn f(t: Instant) {}\n")
+            .findings
+            .is_empty());
+        assert_eq!(
+            rules_of(&check_file(&det_src(), "let t = SystemTime::now();\n")),
+            ["wallclock"]
+        );
+    }
+
+    #[test]
+    fn wallclock_in_tests_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); }\n}\n";
+        assert!(check_file(&det_src(), src).findings.is_empty());
+    }
+
+    // ---- global-state ----
+
+    #[test]
+    fn static_mut_and_interior_mutable_statics() {
+        assert_eq!(
+            rules_of(&check_file(&det_src(), "static mut X: u32 = 0;\n")),
+            ["global-state"]
+        );
+        assert_eq!(
+            rules_of(&check_file(
+                &det_src(),
+                "static C: OnceLock<u32> = OnceLock::new();\n"
+            )),
+            ["global-state"]
+        );
+        // a plain immutable static is fine, as is a local `let`
+        assert!(check_file(&det_src(), "static N: u32 = 3;\nlet x = 1;\n")
+            .findings
+            .is_empty());
+        // the initializer is not scanned: `= AtomicU32::new(0)` after a
+        // plain type must not trip the wrapper check
+        assert!(
+            check_file(&det_src(), "static N: u32 = f(AtomicU32::new(0));\n")
+                .findings
+                .is_empty()
+        );
+    }
+
+    // ---- panic-ratchet ----
+
+    #[test]
+    fn panic_sites_counted_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn g() { z.unwrap(); }\n}\n";
+        let rep = check_file(&det_src(), src);
+        assert_eq!(rep.panics.count, 3);
+        // bare idents that merely *mention* the names do not count
+        let rep = check_file(&det_src(), "fn unwrap() {}\nlet expect = 1;\n");
+        assert_eq!(rep.panics.count, 0);
+    }
+
+    #[test]
+    fn test_region_mask_handles_out_of_line_mod() {
+        // `#[cfg(test)] mod tests;` must not mark following items
+        let src = "#[cfg(test)]\nmod tests;\nfn f() { x.unwrap(); }\n";
+        let rep = check_file(&det_src(), src);
+        assert_eq!(rep.panics.count, 1);
+    }
+}

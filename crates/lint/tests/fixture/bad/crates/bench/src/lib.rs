@@ -1,0 +1,4 @@
+/// Timing-owned crate: wall-clock reads are its whole job.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

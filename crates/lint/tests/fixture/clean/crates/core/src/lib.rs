@@ -1,0 +1,16 @@
+// lint: allow(unordered-iter) — probed by key only, never iterated
+use std::collections::HashMap;
+
+// lint: allow(unordered-iter) — same probe-only table as the use above
+type Probe = HashMap<u32, u32>;
+
+pub fn audited(m: &Probe) -> u32 {
+    let p: *const u32 = &7;
+    // SAFETY: p points at a live local for the whole read
+    let v = unsafe { *p };
+    v + m.get(&0).copied().unwrap_or(0)
+}
+
+pub fn one_panic(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -18,7 +18,7 @@
 use crate::euler::{preorder, LcaIndex};
 use crate::treefix::rootfix;
 use crate::trie::{Node, NodeId, Trie};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Default node weight: packed edge words plus a constant for the node
 /// record — mirrors [`Trie::size_words`].
@@ -48,7 +48,7 @@ pub fn partition_roots(trie: &Trie, kb: u64) -> Vec<NodeId> {
 
 /// Pass 1: base nodes at every `kb`-weight boundary of the Euler tour plus
 /// LCAs of adjacent base nodes plus the root.
-fn euler_marks(trie: &Trie, kb: u64) -> HashSet<NodeId> {
+fn euler_marks(trie: &Trie, kb: u64) -> BTreeSet<NodeId> {
     let pre = preorder(trie);
     // Prefix sums of weights in first-visit order; a node is a base node
     // when its weight makes the running sum enter a new K_B bucket.
@@ -61,7 +61,7 @@ fn euler_marks(trie: &Trie, kb: u64) -> HashSet<NodeId> {
             base.push(id);
         }
     }
-    let mut marked: HashSet<NodeId> = HashSet::with_capacity(2 * base.len() + 1);
+    let mut marked: BTreeSet<NodeId> = BTreeSet::new();
     marked.insert(NodeId::ROOT);
     marked.extend(base.iter().copied());
     if base.len() >= 2 {
@@ -77,7 +77,7 @@ fn euler_marks(trie: &Trie, kb: u64) -> HashSet<NodeId> {
 /// would exceed `kb` becomes a root itself; since a binary node merges at
 /// most two child components each `<= kb`, every final component weighs at
 /// most `w(v) + 2·kb`.
-fn repair_oversized(trie: &Trie, kb: u64, marked: &mut HashSet<NodeId>) {
+fn repair_oversized(trie: &Trie, kb: u64, marked: &mut BTreeSet<NodeId>) {
     let mut acc: Vec<u64> = vec![0; trie.id_bound()];
     // postorder
     let mut stack = vec![(NodeId::ROOT, false)];
@@ -124,7 +124,7 @@ pub struct Block {
 /// boundary node additionally appears as a mirror leaf in its parent's
 /// block.
 pub fn decompose(trie: &Trie, roots: &[NodeId]) -> Vec<Block> {
-    let marked: HashSet<NodeId> = roots.iter().copied().collect();
+    let marked: BTreeSet<NodeId> = roots.iter().copied().collect();
     assert!(
         marked.contains(&NodeId::ROOT),
         "partition must include the root"
@@ -157,7 +157,7 @@ pub fn decompose(trie: &Trie, roots: &[NodeId]) -> Vec<Block> {
     blocks
 }
 
-fn copy_block(trie: &Trie, marked: &HashSet<NodeId>, src: NodeId, b: &mut Block, dst: NodeId) {
+fn copy_block(trie: &Trie, marked: &BTreeSet<NodeId>, src: NodeId, b: &mut Block, dst: NodeId) {
     for bit in 0..2 {
         let Some(c) = trie.node(src).children[bit] else {
             continue;
@@ -254,9 +254,9 @@ mod tests {
         let roots = partition_roots(&t, 96);
         let blocks = decompose(&t, &roots);
         // every original node appears exactly once as a non-mirror node
-        let mut owner = std::collections::HashMap::new();
+        let mut owner = std::collections::BTreeMap::new();
         for (bi, b) in blocks.iter().enumerate() {
-            let mirrors: HashSet<NodeId> = b.mirrors.iter().map(|(m, _)| *m).collect();
+            let mirrors: BTreeSet<NodeId> = b.mirrors.iter().map(|(m, _)| *m).collect();
             for id in b.trie.node_ids() {
                 if mirrors.contains(&id) {
                     continue;
@@ -273,7 +273,7 @@ mod tests {
         let t = random_trie(3, 150, 40);
         let roots = partition_roots(&t, 64);
         let blocks = decompose(&t, &roots);
-        let root_set: HashSet<NodeId> = roots.iter().copied().collect();
+        let root_set: BTreeSet<NodeId> = roots.iter().copied().collect();
         let mut mirrored: Vec<NodeId> = blocks
             .iter()
             .flat_map(|b| b.mirrors.iter().map(|(_, orig)| *orig))
@@ -294,7 +294,7 @@ mod tests {
         let roots = partition_roots(&t, 80);
         let blocks = decompose(&t, &roots);
         // index blocks by orig root
-        let by_root: std::collections::HashMap<NodeId, usize> = blocks
+        let by_root: std::collections::BTreeMap<NodeId, usize> = blocks
             .iter()
             .enumerate()
             .map(|(i, b)| (b.orig_root, i))
@@ -303,13 +303,13 @@ mod tests {
         // DFS across blocks gluing strings
         fn walk(
             blocks: &[Block],
-            by_root: &std::collections::HashMap<NodeId, usize>,
+            by_root: &std::collections::BTreeMap<NodeId, usize>,
             bi: usize,
             prefix: &BitStr,
             items: &mut Vec<(BitStr, u64)>,
         ) {
             let b = &blocks[bi];
-            let mirror_map: std::collections::HashMap<NodeId, NodeId> =
+            let mirror_map: std::collections::BTreeMap<NodeId, NodeId> =
                 b.mirrors.iter().copied().collect();
             let mut stack = vec![(NodeId::ROOT, prefix.clone())];
             while let Some((id, s)) = stack.pop() {

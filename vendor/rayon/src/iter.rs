@@ -104,6 +104,8 @@ struct SendPtr<T>(*mut T);
 // SAFETY: the pointer is only used to write disjoint indices from the
 // bulk driver while the owning allocation is pinned by the caller.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared access is index-disjoint writes only (never reads),
+// so &SendPtr may cross threads whenever T itself may.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -165,6 +167,9 @@ pub struct ParIterMut<'a, T> {
 // SAFETY: the driver hands each index to exactly one thread, so the
 // minted `&mut T`s never alias; T crosses threads, hence T: Send.
 unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+// SAFETY: `get` is the only shared-access path and mints each index's
+// `&mut T` at most once (driver contract), so shared references to the
+// source never produce aliasing mutable borrows.
 unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
 
 impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
@@ -192,6 +197,8 @@ pub struct IntoVec<T> {
 
 // SAFETY: see ParIterMut; elements are moved out once per index.
 unsafe impl<T: Send> Send for IntoVec<T> {}
+// SAFETY: `get` moves each element out at most once (driver contract),
+// so concurrent shared access never double-reads a slot.
 unsafe impl<T: Send> Sync for IntoVec<T> {}
 
 impl<T: Send> ParallelIterator for IntoVec<T> {

@@ -128,6 +128,9 @@ fn worker_loop(reg: Arc<Registry>) {
 thread_local! {
     /// The registry parallel operations on this thread should use:
     /// set permanently on workers, and temporarily by `install`.
+    // lint: allow(global-state) — pool *routing* only: selects which queue
+    // runs a job, never what the job computes; results are index-ordered
+    // and therefore identical whichever registry executes them.
     static CURRENT: std::cell::RefCell<Option<Arc<Registry>>> =
         const { std::cell::RefCell::new(None) };
 }
@@ -141,6 +144,9 @@ pub(crate) fn current_registry() -> Arc<Registry> {
 }
 
 fn global_registry() -> &'static Arc<Registry> {
+    // lint: allow(global-state) — the documented lazily-built global pool
+    // (rayon API contract); init is race-free via OnceLock and the pool
+    // size only changes scheduling, never results.
     static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
     GLOBAL.get_or_init(|| {
         let (reg, _handles) = Registry::new(default_threads()).expect("spawn global thread pool");
@@ -198,6 +204,14 @@ struct BulkShared {
     helpers_left: Mutex<usize>,
     done_cv: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Concurrent-access canary (debug builds only): one counter per
+    /// chunk, bumped at claim time. Once every helper has retired the
+    /// owner asserts each chunk was claimed exactly once, so a cursor
+    /// bug — a double grant or a skipped range — becomes a
+    /// deterministic panic under `cargo test` and costs nothing in
+    /// release builds.
+    #[cfg(debug_assertions)]
+    claims: Vec<AtomicUsize>,
 }
 
 impl BulkShared {
@@ -209,6 +223,8 @@ impl BulkShared {
                 return;
             }
             let end = (start + self.chunk).min(self.len);
+            #[cfg(debug_assertions)]
+            self.claims[start / self.chunk].fetch_add(1, Ordering::Relaxed);
             if let Err(p) = std::panic::catch_unwind(AssertUnwindSafe(|| (self.body)(start, end))) {
                 let mut slot = self.panic.lock().unwrap();
                 if slot.is_none() {
@@ -265,6 +281,8 @@ pub(crate) fn run_bulk(len: usize, chunk: usize, body: &(dyn Fn(usize, usize) + 
         helpers_left: Mutex::new(helpers),
         done_cv: Condvar::new(),
         panic: Mutex::new(None),
+        #[cfg(debug_assertions)]
+        claims: (0..n_chunks).map(|_| AtomicUsize::new(0)).collect(),
     };
     for _ in 0..helpers {
         let p = SharedPtr(&shared as *const BulkShared);
@@ -301,6 +319,17 @@ pub(crate) fn run_bulk(len: usize, chunk: usize, body: &(dyn Fn(usize, usize) + 
                 .wait_timeout(left, std::time::Duration::from_millis(1))
                 .unwrap();
         }
+    }
+    // All helpers have retired, so the claim counters are final. The
+    // check runs on the owner thread (never inside a helper job) so a
+    // canary failure is an ordinary test panic, not a dead worker.
+    #[cfg(debug_assertions)]
+    for (i, c) in shared.claims.iter().enumerate() {
+        let n = c.load(Ordering::Relaxed);
+        assert!(
+            n == 1,
+            "bulk driver canary: chunk {i} of {n_chunks} claimed {n} times (expected exactly once)"
+        );
     }
     let panic = shared.panic.lock().unwrap().take();
     if let Some(p) = panic {

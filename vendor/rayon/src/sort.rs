@@ -22,6 +22,8 @@ struct SendPtr<T>(*mut T);
 // SAFETY: used only to write disjoint indices from the bulk driver
 // while the owning allocation is pinned by this call frame.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared access is index-disjoint writes only (no reads), so
+// &SendPtr can cross threads whenever the T values themselves can.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -35,6 +37,8 @@ impl<T> SendPtr<T> {
 struct SendConstPtr<T>(*const T);
 // SAFETY: shared reads only (T: Sync at the call sites).
 unsafe impl<T: Sync> Send for SendConstPtr<T> {}
+// SAFETY: same argument — the pointee is only ever read, and T: Sync
+// makes concurrent shared reads sound.
 unsafe impl<T: Sync> Sync for SendConstPtr<T> {}
 
 impl<T> SendConstPtr<T> {
@@ -132,8 +136,6 @@ where
     let mut a = lo;
     let mut b = mid;
     let mut out = lo;
-    // SAFETY (all writes below): pairs cover disjoint dst ranges
-    // [lo..hi), and out stays within this pair's range.
     while a < mid && b < hi {
         let take_a = strict(src[a], src[b]) != Ordering::Greater;
         let v = if take_a { src[a] } else { src[b] };
@@ -142,15 +144,19 @@ where
         } else {
             b += 1;
         }
+        // SAFETY: pairs cover disjoint dst ranges [lo..hi), and out
+        // stays within this pair's range (out < hi <= dst len).
         unsafe { dst.0.add(out).write(v) };
         out += 1;
     }
     while a < mid {
+        // SAFETY: as above — out advances once per write, bounded by hi.
         unsafe { dst.0.add(out).write(src[a]) };
         a += 1;
         out += 1;
     }
     while b < hi {
+        // SAFETY: as above — out advances once per write, bounded by hi.
         unsafe { dst.0.add(out).write(src[b]) };
         b += 1;
         out += 1;
