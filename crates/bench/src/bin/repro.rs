@@ -3,20 +3,22 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--quick] [--p N] [--threads N] [--json PATH] [--trace PATH] [EXPERIMENT ...]
+//! repro [--quick] [--p N] [--threads N] [--cache-words N] [--json PATH] [--trace PATH] [EXPERIMENT ...]
 //! ```
 //!
 //! `EXPERIMENT` is any of `t1-space`, `t1-rounds`, `t1-comm`, `skew`,
-//! `space-balance`, `scale-p`, `batch`, `verify`, `ablate`, `faults`, or
-//! `all` (the default). `--json` writes a deterministic `BENCH_repro.json`
-//! summary (one record per experiment run — the `cost-guard` baseline
-//! format); `--trace` writes the canonical traced run's JSONL event log.
+//! `space-balance`, `scale-p`, `batch`, `verify`, `ablate`, `faults`,
+//! `cache`, or `all` (the default). `--json` writes a deterministic
+//! `BENCH_repro.json` summary (one record per experiment run — the
+//! `cost-guard` baseline format); `--trace` writes the canonical traced
+//! run's JSONL event log; `--cache-words` sets the host hot-path cache
+//! capacity used by the `cache` experiment's cache-on rows.
 
 use pim_sim::Json;
 use pimtrie_bench as bench;
 
 /// Every experiment the harness knows, in run order. `all` runs the rest.
-const KNOWN: [&str; 11] = [
+const KNOWN: [&str; 12] = [
     "all",
     "t1-space",
     "t1-rounds",
@@ -28,11 +30,12 @@ const KNOWN: [&str; 11] = [
     "verify",
     "ablate",
     "faults",
+    "cache",
 ];
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--p N] [--threads N] [--json PATH] [--trace PATH] [EXPERIMENT ...]\n\
+        "usage: repro [--quick] [--p N] [--threads N] [--cache-words N] [--json PATH] [--trace PATH] [EXPERIMENT ...]\n\
          \n\
          Regenerates the PIM-trie paper's tables and figures on the simulator.\n\
          \n\
@@ -42,12 +45,15 @@ fn usage() -> String {
          \x20 --threads N    worker threads for module dispatch and batch ops\n\
          \x20                (default 0 = RAYON_NUM_THREADS, else all cores);\n\
          \x20                every measured counter is identical for any N\n\
+         \x20 --cache-words N  host hot-path cache capacity in words for the\n\
+         \x20                `cache` experiment's cache-on rows (default {})\n\
          \x20 --json PATH    write a deterministic BENCH_repro.json summary\n\
          \x20                (the cost-guard baseline format)\n\
          \x20 --trace PATH   write the canonical traced run as JSONL events\n\
          \x20 --help         this text\n\
          \n\
          experiments: {}",
+        bench::DEFAULT_CACHE_WORDS,
         KNOWN.join(", ")
     )
 }
@@ -56,6 +62,7 @@ struct Args {
     quick: bool,
     p: usize,
     threads: usize,
+    cache_words: u64,
     json: Option<String>,
     trace: Option<String>,
     what: Vec<String>,
@@ -67,6 +74,7 @@ fn parse_args() -> Args {
         quick: false,
         p: 16,
         threads: 0,
+        cache_words: bench::DEFAULT_CACHE_WORDS,
         json: None,
         trace: None,
         what: Vec::new(),
@@ -101,6 +109,13 @@ fn parse_args() -> Args {
                 Ok(v) => args.threads = v,
                 _ => {
                     eprintln!("error: --threads needs a non-negative integer");
+                    std::process::exit(2);
+                }
+            },
+            "--cache-words" => match value("--cache-words").parse::<u64>() {
+                Ok(v) if v >= 1 => args.cache_words = v,
+                _ => {
+                    eprintln!("error: --cache-words needs a positive integer");
                     std::process::exit(2);
                 }
             },
@@ -158,87 +173,95 @@ fn run(args: Args) {
 
     // each entry prints its table and contributes one JSON record
     let mut records: Vec<Json> = Vec::new();
-    let mut emit = |name: &str, title: &str, rows: Vec<bench::Row>| {
-        bench::print_table(title, &rows);
-        records.push(bench::export::record(name, &rows));
+    let mut emit = |name: &str, title: &str, rows: &[bench::Row]| {
+        bench::print_table(title, rows);
+        records.push(bench::export::record(name, rows));
     };
 
     if run("t1-space") {
         emit(
             "t1-space",
             "T1-space — Table 1 'Space': measured words per key",
-            bench::t1_space(p, quick),
+            &bench::t1_space(p, quick),
         );
     }
     if run("t1-rounds") {
         emit(
             "t1-rounds",
             "T1-rounds — Table 1 'IO rounds' (LCP on depth-l chain data)",
-            bench::t1_rounds(p, quick),
+            &bench::t1_rounds(p, quick),
         );
         emit(
             "t1-rounds-updates",
             "T1-rounds — Insert/Delete/Subtree (PIM-trie, amortized)",
-            bench::t1_rounds_updates(p, quick),
+            &bench::t1_rounds_updates(p, quick),
         );
     }
     if run("t1-comm") {
         emit(
             "t1-comm",
             "T1-comm — Table 1 'Communication': words per op vs key length",
-            bench::t1_comm(p, quick),
+            &bench::t1_comm(p, quick),
         );
     }
     if run("skew") {
         emit(
             "skew",
             "X-skew — load balance under adversarial workloads (max/mean per-module IO)",
-            bench::skew(p, quick),
+            &bench::skew(p, quick),
         );
     }
     if run("space-balance") {
         emit(
             "space-balance",
             "X-space-balance — per-module space under benign/adversarial data (Lemma 2.1)",
-            bench::space_balance(p, quick),
+            &bench::space_balance(p, quick),
         );
     }
     if run("scale-p") {
         emit(
             "scale-p",
             "X-scaleP — IO time per op and rounds as P grows",
-            bench::scale_p(quick),
+            &bench::scale_p(quick),
         );
     }
     if run("batch") {
         emit(
             "batch",
             "X-batch — balance vs batch size (Theorem 4.3's Ω(P log⁵P) condition)",
-            bench::batch_size(p, quick),
+            &bench::batch_size(p, quick),
         );
     }
     if run("verify") {
         emit(
             "verify",
             "X-verify — §4.4.3: narrow digests, collisions, redo work, exactness",
-            bench::verify(p, quick),
+            &bench::verify(p, quick),
         );
     }
     if run("ablate") {
         emit(
             "ablate",
             "X-ablate — push-pull & K_B ablations + fast vs pointer-chase path",
-            bench::ablate(p, quick),
+            &bench::ablate(p, quick),
         );
     }
     if run("faults") {
         let rows = bench::faults(p, quick);
-        bench::print_table(
+        emit(
+            "faults",
             "X-faults — fault-rate sweep → recovery overhead (seeded flips/drops/crash)",
             &rows,
         );
         println!("{}", bench::rows_json("faults", &rows));
-        records.push(bench::export::record("faults", &rows));
+    }
+
+    if run("cache") {
+        emit(
+            "cache",
+            "X-cache — host hot-path cache: words/rounds saved under skew (§6.3)",
+            &bench::cache(p, quick, args.cache_words),
+        );
     }
 
     if let Some(path) = &args.trace {

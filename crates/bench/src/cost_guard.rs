@@ -25,8 +25,9 @@ use pim_sim::Json;
 pub const DEFAULT_TOLERANCE: f64 = 0.02;
 
 /// True for columns compared exactly: BSP round counts, fault/retry
-/// counters, exactness counters, and sweep parameters. Everything else
-/// (words, times, space, balance ratios) gets the tolerance band.
+/// counters, exactness counters, cache hit/saving counters, and sweep
+/// parameters. Everything else (words, times, space, balance ratios)
+/// gets the tolerance band.
 pub fn is_exact_col(name: &str) -> bool {
     matches!(
         name,
@@ -45,6 +46,9 @@ pub fn is_exact_col(name: &str) -> bool {
             | "batch"
             | "width"
             | "flip_rate"
+            | "cache_words"
+            | "hits"
+            | "words_saved"
     )
 }
 

@@ -1,0 +1,69 @@
+//! Acceptance gate for the `cache` experiment: the host hot-path cache
+//! must cut total CPU↔PIM words at least 2× on the Zipf(0.99) workload at
+//! the default capacity, keep IO balance within 5% of the cache-off run,
+//! and save strictly more (relatively) under skew than under uniform
+//! queries — the skew-adaptive claim, not just "a cache helps".
+
+use pimtrie_bench as bench;
+
+fn col(row: &bench::Row, name: &str) -> f64 {
+    row.cols
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("row {} missing column {name}", row.label))
+        .1
+}
+
+fn row<'a>(rows: &'a [bench::Row], label: &str) -> &'a bench::Row {
+    rows.iter()
+        .find(|r| r.label == label)
+        .unwrap_or_else(|| panic!("no row labelled {label}"))
+}
+
+#[test]
+fn zipf_cache_halves_words_with_stable_balance() {
+    let rows = bench::cache(8, true, bench::DEFAULT_CACHE_WORDS);
+    assert_eq!(rows.len(), 4, "expected off/on rows for uniform and zipf");
+
+    let z_off = row(&rows, "zipf0.99/off");
+    let z_on = row(&rows, "zipf0.99/on");
+    let u_off = row(&rows, "uniform/off");
+    let u_on = row(&rows, "uniform/on");
+
+    // headline acceptance: ≥ 2× fewer words per op under Zipf(0.99)
+    let w_off = col(z_off, "words/op");
+    let w_on = col(z_on, "words/op");
+    assert!(
+        w_on <= w_off / 2.0,
+        "cache-on zipf words/op {w_on} not ≤ half of cache-off {w_off}"
+    );
+
+    // balance ratio unchanged within 5%
+    let b_off = col(z_off, "balance");
+    let b_on = col(z_on, "balance");
+    assert!(
+        (b_on - b_off).abs() / b_off <= 0.05,
+        "zipf balance drifted more than 5%: off {b_off} vs on {b_on}"
+    );
+
+    // cache-off rows are the legacy pipeline: no cache activity at all
+    for r in [z_off, u_off] {
+        assert_eq!(col(r, "cache_words"), 0.0, "{} has a cache", r.label);
+        assert_eq!(col(r, "hits"), 0.0, "{} recorded hits", r.label);
+        assert_eq!(col(r, "words_saved"), 0.0, "{} saved words", r.label);
+    }
+    // cache-on rows actually exercised the cache
+    for r in [z_on, u_on] {
+        assert!(col(r, "hits") > 0.0, "{} never hit", r.label);
+        assert!(col(r, "words_saved") > 0.0, "{} saved nothing", r.label);
+    }
+
+    // skew-adaptive, not merely capacity: the relative reduction under
+    // Zipf must beat the uniform control's reduction
+    let zipf_factor = w_off / w_on;
+    let uniform_factor = col(u_off, "words/op") / col(u_on, "words/op");
+    assert!(
+        zipf_factor > uniform_factor,
+        "zipf reduction {zipf_factor:.2}× not above uniform control {uniform_factor:.2}×"
+    );
+}

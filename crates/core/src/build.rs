@@ -131,6 +131,7 @@ impl PimTrie {
         let width = cfg.hash_width;
         let sys = PimSystem::new(cfg.p, |_| ModuleState::new(width));
         let hasher = PolyHasher::with_seed(cfg.seed);
+        let cache = crate::cache::HotPathCache::new(cfg.cache_words);
         let mut t = PimTrie {
             sys,
             cfg,
@@ -142,6 +143,7 @@ impl PimTrie {
             root_block: BlockRef { module: 0, slot: 0 },
             seq: 0,
             journal: std::collections::BTreeMap::new(),
+            cache,
         };
         t.bootstrap()?;
         Ok(t)
@@ -194,6 +196,8 @@ impl PimTrie {
         };
         let root_block = BlockRef { module: m, slot };
         self.root_block = root_block;
+        // the root is on every query's path — never evict it
+        self.cache.set_pinned(root_block);
 
         // Its meta-block (a single node) on a random module.
         let mm = self.random_module();
@@ -262,6 +266,15 @@ impl PimTrie {
         name: &str,
         inbox: Vec<Vec<Req>>,
     ) -> Result<Vec<Vec<Resp>>, PimTrieError> {
+        if self.cache.enabled() {
+            // Cache coherence: every mutating request flows through here
+            // (sealed or not), so scanning the outbox before dispatch
+            // guarantees no cached block can go stale. Crash recovery is
+            // covered too — rebuilds broadcast `ResetModule` through this
+            // same path before re-running any op.
+            let n = self.cache.invalidate_for_reqs(&inbox);
+            self.sys.metrics_mut().cache_stats_mut().invalidations += n;
+        }
         if !self.cfg.fault_tolerance {
             let hasher = &self.hasher;
             return Ok(self.sys.round(name, inbox, |ctx, msgs| {

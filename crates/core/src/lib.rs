@@ -47,11 +47,24 @@
 //!
 //! let queries = vec![BitStr::from_bin_str("101001")];
 //! assert_eq!(index.lcp_batch(&queries), vec![5]); // Figure 1's example
+//!
+//! // every CPU↔PIM word crossed the metered simulator
+//! let m = index.system().metrics();
+//! assert!(m.io_rounds() > 0 && m.io_volume() > 0);
 //! ```
+//!
+//! # Paper references
+//!
+//! Section marks (§x.y), lemmas, tables and figures cite *PIM-trie: A
+//! Skew-resistant Trie for Processing-in-Memory* (Kang et al.) unless a
+//! doc says otherwise. Items that implement one specific construct of the
+//! paper close their docs with a `Paper:` line naming the section(s), so
+//! `grep 'Paper:'` maps the paper onto the code.
 
 #![warn(missing_docs)]
 
 mod build;
+mod cache;
 mod config;
 mod error;
 mod hvm;
@@ -67,8 +80,8 @@ pub use error::PimTrieError;
 pub use matching::{MatchStats, MatchedTrie};
 pub use module::ModuleState;
 pub use refs::{BlockRef, MetaRef};
-// Re-exported so fault experiments need only this crate.
-pub use pim_sim::{CrashSpec, FaultPlan, FaultStats};
+// Re-exported so fault and cache experiments need only this crate.
+pub use pim_sim::{CacheStats, CrashSpec, FaultPlan, FaultStats};
 
 use bitstr::hash::PolyHasher;
 use pim_sim::PimSystem;
@@ -113,6 +126,9 @@ pub struct PimTrie {
     /// [`PimTrieConfig::fault_tolerance`] on: the source of truth the
     /// trie is rebuilt from after a module crash with state loss
     pub(crate) journal: std::collections::BTreeMap<bitstr::BitStr, u64>,
+    /// host-side hot-path cache ([`PimTrieConfig::cache_words`] > 0);
+    /// inert (and absent from every code path) at the default capacity 0
+    pub(crate) cache: cache::HotPathCache,
 }
 
 impl PimTrie {
@@ -205,6 +221,13 @@ impl PimTrie {
     /// redo (only nonzero with narrow hash digests).
     pub fn redo_paths(&self) -> u64 {
         self.redo_paths
+    }
+
+    /// Hot-path cache counters (hits, misses, words saved). All zero
+    /// unless [`PimTrieConfig::cache_words`] is nonzero. Shorthand for
+    /// `self.system().metrics().cache_stats()`.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.sys.metrics().cache_stats()
     }
 
     /// Total words of PIM memory used by blocks, meta-blocks and master

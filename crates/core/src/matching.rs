@@ -64,8 +64,9 @@ pub struct MatchStats {
     pub redo_paths: u64,
 }
 
-/// The matched trie (paper §4.1): per query-trie node, the length of its
-/// longest common prefix with the data trie and the data-side anchor.
+/// The matched trie: per query-trie node, the length of its longest
+/// common prefix with the data trie and the data-side anchor.
+/// Paper: §4.1.
 pub struct MatchedTrie {
     /// the batch's query trie
     pub qt: QueryTrie,
@@ -298,9 +299,9 @@ fn push_tag(tags: &mut Vec<u32>, id: NodeId, tag: u32) {
 }
 
 impl PimTrie {
-    /// Match a batch of strings against the data trie (the whole §4.3
-    /// pipeline). The result drives every public operation. Fails only
-    /// when fault recovery gives up (never on a clean simulator).
+    /// Match a batch of strings against the data trie. The result drives
+    /// every public operation. Fails only when fault recovery gives up
+    /// (never on a clean simulator). Paper: §4.3 (the whole pipeline).
     pub fn match_batch(&mut self, batch: &[BitStr]) -> Result<MatchedTrie, PimTrieError> {
         let qt = QueryTrie::build(batch);
         let mut stats = MatchStats::default();

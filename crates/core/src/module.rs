@@ -157,8 +157,8 @@ pub struct ModuleState {
     /// digest width shared by all indexes on this module
     pub width: HashWidth,
     /// Set by the host's crash callback when this module's memory was
-    /// wiped; until cleared by [`Req::ResetModule`] every sealed request
-    /// is answered with [`Resp::Rebooted`] instead of touching (dangling)
+    /// wiped; until cleared by `Req::ResetModule` every sealed request
+    /// is answered with `Resp::Rebooted` instead of touching (dangling)
     /// slots.
     pub crashed: bool,
     /// At-most-once reply cache of the sealed-wire protocol: replies of
@@ -1495,13 +1495,19 @@ pub fn match_block_local(block: &DataBlock, piece: &QueryPiece) -> Vec<BlockNode
 }
 
 /// Is the position exactly at a compressed node? Returns it.
-fn is_at(trie: &Trie, pos: TriePos) -> Option<NodeId> {
+pub(crate) fn is_at(trie: &Trie, pos: TriePos) -> Option<NodeId> {
     (pos.edge_off == trie.node(pos.node).edge.len()).then_some(pos.node)
 }
 
 /// Extend a match from `pos` by `bits`, stopping at divergence or
-/// dead-end. Returns (bits consumed, stop position).
-fn extend_match(trie: &Trie, mut pos: TriePos, bits: bitstr::BitSlice<'_>) -> (usize, TriePos) {
+/// dead-end. Returns (bits consumed, stop position). Shared with the
+/// host-side hot-path cache (`crate::cache`), whose CPU walk must agree
+/// bit-for-bit with the module-side matcher.
+pub(crate) fn extend_match(
+    trie: &Trie,
+    mut pos: TriePos,
+    bits: bitstr::BitSlice<'_>,
+) -> (usize, TriePos) {
     let mut i = 0;
     loop {
         let n = trie.node(pos.node);

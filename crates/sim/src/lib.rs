@@ -53,6 +53,37 @@
 //! assert_eq!(replies[3], vec![2]);
 //! assert_eq!(sys.metrics().io_rounds(), 1);
 //! ```
+//!
+//! # Example: inject faults and read a trace
+//!
+//! A seeded [`FaultPlan`] flips wire words deterministically, and an
+//! attached [`Tracer`] records one event per round with per-phase
+//! attribution:
+//!
+//! ```
+//! use pim_sim::{FaultPlan, PimSystem};
+//!
+//! let mut sys = PimSystem::new(2, |_id| 0u64);
+//! sys.metrics_mut().enable_tracing();
+//! sys.install_faults(FaultPlan::new(7).with_flip_rate(1.0), None); // flip everything
+//! sys.metrics_mut().tracer_mut().unwrap().set_phase("demo");
+//! let _ = sys.round("noisy", vec![vec![1u64], vec![2u64]], |ctx, msgs| {
+//!     ctx.work(1);
+//!     msgs
+//! });
+//! assert!(sys.metrics().fault_stats().flips_injected > 0);
+//! let tracer = sys.metrics_mut().take_tracer().unwrap();
+//! assert_eq!(tracer.events().len(), 1);
+//! assert_eq!(tracer.events()[0].phase, "demo");
+//! assert_eq!(tracer.events()[0].round, "noisy");
+//! ```
+//!
+//! # Paper references
+//!
+//! Section marks (§x.y) cite the PIM-trie paper (Kang et al.) unless a
+//! doc says otherwise; §2 is its statement of this cost model. Items
+//! implementing one specific construct close their docs with a `Paper:`
+//! line naming the section(s).
 
 #![warn(missing_docs)]
 
@@ -66,7 +97,7 @@ mod wire;
 
 pub use fault::{CrashSpec, FaultPlan};
 pub use json::Json;
-pub use metrics::{FaultStats, Metrics, MetricsDelta, RoundRecord, Snapshot};
+pub use metrics::{CacheStats, FaultStats, Metrics, MetricsDelta, RoundRecord, Snapshot};
 pub use route::{OriginMap, Routed};
 pub use system::{CrashHandler, PimCtx, PimSystem};
 pub use trace::{Dist, PhaseSummary, TraceEvent, Tracer, RETRANSMIT_PHASE};

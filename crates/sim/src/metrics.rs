@@ -85,6 +85,46 @@ impl FaultStats {
     }
 }
 
+/// Counters for a host-side cache layered over the simulated system.
+///
+/// The simulator itself never touches these: they exist so protocols that
+/// short-circuit rounds with host-side state (e.g. `pim-trie`'s hot-path
+/// cache) can report their effect through the same metrics pipeline as
+/// every other counter. All zero when no cache is in play, so an untraced,
+/// cache-free run is bit-identical to one that merely *links* the cache.
+///
+/// Paper: §6.3 discusses host-side replication of hot upper-trie levels
+/// as the skew-scaling direction this counter set meters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries fully resolved by cached state (no IO round needed).
+    pub hits: u64,
+    /// Queries that fell through to the normal dispatch path.
+    pub misses: u64,
+    /// Lower-bound estimate of CPU↔PIM words the hits avoided moving.
+    pub words_saved: u64,
+    /// Cache probe walks performed (hits + misses, kept separately so a
+    /// disabled cache shows a hard zero here).
+    pub lookups: u64,
+    /// Entries admitted into the cache.
+    pub admissions: u64,
+    /// Entries dropped because an update touched their backing state.
+    pub invalidations: u64,
+    /// Entries evicted to make room under the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all probe walks; 0.0 when nothing was probed.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
 /// Cumulative metrics of a [`PimSystem`](crate::PimSystem).
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -96,6 +136,7 @@ pub struct Metrics {
     pim_per_module: Vec<u64>,
     cpu_work: u64,
     faults: FaultStats,
+    cache: CacheStats,
     /// Detailed per-round log (kept only when `log_rounds` is on).
     pub round_log: Vec<RoundRecord>,
     log_rounds: bool,
@@ -223,6 +264,17 @@ impl Metrics {
     /// detections, retries and rebuilds.
     pub fn fault_stats_mut(&mut self) -> &mut FaultStats {
         &mut self.faults
+    }
+
+    /// Host-side cache counters (see [`CacheStats`]).
+    pub fn cache_stats(&self) -> &CacheStats {
+        &self.cache
+    }
+
+    /// Mutable cache counters, for a host-side cache layer to record
+    /// hits, misses, admissions and invalidations.
+    pub fn cache_stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.cache
     }
 
     /// Take a snapshot to later compute a [`MetricsDelta`] for one batch.
@@ -445,6 +497,23 @@ mod tests {
         let t = m.take_tracer().unwrap();
         assert!(!m.tracing_enabled());
         assert_eq!(t.events()[0].round, "x");
+    }
+
+    #[test]
+    fn cache_stats_default_zero_and_ratio() {
+        let mut m = Metrics::new(2);
+        assert_eq!(*m.cache_stats(), CacheStats::default());
+        assert_eq!(m.cache_stats().hit_ratio(), 0.0);
+        let c = m.cache_stats_mut();
+        c.lookups = 4;
+        c.hits = 3;
+        c.misses = 1;
+        c.words_saved = 12;
+        assert!((m.cache_stats().hit_ratio() - 0.75).abs() < 1e-12);
+        // snapshots/deltas ignore cache counters: they are cumulative-only
+        let snap = m.snapshot();
+        let d = m.since(&snap);
+        assert_eq!(d.io_rounds, 0);
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl<M: Send> PimSystem<M> {
     /// decisions are pure functions of (plan seed, round, module, stream,
     /// index), so they too are schedule-independent.
     ///
-    /// With a [`FaultPlan`] installed (see [`install_faults`]
+    /// With a [`FaultPlan`] installed (see
     /// [`PimSystem::install_faults`]), the round additionally suffers the
     /// plan's faults: scheduled crashes fire before execution, inbound and
     /// outbound words get bit flips, down modules skip execution and reply

@@ -14,7 +14,7 @@
 //!   own name is used, so no event is ever attributed to an *unknown*
 //!   phase.
 //! * **round** — the BSP round label already carried by
-//!   [`RoundRecord`](crate::RoundRecord).
+//!   [`RoundRecord`].
 //!
 //! The tracer is owned by `Metrics` behind an `Option<Box<_>>`: when
 //! tracing is off (the default) the hooks are a null-pointer check and the

@@ -22,6 +22,12 @@
 //!
 //! Everything here runs on the host CPU in the PIM Model; the distributed
 //! wrapper lives in the `pim-trie` crate.
+//!
+//! # Paper references
+//!
+//! Section marks (§x.y), lemmas and algorithms cite the PIM-trie paper
+//! (Kang et al.); items implementing one specific construct close their
+//! docs with a `Paper:` line naming the section(s).
 
 #![warn(missing_docs)]
 

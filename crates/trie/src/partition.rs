@@ -37,6 +37,8 @@ pub fn node_weight(trie: &Trie, id: NodeId) -> u64 {
 /// 2. a bottom-up repair sweep that adds a cut wherever a residual
 ///    component still exceeds `kb`, turning the asymptotic `O(kb)` of pass
 ///    1 into the hard constant bound the block distributor relies on.
+///
+/// Paper: §4.2.
 pub fn partition_roots(trie: &Trie, kb: u64) -> Vec<NodeId> {
     assert!(kb > 0);
     let mut marked = euler_marks(trie, kb);

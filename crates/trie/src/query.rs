@@ -25,8 +25,8 @@ pub struct QueryTrie {
 }
 
 impl QueryTrie {
-    /// Build the query trie for a batch (Algorithm 1). Duplicate keys are
-    /// collapsed; every input index keeps a handle to its node.
+    /// Build the query trie for a batch. Duplicate keys are collapsed;
+    /// every input index keeps a handle to its node. Paper: Algorithm 1.
     pub fn build(batch: &[BitStr]) -> QueryTrie {
         // 1. StringSort(Q) — rayon parallel sort of indices.
         let mut order: Vec<usize> = (0..batch.len()).collect();

@@ -12,6 +12,8 @@
 //! * [`seq_ints`] — dense sequential integers (deep shared prefixes);
 //! * [`zipf_prefixes`] — keys whose high bits follow a Zipf(θ) bucket
 //!   distribution: the knob that sweeps benign → skewed;
+//! * [`shifting_hotspot`] — Zipf-skewed phases whose hot buckets rotate, the
+//!   adversary for frequency caches without decay;
 //! * [`shared_prefix`] — the range-partition killer: every key in the batch
 //!   falls in one tiny key range;
 //! * [`path_chain`] — a degenerate trie: each key extends the previous one,
@@ -22,6 +24,12 @@
 //! * [`urls`] — synthetic URL-like ASCII keys with heavy prefix sharing.
 //!
 //! All generators are deterministic in `seed`.
+//!
+//! # Paper references
+//!
+//! Section marks (§x.y) cite the PIM-trie paper (Kang et al.);
+//! generators built for one specific experiment close their docs with a
+//! `Paper:` line naming the section(s).
 
 #![warn(missing_docs)]
 
@@ -103,6 +111,7 @@ impl Zipf {
 /// `n` keys of `len` bits whose top `prefix_bits` follow a Zipf(θ)
 /// distribution over buckets (bucket ids bit-reversed so hot buckets are
 /// spread across the key space like real hot keys), with uniform tails.
+/// Paper: §6.1's Zipf query workloads.
 pub fn zipf_prefixes(
     n: usize,
     len: usize,
@@ -124,8 +133,47 @@ pub fn zipf_prefixes(
         .collect()
 }
 
+/// An adversarial *shifting-hotspot* stream: the `n` keys are emitted in
+/// `phases` contiguous segments, each segment Zipf(θ)-skewed over the
+/// `2^prefix_bits` buckets but with the bucket ranking rotated per phase,
+/// so the hot set moves to a disjoint region of the key space at every
+/// phase boundary. Built to defeat any frequency tracker without decay: a
+/// cache that never ages its counters keeps serving phase-1's hot prefixes
+/// long after the traffic has moved on.
+///
+/// Paper: the skew model follows §6.1's Zipf query workloads; the phase
+/// rotation is the adversary for host-side hot-path caching (§6.3).
+pub fn shifting_hotspot(
+    n: usize,
+    len: usize,
+    prefix_bits: usize,
+    phases: usize,
+    theta: f64,
+    seed: u64,
+) -> Vec<BitStr> {
+    assert!(prefix_bits <= len && prefix_bits <= 20 && phases >= 1);
+    let buckets = 1u64 << prefix_bits;
+    let zipf = Zipf::new(buckets as usize, theta);
+    let mut r = rng(seed);
+    let per_phase = n.div_ceil(phases);
+    (0..n)
+        .map(|i| {
+            let phase = (i / per_phase) as u64;
+            let rank = zipf.sample(&mut r) as u64;
+            // rotate the rank→bucket mapping so each phase's head ranks
+            // land on a different bucket range
+            let rotated = (rank + phase * (buckets / phases as u64)) % buckets;
+            let bucket = rotated.reverse_bits() >> (64 - prefix_bits.max(1));
+            let mut s = BitStr::from_u64(bucket, prefix_bits);
+            s.append(&random_bits(&mut r, len - prefix_bits).as_slice());
+            s
+        })
+        .collect()
+}
+
 /// Every key extends one common `prefix_len`-bit prefix — all traffic lands
-/// in a single key range (the §3.2 worst case for range partitioning).
+/// in a single key range, the worst case for range partitioning.
+/// Paper: §3.2.
 pub fn shared_prefix(n: usize, prefix_len: usize, total_len: usize, seed: u64) -> Vec<BitStr> {
     assert!(prefix_len <= total_len);
     let mut r = rng(seed);
@@ -245,6 +293,17 @@ pub enum Spec {
         /// Zipf exponent
         theta: f64,
     },
+    /// Zipf-skewed prefixes whose hot set rotates between phases.
+    ShiftingHotspot {
+        /// key length in bits
+        len: usize,
+        /// number of prefix bits forming the bucket id
+        prefix_bits: usize,
+        /// number of contiguous phases the stream is split into
+        phases: usize,
+        /// Zipf exponent
+        theta: f64,
+    },
     /// One shared prefix.
     SharedPrefix {
         /// shared prefix length in bits
@@ -278,6 +337,12 @@ impl Spec {
                 prefix_bits,
                 theta,
             } => zipf_prefixes(n, len, prefix_bits, theta, seed),
+            Spec::ShiftingHotspot {
+                len,
+                prefix_bits,
+                phases,
+                theta,
+            } => shifting_hotspot(n, len, prefix_bits, phases, theta, seed),
             Spec::SharedPrefix {
                 prefix_len,
                 total_len,
@@ -295,6 +360,7 @@ impl Spec {
             Spec::UniformVar { min_len, max_len } => format!("var{min_len}-{max_len}"),
             Spec::SeqInts { width } => format!("seq{width}"),
             Spec::Zipf { theta, .. } => format!("zipf{theta}"),
+            Spec::ShiftingHotspot { phases, theta, .. } => format!("shift{phases}x{theta}"),
             Spec::SharedPrefix { prefix_len, .. } => format!("shared{prefix_len}"),
             Spec::PathChain { step } => format!("path{step}"),
             Spec::Genome { symbols } => format!("genome{symbols}"),
@@ -350,6 +416,33 @@ mod tests {
         }
         let max = *c0.iter().max().unwrap();
         assert!(max < 100, "uniform sampler too skewed: {max}");
+    }
+
+    #[test]
+    fn shifting_hotspot_moves_the_hot_bucket() {
+        let prefix_bits = 8;
+        let keys = shifting_hotspot(4096, 64, prefix_bits, 4, 1.2, 9);
+        assert_eq!(keys.len(), 4096);
+        // per phase, count which bucket (top prefix_bits) is hottest
+        let hottest = |phase: usize| -> u64 {
+            let mut counts = std::collections::BTreeMap::new();
+            for k in &keys[phase * 1024..(phase + 1) * 1024] {
+                *counts
+                    .entry(k.slice(0..prefix_bits).to_bitstr().to_u64())
+                    .or_insert(0usize) += 1;
+            }
+            let (&b, &c) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+            assert!(c > 200, "phase {phase} not skewed enough: {c}");
+            b
+        };
+        let heads: std::collections::HashSet<u64> = (0..4).map(hottest).collect();
+        assert_eq!(
+            heads.len(),
+            4,
+            "hot buckets must differ per phase: {heads:?}"
+        );
+        // and determinism in seed
+        assert_eq!(keys, shifting_hotspot(4096, 64, prefix_bits, 4, 1.2, 9));
     }
 
     #[test]

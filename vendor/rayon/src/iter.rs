@@ -342,7 +342,7 @@ impl<S: ParallelIterator> ParallelIterator for Enumerate<S> {
 // ---------------------------------------------------------------------
 
 /// Borrowed slice adapters with rayon's names (`par_iter`,
-/// `par_iter_mut`, and the parallel sorts from [`crate::sort`]).
+/// `par_iter_mut`, and the parallel sorts from the `sort` module).
 pub trait ParallelSlice<T> {
     /// Parallel shared iteration.
     fn par_iter(&self) -> ParIter<'_, T>

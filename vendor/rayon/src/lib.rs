@@ -3,7 +3,8 @@
 //! The build container has no network access, so this crate provides
 //! rayon's surface (`par_iter`, `par_iter_mut`, `into_par_iter`,
 //! `par_sort_unstable_by`, `join`, `ThreadPool{Builder}`) backed by a
-//! real `std::thread` work pool — see [`pool`] for the execution model.
+//! real `std::thread` work pool — see the `pool` module for the
+//! execution model.
 //!
 //! # Determinism
 //!
