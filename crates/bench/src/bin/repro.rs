@@ -8,7 +8,7 @@
 //!
 //! `EXPERIMENT` is any of `t1-space`, `t1-rounds`, `t1-comm`, `skew`,
 //! `space-balance`, `scale-p`, `batch`, `verify`, `ablate`, `faults`,
-//! `cache`, or `all` (the default). `--json` writes a deterministic
+//! `cache`, `serve`, or `all` (the default). `--json` writes a deterministic
 //! `BENCH_repro.json` summary (one record per experiment run — the
 //! `cost-guard` baseline format); `--trace` writes the canonical traced
 //! run's JSONL event log; `--cache-words` sets the host hot-path cache
@@ -18,7 +18,7 @@ use pim_sim::Json;
 use pimtrie_bench as bench;
 
 /// Every experiment the harness knows, in run order. `all` runs the rest.
-const KNOWN: [&str; 12] = [
+const KNOWN: [&str; 13] = [
     "all",
     "t1-space",
     "t1-rounds",
@@ -31,11 +31,13 @@ const KNOWN: [&str; 12] = [
     "ablate",
     "faults",
     "cache",
+    "serve",
 ];
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--p N] [--threads N] [--cache-words N] [--json PATH] [--trace PATH] [EXPERIMENT ...]\n\
+        "usage: repro [--quick] [--p N] [--threads N] [--cache-words N] \
+         [--clients N] [--deadline T] [--queue-cap N] [--json PATH] [--trace PATH] [EXPERIMENT ...]\n\
          \n\
          Regenerates the PIM-trie paper's tables and figures on the simulator.\n\
          \n\
@@ -47,6 +49,12 @@ fn usage() -> String {
          \x20                every measured counter is identical for any N\n\
          \x20 --cache-words N  host hot-path cache capacity in words for the\n\
          \x20                `cache` experiment's cache-on rows (default {})\n\
+         \x20 --clients N    closed-loop client population for the `serve`\n\
+         \x20                experiment (default 16)\n\
+         \x20 --deadline T   latency budget in simulated PIM time units for\n\
+         \x20                the `serve` experiment's deadline row (default 600)\n\
+         \x20 --queue-cap N  admission-queue depth for the `serve` experiment's\n\
+         \x20                overload and deadline rows (default 4)\n\
          \x20 --json PATH    write a deterministic BENCH_repro.json summary\n\
          \x20                (the cost-guard baseline format)\n\
          \x20 --trace PATH   write the canonical traced run as JSONL events\n\
@@ -63,6 +71,9 @@ struct Args {
     p: usize,
     threads: usize,
     cache_words: u64,
+    clients: usize,
+    deadline: u64,
+    queue_cap: usize,
     json: Option<String>,
     trace: Option<String>,
     what: Vec<String>,
@@ -75,6 +86,9 @@ fn parse_args() -> Args {
         p: 16,
         threads: 0,
         cache_words: bench::DEFAULT_CACHE_WORDS,
+        clients: 16,
+        deadline: 600,
+        queue_cap: 4,
         json: None,
         trace: None,
         what: Vec::new(),
@@ -116,6 +130,27 @@ fn parse_args() -> Args {
                 Ok(v) if v >= 1 => args.cache_words = v,
                 _ => {
                     eprintln!("error: --cache-words needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--clients" => match value("--clients").parse::<usize>() {
+                Ok(v) if v >= 1 => args.clients = v,
+                _ => {
+                    eprintln!("error: --clients needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--deadline" => match value("--deadline").parse::<u64>() {
+                Ok(v) if v >= 1 => args.deadline = v,
+                _ => {
+                    eprintln!("error: --deadline needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--queue-cap" => match value("--queue-cap").parse::<usize>() {
+                Ok(v) if v >= 1 => args.queue_cap = v,
+                _ => {
+                    eprintln!("error: --queue-cap needs a positive integer");
                     std::process::exit(2);
                 }
             },
@@ -261,6 +296,14 @@ fn run(args: Args) {
             "cache",
             "X-cache — host hot-path cache: words/rounds saved under skew (§6.3)",
             &bench::cache(p, quick, args.cache_words),
+        );
+    }
+
+    if run("serve") {
+        emit(
+            "serve",
+            "X-serve — overload-safe serving: admission, deadlines, per-key scoping",
+            &bench::serve(p, quick, args.clients, args.deadline, args.queue_cap),
         );
     }
 

@@ -25,9 +25,11 @@ use pim_sim::Json;
 pub const DEFAULT_TOLERANCE: f64 = 0.02;
 
 /// True for columns compared exactly: BSP round counts, fault/retry
-/// counters, exactness counters, cache hit/saving counters, and sweep
-/// parameters. Everything else (words, times, space, balance ratios)
-/// gets the tolerance band.
+/// counters, exactness counters, cache hit/saving counters, sweep
+/// parameters, and every `serve` column (the serving schedule is a
+/// pure function of seed/P/config, so its counts and latency
+/// percentiles are gated at tolerance 0). Everything else (words,
+/// times, space, balance ratios) gets the tolerance band.
 pub fn is_exact_col(name: &str) -> bool {
     matches!(
         name,
@@ -49,6 +51,22 @@ pub fn is_exact_col(name: &str) -> bool {
             | "cache_words"
             | "hits"
             | "words_saved"
+            | "clients"
+            | "submitted"
+            | "admitted"
+            | "rejected"
+            | "expired"
+            | "completed"
+            | "failed"
+            | "epochs"
+            | "lcp_p50"
+            | "lcp_p99"
+            | "get_p50"
+            | "get_p99"
+            | "insert_p50"
+            | "insert_p99"
+            | "delete_p50"
+            | "delete_p99"
     )
 }
 

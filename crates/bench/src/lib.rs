@@ -735,6 +735,94 @@ pub fn cache(p: usize, quick: bool, cache_words: u64) -> Vec<Row> {
     rows
 }
 
+// ---------------------------------------------------------------------
+// X-serve — overload-safe multi-client serving front-end
+// ---------------------------------------------------------------------
+
+/// Closed-loop multi-client serving through the overload-safe front-end
+/// (`crates/serve`): three scenarios on the same stored key set and
+/// client scripts, varying only pressure.
+///
+/// * `steady` — queue deep enough for the population, unbounded
+///   deadlines: every request completes, nothing is shed;
+/// * `overload` — the same clients against `queue_cap` admission slots
+///   and tiny epochs: admission control sheds (`rejected`), but every
+///   admitted request still settles;
+/// * `deadline` — overload plus a finite latency budget: queue-delayed
+///   requests expire with a typed error before dispatch (`expired`).
+///
+/// Every column is an exact count (the serving schedule is a pure
+/// function of seed, P and config — thread-count and pipelining
+/// invariant), so the cost-guard gates all of them at tolerance 0.
+/// Latencies are p50/p99 of completed replies per op class in simulated
+/// PIM time. ISSUE: overload-safe serving; DESIGN.md "X-serve".
+pub fn serve(p: usize, quick: bool, clients: usize, deadline: u64, queue_cap: usize) -> Vec<Row> {
+    use serve::{run_closed_loop, ServeConfig, Server};
+    use workloads::{closed_loop_scripts, ClosedLoopSpec};
+
+    let n = if quick { 1 << 10 } else { 1 << 12 };
+    let ops = if quick { 15 } else { 40 };
+    let keys = workloads::uniform_var(n, 8, 64, 71);
+    let vals = values_for(&keys);
+
+    let scenarios: [(&str, usize, usize, u64, f64); 3] = [
+        ("steady", clients.max(1) * 2, 8, u64::MAX, 200.0),
+        ("overload", queue_cap, 2, u64::MAX, 25.0),
+        ("deadline", queue_cap, 2, deadline, 25.0),
+    ];
+    let mut rows = Vec::new();
+    for (tag, cap, epoch_max, dl, think) in scenarios {
+        let mut trie = PimTrie::new(PimTrieConfig::for_modules(p).with_seed(42));
+        trie.insert_batch(&keys, &vals);
+        let spec = ClosedLoopSpec {
+            clients,
+            ops_per_client: ops,
+            theta: 0.9,
+            mean_think: think,
+            deadline: dl,
+            write_frac: 0.1,
+        };
+        let scripts = closed_loop_scripts(&spec, &keys, 73);
+        let mut srv = Server::new(
+            trie,
+            ServeConfig::default()
+                .with_queue_cap(cap)
+                .with_epoch_max(epoch_max)
+                .with_pipeline(true),
+        );
+        let rep = run_closed_loop(&mut srv, &scripts);
+        assert_eq!(rep.violations, 0, "{tag}: double outcome recorded");
+        assert_eq!(rep.unresolved, 0, "{tag}: admitted request dropped");
+        assert_eq!(
+            rep.stats.admitted,
+            rep.stats.settled(),
+            "{tag}: settlement invariant broken"
+        );
+
+        let s = &rep.stats;
+        let mut row = Row::new(tag)
+            .col("clients", clients as f64)
+            .col("submitted", s.submitted as f64)
+            .col("admitted", s.admitted as f64)
+            .col("rejected", s.rejected as f64)
+            .col("expired", s.expired as f64)
+            .col("completed", s.completed as f64)
+            .col("failed", s.failed as f64)
+            .col("epochs", s.epochs as f64);
+        let lat_cols: [(&'static str, &'static str); 4] = [
+            ("lcp_p50", "lcp_p99"),
+            ("get_p50", "get_p99"),
+            ("insert_p50", "insert_p99"),
+            ("delete_p50", "delete_p99"),
+        ];
+        for (&(p50n, p99n), l) in lat_cols.iter().zip(rep.latency.iter()) {
+            row = row.col(p50n, l.p50 as f64).col(p99n, l.p99 as f64);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
 /// Render experiment rows as a single-line JSON summary (hand-rolled:
 /// column values are finite f64s, labels are plain ASCII tags).
 pub fn rows_json(experiment: &str, rows: &[Row]) -> String {

@@ -144,6 +144,7 @@ impl PimTrie {
             seq: 0,
             journal: std::collections::BTreeMap::new(),
             cache,
+            quarantined: std::collections::BTreeSet::new(),
         };
         t.bootstrap()?;
         Ok(t)
@@ -161,8 +162,24 @@ impl PimTrie {
         t
     }
 
+    /// Draw a placement target uniformly from the non-quarantined
+    /// modules. With an empty quarantine set (the fault-free path) this
+    /// is a single RNG draw, so the placement sequence is bit-identical
+    /// to a build that never quarantined anything; with quarantined
+    /// modules it rejection-samples past them, keeping new blocks off
+    /// modules whose return path is known dead. Should every module be
+    /// quarantined (the scoped drivers never let that happen), the plain
+    /// draw is returned rather than looping forever.
     pub(crate) fn random_module(&mut self) -> u32 {
-        self.place_rng.gen_range(0..self.sys.p() as u32)
+        let p = self.sys.p() as u32;
+        let mut m = self.place_rng.gen_range(0..p);
+        if self.quarantined.len() >= p as usize {
+            return m;
+        }
+        while self.quarantined.contains(&m) {
+            m = self.place_rng.gen_range(0..p);
+        }
+        m
     }
 
     pub(crate) fn bootstrap(&mut self) -> Result<(), PimTrieError> {
@@ -377,9 +394,17 @@ impl PimTrie {
             }
             attempt += 1;
             if attempt > self.cfg.max_round_retries {
+                // The unanswered (module, idx) pairs pinpoint the blast
+                // radius: only these modules still owe replies. Callers
+                // scope the failure to the keys routed through them.
+                let modules: Vec<u32> = (0..p)
+                    .filter(|&m| results[m].iter().any(Option::is_none))
+                    .map(|m| m as u32)
+                    .collect();
                 return Err(PimTrieError::RecoveryExhausted {
                     round: name.to_string(),
                     attempts: attempt - 1,
+                    modules,
                 });
             }
         }
@@ -597,11 +622,12 @@ impl PimTrie {
                         continue;
                     }
                     let target = if pi == job.root_plan {
-                        job.replace_root_at
-                            .map(|r| r.module)
-                            .unwrap_or_else(|| self.place_rng.gen_range(0..p as u32))
+                        match job.replace_root_at {
+                            Some(r) => r.module,
+                            None => self.random_module(),
+                        }
                     } else {
-                        self.place_rng.gen_range(0..p as u32)
+                        self.random_module()
                     };
                     let msg = self.plan_to_msg(
                         &job.tree,

@@ -30,12 +30,17 @@ pub enum PimTrieError {
     /// The configuration fails validation (message says which knob).
     BadConfig(String),
     /// A round could not be completed within the retry budget: some
-    /// module kept returning corrupt or missing replies.
+    /// module kept returning corrupt or missing replies. Carries the
+    /// modules that still owed answers when the budget ran out, so
+    /// callers can scope the failure (quarantine the modules, fail only
+    /// the keys routed through them) instead of aborting a whole batch.
     RecoveryExhausted {
         /// round label that failed
         round: String,
         /// retries attempted before giving up
         attempts: u32,
+        /// modules with unanswered requests at exhaustion (sorted)
+        modules: Vec<u32>,
     },
     /// A module came back from a crash with blank state; the operation
     /// was aborted. Surfaced only if the rebuild ladder itself fails —
@@ -68,10 +73,15 @@ impl fmt::Display for PimTrieError {
                 )
             }
             PimTrieError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            PimTrieError::RecoveryExhausted { round, attempts } => {
+            PimTrieError::RecoveryExhausted {
+                round,
+                attempts,
+                modules,
+            } => {
                 write!(
                     f,
-                    "round {round:?} failed after {attempts} recovery retries"
+                    "round {round:?} failed after {attempts} recovery retries \
+                     (modules {modules:?} still unanswered)"
                 )
             }
             PimTrieError::ModuleLost { module } => {

@@ -80,8 +80,8 @@ pub use error::PimTrieError;
 pub use matching::{MatchStats, MatchedTrie};
 pub use module::ModuleState;
 pub use refs::{BlockRef, MetaRef};
-// Re-exported so fault and cache experiments need only this crate.
-pub use pim_sim::{CacheStats, CrashSpec, FaultPlan, FaultStats};
+// Re-exported so fault, cache and serving experiments need only this crate.
+pub use pim_sim::{CacheStats, CrashSpec, FaultPlan, FaultStats, JamSpec, ServeStats};
 
 use bitstr::hash::PolyHasher;
 use pim_sim::PimSystem;
@@ -129,6 +129,11 @@ pub struct PimTrie {
     /// host-side hot-path cache ([`PimTrieConfig::cache_words`] > 0);
     /// inert (and absent from every code path) at the default capacity 0
     pub(crate) cache: cache::HotPathCache,
+    /// modules excluded from new placements after a
+    /// [`PimTrieError::RecoveryExhausted`] named them (scoped batch ops
+    /// only); empty on the fault-free path, where placement draws are
+    /// bit-identical to a build that never heard of quarantines
+    pub(crate) quarantined: std::collections::BTreeSet<u32>,
 }
 
 impl PimTrie {
@@ -221,6 +226,21 @@ impl PimTrie {
     /// redo (only nonzero with narrow hash digests).
     pub fn redo_paths(&self) -> u64 {
         self.redo_paths
+    }
+
+    /// Modules currently quarantined by the scoped batch operations
+    /// (`try_*_batch_scoped`): a module lands here when a
+    /// [`PimTrieError::RecoveryExhausted`] named it, and placement then
+    /// avoids it for new blocks. Empty on any fault-free run.
+    pub fn quarantined(&self) -> &std::collections::BTreeSet<u32> {
+        &self.quarantined
+    }
+
+    /// Forget all quarantined modules (e.g. after the operator replaced
+    /// the faulty hardware and cleared the fault plan). Placement draws
+    /// go back to the full module range.
+    pub fn clear_quarantine(&mut self) {
+        self.quarantined.clear();
     }
 
     /// Hot-path cache counters (hits, misses, words saved). All zero

@@ -699,8 +699,7 @@ impl PimTrie {
     }
 
     fn place_rng_next(&mut self) -> u32 {
-        use rand::Rng;
-        self.place_rng.gen_range(0..self.sys.p() as u32)
+        self.random_module()
     }
 }
 

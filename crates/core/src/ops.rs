@@ -777,10 +777,7 @@ impl PimTrie {
                     continue;
                 }
                 let meta = &plan.placed[bi].as_ref().unwrap().meta;
-                let m = {
-                    use rand::Rng;
-                    self.place_rng.gen_range(0..p as u32)
-                };
+                let m = self.random_module();
                 inbox[m as usize].push(Req::PutBlock(crate::module::PutBlockMsg {
                     trie: TrieMsg(b.trie.clone()),
                     root_depth: meta.depth,
@@ -1324,6 +1321,209 @@ impl PimTrie {
             self.insert_core(&keys, &vals)?;
         }
         Ok(())
+    }
+
+    // ---- per-key failure scoping --------------------------------------
+    //
+    // The plain `try_*_batch` front-ends are all-or-nothing: one module
+    // exhausting the sealed-wire retry budget
+    // ([`PimTrieError::RecoveryExhausted`]) fails the whole batch, even
+    // though every key routed through the other `P - 1` modules had a
+    // perfectly good answer. The `try_*_batch_scoped` variants below
+    // shrink that blast radius to the keys that actually depend on the
+    // exhausted module: they return one `Result` per key, quarantine the
+    // modules named by the error so new placements avoid them, and
+    // bisect the batch so healthy keys still complete.
+
+    /// [`Self::try_lcp_batch`] with per-key failure scoping: returns one
+    /// `Result` per query instead of failing the whole batch when a
+    /// module exhausts its recovery budget.
+    ///
+    /// Semantics shared by all four scoped front-ends:
+    ///
+    /// * without [`fault_tolerance`](crate::PimTrieConfig::fault_tolerance)
+    ///   or without an installed [`FaultPlan`](pim_sim::FaultPlan),
+    ///   `RecoveryExhausted` cannot occur and this is exactly the plain
+    ///   batch op with every result wrapped in `Ok` — same rounds, same
+    ///   metered costs, same placement RNG draws;
+    /// * on `RecoveryExhausted`, the modules named by the error join the
+    ///   [quarantine set](crate::PimTrie::quarantined) (placement skips
+    ///   them from then on) and the batch is bisected; only keys whose
+    ///   path still needs an exhausted module come back as `Err`;
+    /// * read results (`lcp`, `get`) are exact for every `Ok` key;
+    /// * mutations (`insert`, `delete`) apply per successful sub-batch:
+    ///   an `Ok` key is durably applied (and journaled). A failing
+    ///   sub-batch usually dies in its read-only match phase, but a
+    ///   maintenance round *after* the grafts landed can be the one that
+    ///   exhausts, so failed keys are reconciled by readback: a key
+    ///   whose stored state confirms the mutation is reported — and
+    ///   journaled — as `Ok`. A surviving `Err` key is unconfirmed; the
+    ///   journal still holds its last confirmed value, so a rebuild
+    ///   restores pre-operation state for it;
+    /// * input-validation errors ([`PimTrieError::EmptyKey`],
+    ///   [`PimTrieError::ReservedValue`]) bisect down to the offending
+    ///   key too, so one bad key no longer poisons its neighbours.
+    pub fn try_lcp_batch_scoped(&mut self, queries: &[BitStr]) -> Vec<Result<usize, PimTrieError>> {
+        self.scoped_batch(queries.len(), |t, idxs| {
+            let sub: Vec<BitStr> = idxs.iter().map(|&i| queries[i].clone()).collect();
+            t.try_lcp_batch(&sub)
+        })
+    }
+
+    /// [`Self::try_get_batch`] with per-key failure scoping; see
+    /// [`Self::try_lcp_batch_scoped`] for the shared contract.
+    pub fn try_get_batch_scoped(
+        &mut self,
+        keys: &[BitStr],
+    ) -> Vec<Result<Option<u64>, PimTrieError>> {
+        self.scoped_batch(keys.len(), |t, idxs| {
+            let sub: Vec<BitStr> = idxs.iter().map(|&i| keys[i].clone()).collect();
+            t.try_get_batch(&sub)
+        })
+    }
+
+    /// [`Self::try_insert_batch`] with per-key failure scoping; see
+    /// [`Self::try_lcp_batch_scoped`] for the shared contract. An `Ok`
+    /// key is inserted and journaled; an `Err` key is not inserted. A
+    /// key/value length mismatch cannot be pinned on any key, so it is
+    /// reported on every slot.
+    pub fn try_insert_batch_scoped(
+        &mut self,
+        keys: &[BitStr],
+        values: &[u64],
+    ) -> Vec<Result<(), PimTrieError>> {
+        if keys.len() != values.len() {
+            let e = PimTrieError::MismatchedBatch {
+                keys: keys.len(),
+                values: values.len(),
+            };
+            return (0..keys.len()).map(|_| Err(e.clone())).collect();
+        }
+        let mut res = self.scoped_batch(keys.len(), |t, idxs| {
+            let ks: Vec<BitStr> = idxs.iter().map(|&i| keys[i].clone()).collect();
+            let vs: Vec<u64> = idxs.iter().map(|&i| values[i]).collect();
+            t.try_insert_batch(&ks, &vs).map(|()| vec![(); idxs.len()])
+        });
+        // Reconcile phantom applies (see the shared-contract doc): a key
+        // the bisection gave up on may still have landed if the failing
+        // round came after its graft. Readback decides; confirmed keys
+        // become journaled successes.
+        let failed: Vec<usize> = (0..res.len()).filter(|&i| res[i].is_err()).collect();
+        if !failed.is_empty() {
+            let ks: Vec<BitStr> = failed.iter().map(|&i| keys[i].clone()).collect();
+            let got = self.try_get_batch_scoped(&ks);
+            for (j, &i) in failed.iter().enumerate() {
+                if got[j] == Ok(Some(values[i])) {
+                    if self.cfg.fault_tolerance {
+                        self.journal.insert(keys[i].clone(), values[i]);
+                    }
+                    res[i] = Ok(());
+                }
+            }
+        }
+        res
+    }
+
+    /// [`Self::try_delete_batch`] with per-key failure scoping; see
+    /// [`Self::try_lcp_batch_scoped`] for the shared contract. An `Ok`
+    /// key is absent afterwards (whether or not it was stored); an `Err`
+    /// key keeps whatever mapping it had.
+    pub fn try_delete_batch_scoped(&mut self, keys: &[BitStr]) -> Vec<Result<(), PimTrieError>> {
+        let mut res = self.scoped_batch(keys.len(), |t, idxs| {
+            let ks: Vec<BitStr> = idxs.iter().map(|&i| keys[i].clone()).collect();
+            t.try_delete_batch(&ks).map(|_| vec![(); idxs.len()])
+        });
+        // Reconcile phantom applies, mirroring the scoped insert: a key
+        // confirmed absent by readback really was deleted.
+        let failed: Vec<usize> = (0..res.len()).filter(|&i| res[i].is_err()).collect();
+        if !failed.is_empty() {
+            let ks: Vec<BitStr> = failed.iter().map(|&i| keys[i].clone()).collect();
+            let got = self.try_get_batch_scoped(&ks);
+            for (j, &i) in failed.iter().enumerate() {
+                if got[j] == Ok(None) {
+                    if self.cfg.fault_tolerance {
+                        self.journal.remove(&keys[i]);
+                    }
+                    res[i] = Ok(());
+                }
+            }
+        }
+        res
+    }
+
+    /// Shared bisection driver behind the `try_*_batch_scoped`
+    /// front-ends. Runs `run` on index sub-batches of `0..n`; a
+    /// sub-batch that fails has its error fed to
+    /// [`Self::quarantine_from`] and is split in half (left half first,
+    /// preserving key order within each outcome class), down to single
+    /// keys. A single key is retried once if its failure *grew* the
+    /// quarantine set — its first attempt may have placed new blocks on
+    /// a module nobody knew was dead yet — and otherwise keeps its
+    /// error. The happy path is one `run` over the full batch: zero
+    /// extra rounds, zero extra RNG draws.
+    fn scoped_batch<T>(
+        &mut self,
+        n: usize,
+        mut run: impl FnMut(&mut Self, &[usize]) -> Result<Vec<T>, PimTrieError>,
+    ) -> Vec<Result<T, PimTrieError>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Option<Result<T, PimTrieError>>> = (0..n).map(|_| None).collect();
+        let mut stack: Vec<(Vec<usize>, bool)> = vec![((0..n).collect(), false)];
+        while let Some((idxs, retried)) = stack.pop() {
+            match run(self, &idxs) {
+                Ok(vals) => {
+                    debug_assert_eq!(vals.len(), idxs.len());
+                    for (i, v) in idxs.iter().zip(vals) {
+                        out[*i] = Some(Ok(v));
+                    }
+                }
+                Err(e) if idxs.len() == 1 => {
+                    if self.quarantine_from(&e) && !retried {
+                        stack.push((idxs, true));
+                    } else {
+                        out[idxs[0]] = Some(Err(e));
+                    }
+                }
+                Err(e) => {
+                    self.quarantine_from(&e);
+                    let (l, r) = idxs.split_at(idxs.len() / 2);
+                    // pop order: right pushed first so the left half runs
+                    // next, keeping sub-batches in key order
+                    stack.push((r.to_vec(), false));
+                    stack.push((l.to_vec(), false));
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(PimTrieError::Protocol(
+                        "scoped batch left a key unresolved".into(),
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Fold the modules named by a [`PimTrieError::RecoveryExhausted`]
+    /// into the quarantine set; placement then avoids them (see
+    /// [`Self::random_module`]). Returns whether the set grew. At least
+    /// one module is always left un-quarantined so placement stays
+    /// well-defined. Every other error kind leaves the set untouched.
+    fn quarantine_from(&mut self, e: &PimTrieError) -> bool {
+        let PimTrieError::RecoveryExhausted { modules, .. } = e else {
+            return false;
+        };
+        let p = self.sys.p();
+        let before = self.quarantined.len();
+        for &m in modules {
+            if self.quarantined.len() + 1 < p {
+                self.quarantined.insert(m);
+            }
+        }
+        self.quarantined.len() > before
     }
 }
 

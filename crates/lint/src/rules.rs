@@ -7,6 +7,7 @@
 //! | `wallclock`      | `Instant::now`/`SystemTime` only in timing-owned crates (`crates/bench`, `vendor/criterion`) — counters stay exact functions of (seed, P, workload) |
 //! | `global-state`   | no `static mut` / interior-mutable statics (hidden cross-run or cross-thread coupling) |
 //! | `panic-ratchet`  | `unwrap`/`expect`/`panic!` per library crate may only decrease (see [`crate::ratchet`]) |
+//! | `serve-channel-panic` | in `crates/serve`, no `.unwrap()`/`.expect()` on channel send/recv or lock results — the serving front-end's contract is that every failure becomes a typed outcome, never a panic that silently drops admitted requests |
 //!
 //! A finding can be **waived** in place with
 //! `// lint: allow(<rule>) — <reason>`; the reason is mandatory and the
@@ -81,6 +82,25 @@ const RULE_SAFETY: &str = "safety-comment";
 const RULE_UNORDERED: &str = "unordered-iter";
 const RULE_WALLCLOCK: &str = "wallclock";
 const RULE_GLOBAL: &str = "global-state";
+const RULE_SERVE_PANIC: &str = "serve-channel-panic";
+
+/// Methods whose `Result` must not be `.unwrap()`/`.expect()`ed in the
+/// serving crate: channel endpoints, lock acquisition, and thread
+/// joins. Their failures (peer hung up, poisoned lock, worker panic)
+/// are exactly the overload/fault conditions the front-end exists to
+/// turn into typed per-request outcomes.
+const SERVE_FALLIBLE_METHODS: &[&str] = &[
+    "send",
+    "try_send",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "join",
+];
 
 /// Interior-mutability wrappers that make a `static` shared mutable
 /// state. (`OnceLock`/`OnceCell`/`LazyLock` are included: even
@@ -121,6 +141,7 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
         rule_wallclock(ctx, &lexed, &in_test, &mut rep);
         rule_global_state(ctx, &lexed, &in_test, &mut rep);
         rule_panic_ratchet(&lexed, &in_test, &mut rep);
+        rule_serve_channel_panic(ctx, &lexed, &in_test, &mut rep);
     }
     rep
 }
@@ -445,6 +466,72 @@ fn rule_global_state(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut F
     }
 }
 
+/// `serve-channel-panic`: in the `serve` crate's library code, flag
+/// `.unwrap()`/`.expect()` whose receiver is a direct call to a channel
+/// or lock method ([`SERVE_FALLIBLE_METHODS`]). A disconnected channel
+/// or poisoned lock inside the serving front-end must become a typed
+/// outcome for the affected requests, not a panic that drops everything
+/// admitted behind them. (`unwrap_or_else` and friends are fine — they
+/// are how those failures get converted.)
+fn rule_serve_channel_panic(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+    if ctx.krate != "serve" {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let is_panicky = (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && lexed.toks[i - 1].is_sym('.')
+            && lexed.toks.get(i + 1).is_some_and(|n| n.is_sym('('));
+        if !is_panicky {
+            continue;
+        }
+        // the receiver must itself be a call: `…method(args).unwrap(`
+        if i < 2 || !lexed.toks[i - 2].is_sym(')') {
+            continue;
+        }
+        // walk back over the argument list to the matching `(`
+        let mut depth = 0usize;
+        let mut open = None;
+        for j in (0..=i - 2).rev() {
+            let a = &lexed.toks[j];
+            if a.is_sym(')') {
+                depth += 1;
+            } else if a.is_sym('(') {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(j);
+                    break;
+                }
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(method) = open.checked_sub(1).and_then(|j| lexed.toks[j].ident()) else {
+            continue;
+        };
+        if SERVE_FALLIBLE_METHODS.contains(&method) {
+            let what = t.ident().unwrap_or("unwrap");
+            push_with_waiver(
+                rep,
+                lexed,
+                Finding {
+                    rule: RULE_SERVE_PANIC,
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    krate: ctx.krate.clone(),
+                    msg: format!(
+                        "`.{what}()` on `{method}(…)` in the serving front-end — convert \
+                         channel/lock failures into typed outcomes (ServeError), never panic"
+                    ),
+                    waived: None,
+                },
+            );
+        }
+    }
+}
+
 /// `panic-ratchet`: count `.unwrap(`, `.expect(`, `panic!` sites. The
 /// comparison against the committed per-crate budget happens in
 /// [`crate::ratchet`] once all files are tallied.
@@ -657,5 +744,78 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests;\nfn f() { x.unwrap(); }\n";
         let rep = check_file(&det_src(), src);
         assert_eq!(rep.panics.count, 1);
+    }
+
+    // ---- serve-channel-panic ----
+
+    fn serve_src() -> FileCtx {
+        FileCtx {
+            path: "crates/serve/src/lib.rs".into(),
+            krate: "serve".into(),
+            class: FileClass::Src,
+            deterministic: true,
+            owns_timing: false,
+        }
+    }
+
+    #[test]
+    fn channel_and_lock_unwraps_flagged_in_serve() {
+        for src in [
+            "fn f() { rx.recv().unwrap(); }\n",
+            "fn f() { tx.send(x).unwrap(); }\n",
+            "fn f() { rx.try_recv().expect(\"m\"); }\n",
+            "fn f() { rx.recv_timeout(d).unwrap(); }\n",
+            "fn f() { m.lock().unwrap(); }\n",
+            "fn f() { l.read().unwrap(); }\n",
+            "fn f() { l.write().expect(\"w\"); }\n",
+            "fn f() { h.join().unwrap(); }\n",
+            // nested args inside the receiver call still resolve
+            "fn f() { tx.send((a, g(b))).unwrap(); }\n",
+        ] {
+            assert_eq!(
+                rules_of(&check_file(&serve_src(), src)),
+                ["serve-channel-panic"],
+                "should flag: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_rule_scoped_to_serve_crate_and_live_code() {
+        let src = "fn f() { rx.recv().unwrap(); }\n";
+        // other crates: panic-ratchet territory, not this rule
+        assert!(rules_of(&check_file(&det_src(), src)).is_empty());
+        // serve test modules are exempt
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { rx.recv().unwrap(); }\n}\n";
+        assert!(rules_of(&check_file(&serve_src(), test_src)).is_empty());
+    }
+
+    #[test]
+    fn converting_handlers_and_other_receivers_pass() {
+        for src in [
+            // unwrap_or_else is the sanctioned conversion path
+            "fn f() { m.lock().unwrap_or_else(|e| e.into_inner()); }\n",
+            // unwrap on a non-channel call
+            "fn f() { q.pop().unwrap(); }\n",
+            // unwrap on a plain binding (ratchet counts it, not this rule)
+            "fn f() { x.unwrap(); }\n",
+            // a channel method *mention* without the panicking tail
+            "fn f() { let r = rx.recv(); drop(r); }\n",
+        ] {
+            assert!(
+                rules_of(&check_file(&serve_src(), src)).is_empty(),
+                "should pass: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_rule_honours_waivers() {
+        let src = "// lint: allow(serve-channel-panic) — startup only, before any admission\n\
+                   fn f() { h.join().unwrap(); }\n";
+        let rep = check_file(&serve_src(), src);
+        assert_eq!(rep.findings.len(), 1);
+        assert!(rep.findings[0].waived.is_some());
+        assert!(rules_of(&rep).is_empty());
     }
 }

@@ -1,0 +1,63 @@
+//! Pipelining must be a pure latency optimization: epoch `k+1`'s
+//! host-side prep overlapping epoch `k`'s PIM rounds may change
+//! wall-clock, but every outcome, every latency digest and every
+//! metered counter must be bit-identical to sequential mode, at any
+//! thread count.
+
+use pim_trie::{PimTrie, PimTrieConfig};
+use serve::{run_closed_loop, ServeConfig, ServeReport, Server};
+use workloads::{closed_loop_scripts, ClosedLoopSpec};
+
+fn run(pipeline: bool, threads: usize) -> (ServeReport, [u64; 5]) {
+    pim_trie::with_threads(threads, || {
+        let keys = workloads::uniform_var(300, 8, 64, 5);
+        let values: Vec<u64> = (0..keys.len() as u64).collect();
+        let mut trie = PimTrie::new(PimTrieConfig::for_modules(8).with_seed(42));
+        trie.insert_batch(&keys, &values);
+        let spec = ClosedLoopSpec {
+            mean_think: 100.0,
+            deadline: 5_000,
+            write_frac: 0.25,
+            ..ClosedLoopSpec::read_mostly(10, 30)
+        };
+        let scripts = closed_loop_scripts(&spec, &keys, 77);
+        let mut srv = Server::new(
+            trie,
+            ServeConfig::default()
+                .with_queue_cap(8)
+                .with_epoch_max(4)
+                .with_pipeline(pipeline),
+        );
+        let rep = run_closed_loop(&mut srv, &scripts);
+        let m = srv.trie().system().metrics();
+        (
+            rep,
+            [
+                m.io_rounds(),
+                m.io_time(),
+                m.io_volume(),
+                m.pim_time(),
+                m.cpu_work(),
+            ],
+        )
+    })
+}
+
+#[test]
+fn pipelined_epochs_are_bit_identical_to_sequential() {
+    let seq = run(false, 1);
+    assert!(
+        seq.0.stats.completed > 0 && seq.0.outcomes.len() == 10 * 30,
+        "baseline run is degenerate: {:?}",
+        seq.0.stats
+    );
+    let piped = run(true, 1);
+    assert_eq!(seq, piped, "pipelining changed outcomes or counters");
+}
+
+#[test]
+fn pipelining_is_thread_count_invariant() {
+    let seq1 = run(false, 1);
+    assert_eq!(seq1, run(false, 4), "sequential mode depends on threads");
+    assert_eq!(seq1, run(true, 4), "pipelined mode depends on threads");
+}

@@ -1,0 +1,175 @@
+//! Admission control, deadline shedding and basic reply correctness of
+//! the serving front-end.
+
+use bitstr::BitStr;
+use pim_trie::{PimTrie, PimTrieConfig};
+use serve::{run_closed_loop, Op, Reply, ServeConfig, ServeError, Server};
+use workloads::{closed_loop_scripts, ClosedLoopSpec};
+
+fn built_trie(p: usize, n: usize, seed: u64) -> (PimTrie, Vec<BitStr>) {
+    let keys = workloads::uniform_var(n, 8, 64, seed);
+    let values: Vec<u64> = (0..keys.len() as u64).collect();
+    let mut t = PimTrie::new(PimTrieConfig::for_modules(p).with_seed(42));
+    t.insert_batch(&keys, &values);
+    (t, keys)
+}
+
+#[test]
+fn admission_is_bounded_and_shed_newest() {
+    let (trie, keys) = built_trie(4, 100, 1);
+    let mut srv = Server::new(trie, ServeConfig::default().with_queue_cap(4));
+    let mut ids = Vec::new();
+    for (i, k) in keys.iter().take(6).enumerate() {
+        match srv.submit(0, i, Op::Lcp(k.clone()), u64::MAX) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                // the two requests beyond the cap — and only those —
+                // are rejected, newest first, before admission
+                assert!(i >= 4, "request {i} rejected below the cap");
+                assert_eq!(e, ServeError::Overloaded);
+            }
+        }
+    }
+    assert_eq!(ids.len(), 4);
+    let s = srv.stats();
+    assert_eq!((s.submitted, s.admitted, s.rejected), (6, 4, 2));
+    srv.step();
+    for id in ids {
+        let (_, out) = srv.outcome(id).expect("admitted request must settle");
+        assert!(out.is_ok(), "clean run must complete: {out:?}");
+    }
+    assert_eq!(srv.stats().completed, 4);
+    assert_eq!(srv.stats().settled(), srv.stats().admitted);
+    assert_eq!(srv.violations(), 0);
+    assert_eq!(srv.in_flight(), 0);
+}
+
+#[test]
+fn expired_requests_are_shed_before_dispatch() {
+    let (trie, keys) = built_trie(4, 100, 2);
+    let mut srv = Server::new(trie, ServeConfig::default());
+    // zero budget: already expired by the time the epoch dispatches
+    let dead = srv
+        .submit(0, 0, Op::Get(keys[0].clone()), 0)
+        .expect("queue empty");
+    let live = srv
+        .submit(1, 0, Op::Get(keys[1].clone()), u64::MAX)
+        .expect("queue has room");
+    srv.step();
+    assert_eq!(
+        srv.outcome(dead).map(|(_, o)| o.clone()),
+        Some(Err(ServeError::DeadlineExceeded)),
+        "expired request must be shed with a typed error"
+    );
+    assert_eq!(
+        srv.outcome(live).map(|(_, o)| o.clone()),
+        Some(Ok(Reply::Got(Some(1)))),
+        "unexpired request must still be served"
+    );
+    let s = srv.stats();
+    assert_eq!((s.expired, s.completed), (1, 1));
+}
+
+#[test]
+fn replies_match_the_trie() {
+    let (mut trie, keys) = built_trie(4, 120, 3);
+    let want_lcp = trie.lcp_batch(&keys[..8]);
+    let want_got = trie.get_batch(&keys[..8]);
+    let mut srv = Server::new(trie, ServeConfig::default());
+    let mut ids = Vec::new();
+    for (i, k) in keys[..8].iter().enumerate() {
+        ids.push((
+            srv.submit(i, 0, Op::Lcp(k.clone()), u64::MAX).unwrap(),
+            srv.submit(i, 1, Op::Get(k.clone()), u64::MAX).unwrap(),
+        ));
+    }
+    srv.step();
+    for (i, (lcp_id, get_id)) in ids.into_iter().enumerate() {
+        assert_eq!(
+            srv.outcome(lcp_id).map(|(_, o)| o.clone()),
+            Some(Ok(Reply::Lcp(want_lcp[i])))
+        );
+        assert_eq!(
+            srv.outcome(get_id).map(|(_, o)| o.clone()),
+            Some(Ok(Reply::Got(want_got[i])))
+        );
+    }
+}
+
+#[test]
+fn closed_loop_serves_every_scripted_op() {
+    let (trie, keys) = built_trie(8, 300, 4);
+    let spec = ClosedLoopSpec {
+        write_frac: 0.2,
+        ..ClosedLoopSpec::read_mostly(6, 25)
+    };
+    let scripts = closed_loop_scripts(&spec, &keys, 17);
+    let mut srv = Server::new(trie, ServeConfig::default());
+    let rep = run_closed_loop(&mut srv, &scripts);
+    assert_eq!(
+        rep.outcomes.len(),
+        6 * 25,
+        "every op needs a terminal outcome"
+    );
+    assert!(
+        rep.outcomes.values().all(Result::is_ok),
+        "clean run must complete all"
+    );
+    assert_eq!(rep.violations, 0);
+    assert_eq!(rep.unresolved, 0);
+    assert_eq!(rep.stats.admitted, rep.stats.settled());
+    assert_eq!(rep.stats.completed, 6 * 25);
+    // latency digests cover exactly the completed replies
+    let counted: u64 = rep.latency.iter().map(|l| l.count).sum();
+    assert_eq!(counted, rep.stats.completed);
+    assert!(rep.latency.iter().all(|l| l.p50 <= l.p99));
+}
+
+#[test]
+fn overloaded_closed_loop_still_settles_everything() {
+    let (trie, keys) = built_trie(8, 300, 5);
+    // 12 clients against a 3-deep queue and 2-request epochs: heavy
+    // shedding, but shed requests are retried and eventually served
+    let spec = ClosedLoopSpec {
+        mean_think: 50.0,
+        ..ClosedLoopSpec::read_mostly(12, 15)
+    };
+    let scripts = closed_loop_scripts(&spec, &keys, 23);
+    let mut srv = Server::new(
+        trie,
+        ServeConfig::default().with_queue_cap(3).with_epoch_max(2),
+    );
+    let rep = run_closed_loop(&mut srv, &scripts);
+    assert!(rep.stats.rejected > 0, "overload never tripped admission");
+    assert_eq!(rep.outcomes.len(), 12 * 15);
+    assert_eq!(rep.violations, 0);
+    assert_eq!(rep.unresolved, 0);
+    assert_eq!(rep.stats.admitted, rep.stats.settled());
+}
+
+#[test]
+fn tight_deadlines_expire_under_overload() {
+    let (trie, keys) = built_trie(8, 300, 6);
+    let spec = ClosedLoopSpec {
+        mean_think: 10.0,
+        deadline: 500,
+        ..ClosedLoopSpec::read_mostly(12, 12)
+    };
+    let scripts = closed_loop_scripts(&spec, &keys, 29);
+    let mut srv = Server::new(
+        trie,
+        ServeConfig::default().with_queue_cap(4).with_epoch_max(2),
+    );
+    let rep = run_closed_loop(&mut srv, &scripts);
+    assert!(rep.stats.expired > 0, "no deadline ever expired");
+    assert!(
+        rep.outcomes
+            .values()
+            .any(|o| *o == Err(ServeError::DeadlineExceeded)),
+        "expired requests must surface as DeadlineExceeded outcomes"
+    );
+    assert_eq!(rep.outcomes.len(), 12 * 12);
+    assert_eq!(rep.stats.admitted, rep.stats.settled());
+    assert_eq!(rep.violations, 0);
+    assert_eq!(rep.unresolved, 0);
+}

@@ -29,6 +29,24 @@
 //! [`PimSystem::round`](crate::PimSystem::round) takes the exact same
 //! code path and charges the exact same costs as before.
 
+/// A persistently unresponsive ("jammed") module: from a scheduled
+/// fault-clock round onward, every reply the module produces is lost on
+/// the wire. Unlike a [`CrashSpec`] the module keeps its state and keeps
+/// executing (and being charged for) its handlers — it just never gets a
+/// word back to the host. This models a failed CPU←PIM return path or a
+/// module whose DMA engine silently corrupts every transfer: the failure
+/// mode that *exhausts* a bounded retry ladder rather than tripping the
+/// crash-rebuild path, which is exactly what per-key failure scoping has
+/// to survive.
+#[derive(Clone, Debug)]
+pub struct JamSpec {
+    /// The module whose replies are suppressed.
+    pub module: usize,
+    /// First fault-clock round at which the jam is active (rounds are
+    /// counted from [`install_faults`](crate::PimSystem::install_faults)).
+    pub from_round: u64,
+}
+
 /// One scheduled module crash.
 #[derive(Clone, Debug)]
 pub struct CrashSpec {
@@ -67,6 +85,8 @@ pub struct FaultPlan {
     pub straggler_factor: u64,
     /// Scheduled module crashes.
     pub crashes: Vec<CrashSpec>,
+    /// Scheduled module jams (reply suppression, see [`JamSpec`]).
+    pub jams: Vec<JamSpec>,
 }
 
 /// Decision streams: disjoint sub-sequences of the fault randomness.
@@ -99,6 +119,7 @@ impl FaultPlan {
             straggler_rate: 0.0,
             straggler_factor: 1,
             crashes: Vec::new(),
+            jams: Vec::new(),
         }
     }
 
@@ -137,6 +158,19 @@ impl FaultPlan {
     pub fn with_crash(mut self, crash: CrashSpec) -> Self {
         self.crashes.push(crash);
         self
+    }
+
+    /// Schedule a jam: from `from_round` on, `module` answers nothing.
+    pub fn with_jam(mut self, jam: JamSpec) -> Self {
+        self.jams.push(jam);
+        self
+    }
+
+    /// Whether `module` is jammed at fault-clock round `round`.
+    pub(crate) fn jammed(&self, module: usize, round: u64) -> bool {
+        self.jams
+            .iter()
+            .any(|j| j.module == module && j.from_round <= round)
     }
 
     /// The deterministic 64-bit draw for one decision point.

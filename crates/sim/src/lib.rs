@@ -95,9 +95,11 @@ mod system;
 pub mod trace;
 mod wire;
 
-pub use fault::{CrashSpec, FaultPlan};
+pub use fault::{CrashSpec, FaultPlan, JamSpec};
 pub use json::Json;
-pub use metrics::{CacheStats, FaultStats, Metrics, MetricsDelta, RoundRecord, Snapshot};
+pub use metrics::{
+    CacheStats, FaultStats, Metrics, MetricsDelta, RoundRecord, ServeStats, Snapshot,
+};
 pub use route::{OriginMap, Routed};
 pub use system::{CrashHandler, PimCtx, PimSystem};
 pub use trace::{Dist, PhaseSummary, TraceEvent, Tracer, RETRANSMIT_PHASE};

@@ -53,6 +53,9 @@ pub struct FaultStats {
     pub truncations_injected: u64,
     /// Module crashes fired.
     pub crashes_injected: u64,
+    /// Reply messages suppressed by a module jam
+    /// (see [`JamSpec`](crate::JamSpec)).
+    pub jams_injected: u64,
     /// Module-rounds slowed by the straggler multiplier.
     pub stragglers_injected: u64,
     /// Module-rounds skipped because the module was down.
@@ -76,6 +79,7 @@ impl FaultStats {
             + self.drops_injected
             + self.truncations_injected
             + self.crashes_injected
+            + self.jams_injected
             + self.stragglers_injected
     }
 
@@ -125,6 +129,46 @@ impl CacheStats {
     }
 }
 
+/// Counters for a request-serving front-end layered over the simulated
+/// system (admission, load shedding, deadlines, epochs).
+///
+/// Like [`CacheStats`], the simulator itself never touches these: they
+/// exist so an ingress layer (e.g. `pimtrie-serve`'s coalescing server)
+/// reports its admission and shedding decisions through the same metrics
+/// pipeline as every other counter. All zero when no serving layer is in
+/// play, so linking one costs nothing until it runs.
+///
+/// The accounting invariant a correct server maintains:
+/// `admitted == completed + expired + failed` once the server drains —
+/// every admitted request gets exactly one terminal outcome.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests clients attempted to submit (admitted + rejected).
+    pub submitted: u64,
+    /// Requests accepted into the bounded queue.
+    pub admitted: u64,
+    /// Requests rejected at admission because the queue was full
+    /// (the deterministic shed-newest policy).
+    pub rejected: u64,
+    /// Admitted requests shed before dispatch because their deadline
+    /// budget was already exhausted.
+    pub expired: u64,
+    /// Admitted requests answered with a successful reply.
+    pub completed: u64,
+    /// Admitted requests answered with a typed per-key error
+    /// (failure scoping: the rest of their epoch still completed).
+    pub failed: u64,
+    /// Coalesced epochs dispatched (idle drains are not counted).
+    pub epochs: u64,
+}
+
+impl ServeStats {
+    /// Admitted requests with a terminal outcome so far.
+    pub fn settled(&self) -> u64 {
+        self.completed + self.expired + self.failed
+    }
+}
+
 /// Cumulative metrics of a [`PimSystem`](crate::PimSystem).
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -137,6 +181,7 @@ pub struct Metrics {
     cpu_work: u64,
     faults: FaultStats,
     cache: CacheStats,
+    serve: ServeStats,
     /// Detailed per-round log (kept only when `log_rounds` is on).
     pub round_log: Vec<RoundRecord>,
     log_rounds: bool,
@@ -275,6 +320,17 @@ impl Metrics {
     /// hits, misses, admissions and invalidations.
     pub fn cache_stats_mut(&mut self) -> &mut CacheStats {
         &mut self.cache
+    }
+
+    /// Serving front-end counters (see [`ServeStats`]).
+    pub fn serve_stats(&self) -> &ServeStats {
+        &self.serve
+    }
+
+    /// Mutable serving counters, for an ingress layer to record
+    /// admissions, sheds, expiries and epoch dispatches.
+    pub fn serve_stats_mut(&mut self) -> &mut ServeStats {
+        &mut self.serve
     }
 
     /// Take a snapshot to later compute a [`MetricsDelta`] for one batch.
@@ -514,6 +570,21 @@ mod tests {
         let snap = m.snapshot();
         let d = m.since(&snap);
         assert_eq!(d.io_rounds, 0);
+    }
+
+    #[test]
+    fn serve_stats_default_zero_and_settled() {
+        let mut m = Metrics::new(2);
+        assert_eq!(*m.serve_stats(), ServeStats::default());
+        let s = m.serve_stats_mut();
+        s.submitted = 10;
+        s.admitted = 8;
+        s.rejected = 2;
+        s.completed = 5;
+        s.expired = 2;
+        s.failed = 1;
+        assert_eq!(m.serve_stats().settled(), 8);
+        assert_eq!(m.serve_stats().settled(), m.serve_stats().admitted);
     }
 
     #[test]

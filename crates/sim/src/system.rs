@@ -71,6 +71,9 @@ impl<M: Send> PimSystem<M> {
         for c in &plan.crashes {
             assert!(c.module < p, "crash targets module {} of {p}", c.module);
         }
+        for j in &plan.jams {
+            assert!(j.module < p, "jam targets module {} of {p}", j.module);
+        }
         self.faults = Some(FaultState {
             down_until: vec![0; p],
             fired: vec![false; plan.crashes.len()],
@@ -264,6 +267,13 @@ impl<M: Send> PimSystem<M> {
                 {
                     pim_work[m] *= plan.straggler_factor;
                     stats.stragglers_injected += 1;
+                }
+                if plan.jammed(m, round_no) {
+                    // A jammed module executed and was charged for its
+                    // replies above, but nothing makes it back to the host.
+                    stats.jams_injected += outs[m].len() as u64;
+                    outs[m].clear();
+                    continue;
                 }
                 if !reply_faults {
                     continue;
@@ -486,6 +496,38 @@ mod tests {
         let st = sys.metrics().fault_stats();
         assert_eq!(st.crashes_injected, 1);
         assert_eq!(st.rounds_unavailable, 2);
+    }
+
+    #[test]
+    fn jam_suppresses_replies_but_keeps_state_and_charges() {
+        use crate::fault::JamSpec;
+        let mut sys = PimSystem::new(3, |id| id as u64);
+        sys.install_faults(
+            FaultPlan::new(0).with_jam(JamSpec {
+                module: 1,
+                from_round: 1,
+            }),
+            None,
+        );
+        let echo = |ctx: &mut PimCtx<'_, u64>, m: Vec<u64>| {
+            *ctx.state += 1;
+            m
+        };
+        // round 0: jam not yet active
+        let out = sys.round("r0", vec![vec![5u64], vec![5], vec![5]], echo);
+        assert_eq!(out[1], vec![5]);
+        // rounds 1..: module 1 executes (state mutates, replies charged)
+        // but nothing reaches the host
+        for name in ["r1", "r2"] {
+            let out = sys.round(name, vec![vec![5u64], vec![5], vec![5]], echo);
+            assert_eq!(out[0], vec![5]);
+            assert!(out[1].is_empty(), "jammed module replied");
+            assert_eq!(out[2], vec![5]);
+        }
+        assert_eq!(*sys.module(1), 1 + 3, "jammed module stopped executing");
+        assert_eq!(sys.metrics().fault_stats().jams_injected, 2);
+        // replies are charged as produced even though they were lost
+        assert_eq!(sys.metrics().io_volume(), 3 * 2 * 3);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Closed-loop multi-client serving workloads.
+//!
+//! The serving experiments (`crates/serve`) model a front-end that many
+//! clients hammer concurrently: each client submits one request, waits
+//! for its reply, *thinks* for an exponentially-distributed while, and
+//! submits the next — the classic closed-loop model whose superposition
+//! of per-client renewal processes approximates Poisson arrivals. Key
+//! popularity follows a Zipf(θ) distribution over the stored key set,
+//! so a skewed workload hammers the same few keys from every client.
+//!
+//! Everything here is a pure function of the spec and `seed`: scripts
+//! say *what* each client will ask and *how long* it thinks between
+//! requests, in simulated PIM time units; the serving loop decides the
+//! actual submission instants by replaying think times against reply
+//! completions. Keeping scripts time-free makes the same script
+//! replayable against a fault-free oracle for byte-identity checks.
+
+use crate::Zipf;
+use bitstr::BitStr;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One operation a client will submit, with its payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Longest-common-prefix query for the key.
+    Lcp(BitStr),
+    /// Point lookup of the key's value.
+    Get(BitStr),
+    /// Insert (or overwrite) the key with the value.
+    Insert(BitStr, u64),
+    /// Delete the key.
+    Delete(BitStr),
+}
+
+/// One scripted request: the operation, the think time that precedes
+/// its submission (simulated time units after the previous reply), and
+/// its deadline budget (simulated time units from submission).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptedRequest {
+    /// the operation to submit
+    pub op: ClientOp,
+    /// think time before submitting, measured from the previous reply
+    /// (for the first request: from time zero)
+    pub think: u64,
+    /// deadline budget from submission; `u64::MAX` disables it
+    pub deadline: u64,
+}
+
+/// A whole client's request sequence, in submission order.
+pub type ClientScript = Vec<ScriptedRequest>;
+
+/// Spec for a closed-loop serving workload; see [`closed_loop_scripts`].
+#[derive(Clone, Debug)]
+pub struct ClosedLoopSpec {
+    /// number of concurrent clients
+    pub clients: usize,
+    /// requests per client
+    pub ops_per_client: usize,
+    /// Zipf exponent of key popularity over the stored key set
+    /// (0 = uniform, ≥ 1 = heavy head)
+    pub theta: f64,
+    /// mean of the exponential think-time distribution, in simulated
+    /// PIM time units
+    pub mean_think: f64,
+    /// per-request deadline budget in simulated PIM time units;
+    /// `u64::MAX` disables deadlines
+    pub deadline: u64,
+    /// probability a request is a write (split evenly between insert
+    /// and delete); reads split evenly between lcp and get
+    pub write_frac: f64,
+}
+
+impl ClosedLoopSpec {
+    /// A read-mostly default: 10% writes, moderate skew, no deadlines.
+    pub fn read_mostly(clients: usize, ops_per_client: usize) -> Self {
+        ClosedLoopSpec {
+            clients,
+            ops_per_client,
+            theta: 0.99,
+            mean_think: 500.0,
+            deadline: u64::MAX,
+            write_frac: 0.1,
+        }
+    }
+}
+
+/// Generate one script per client, deterministically from `seed`.
+///
+/// Keys for reads and deletes are drawn Zipf(θ)-popularity-ranked over
+/// `stored` (rank r → `stored[r]`, so the head of the slice is the hot
+/// set); insert keys extend a stored key with a fresh random tail, so
+/// writes land near live paths without colliding with them. Think
+/// times are exponential with mean [`ClosedLoopSpec::mean_think`] via
+/// inverse-CDF sampling. Each client uses its own `ChaCha8` stream
+/// (`seed ⊕ client`), so scripts are independent of client count
+/// iteration order.
+pub fn closed_loop_scripts(
+    spec: &ClosedLoopSpec,
+    stored: &[BitStr],
+    seed: u64,
+) -> Vec<ClientScript> {
+    assert!(!stored.is_empty(), "closed loop needs a stored key set");
+    assert!(
+        (0.0..=1.0).contains(&spec.write_frac),
+        "write_frac must be a probability"
+    );
+    let zipf = Zipf::new(stored.len(), spec.theta);
+    (0..spec.clients)
+        .map(|c| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15 ^ c as u64));
+            (0..spec.ops_per_client)
+                .map(|i| {
+                    let key = stored[zipf.sample(&mut rng)].clone();
+                    let op = if rng.gen_bool(spec.write_frac) {
+                        if rng.gen_bool(0.5) {
+                            // fresh tail: unique per (client, op) by
+                            // construction, collision-free with stored
+                            let mut k = key.clone();
+                            k.append(&BitStr::from_u64((c as u64) << 32 | i as u64, 48).as_slice());
+                            Insert(k, ((c as u64) << 32) | i as u64)
+                        } else {
+                            Delete(key)
+                        }
+                    } else if rng.gen_bool(0.5) {
+                        Lcp(key)
+                    } else {
+                        Get(key)
+                    };
+                    // inverse-CDF exponential sample; 1-u > 0 always
+                    let u: f64 = rng.gen();
+                    let think = (-(1.0 - u).ln() * spec.mean_think).round() as u64;
+                    ScriptedRequest {
+                        op,
+                        think,
+                        deadline: spec.deadline,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+use ClientOp::{Delete, Get, Insert, Lcp};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform_fixed;
+
+    #[test]
+    fn scripts_are_deterministic_and_sized() {
+        let stored = uniform_fixed(200, 64, 1);
+        let spec = ClosedLoopSpec::read_mostly(8, 50);
+        let a = closed_loop_scripts(&spec, &stored, 42);
+        let b = closed_loop_scripts(&spec, &stored, 42);
+        assert_eq!(a, b, "scripts must be pure functions of (spec, seed)");
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|s| s.len() == 50));
+        let c = closed_loop_scripts(&spec, &stored, 43);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn zipf_popularity_concentrates_on_the_head() {
+        let stored = uniform_fixed(512, 64, 2);
+        let spec = ClosedLoopSpec {
+            theta: 1.2,
+            write_frac: 0.0,
+            ..ClosedLoopSpec::read_mostly(16, 200)
+        };
+        let scripts = closed_loop_scripts(&spec, &stored, 7);
+        let head = &stored[0];
+        let head_hits: usize = scripts
+            .iter()
+            .flatten()
+            .filter(|r| matches!(&r.op, Lcp(k) | Get(k) if k == head))
+            .count();
+        let total = 16 * 200;
+        assert!(
+            head_hits * 20 > total,
+            "hot key got {head_hits}/{total} requests; expected a heavy head"
+        );
+    }
+
+    #[test]
+    fn think_times_average_near_the_mean() {
+        let stored = uniform_fixed(64, 64, 3);
+        let spec = ClosedLoopSpec {
+            mean_think: 300.0,
+            ..ClosedLoopSpec::read_mostly(4, 500)
+        };
+        let scripts = closed_loop_scripts(&spec, &stored, 11);
+        let thinks: Vec<u64> = scripts.iter().flatten().map(|r| r.think).collect();
+        let mean = thinks.iter().sum::<u64>() as f64 / thinks.len() as f64;
+        assert!(
+            (200.0..400.0).contains(&mean),
+            "exponential think times off the mean: {mean}"
+        );
+    }
+
+    #[test]
+    fn write_frac_controls_the_op_mix() {
+        let stored = uniform_fixed(64, 64, 4);
+        let spec = ClosedLoopSpec {
+            write_frac: 0.5,
+            ..ClosedLoopSpec::read_mostly(4, 400)
+        };
+        let scripts = closed_loop_scripts(&spec, &stored, 13);
+        let writes = scripts
+            .iter()
+            .flatten()
+            .filter(|r| matches!(r.op, Insert(..) | Delete(_)))
+            .count();
+        let total = 4 * 400;
+        assert!(
+            (total * 4 / 10..=total * 6 / 10).contains(&writes),
+            "write mix off: {writes}/{total}"
+        );
+        // inserts never collide with stored keys: they are strict
+        // extensions carrying a (client, op) tag
+        for s in &scripts {
+            for r in s {
+                if let Insert(k, _) = &r.op {
+                    assert!(!stored.contains(k));
+                }
+            }
+        }
+    }
+}

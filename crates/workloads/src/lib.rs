@@ -21,7 +21,10 @@
 //! * [`same_path_queries`] — queries that all share one search path
 //!   (the paper's "predecessor queries with the same answer" example);
 //! * [`genome`] — 2-bit alphabet reads with planted repeats;
-//! * [`urls`] — synthetic URL-like ASCII keys with heavy prefix sharing.
+//! * [`urls`] — synthetic URL-like ASCII keys with heavy prefix sharing;
+//! * [`closed_loop_scripts`] — per-client closed-loop serving scripts
+//!   (Zipf key popularity, exponential think times, deadline budgets)
+//!   for the `crates/serve` front-end.
 //!
 //! All generators are deterministic in `seed`.
 //!
@@ -32,6 +35,12 @@
 //! `Paper:` line naming the section(s).
 
 #![warn(missing_docs)]
+
+mod closed_loop;
+
+pub use closed_loop::{
+    closed_loop_scripts, ClientOp, ClientScript, ClosedLoopSpec, ScriptedRequest,
+};
 
 use bitstr::BitStr;
 use rand::{Rng, SeedableRng};
