@@ -58,6 +58,10 @@ fn usage() -> String {
          \x20 --json PATH    write a deterministic BENCH_repro.json summary\n\
          \x20                (the cost-guard baseline format)\n\
          \x20 --trace PATH   write the canonical traced run as JSONL events\n\
+         \x20 --obs-report   append the X-obs diagnosis report (critical\n\
+         \x20                paths, timelines, alarms, exposition)\n\
+         \x20 --folded PATH  with --obs-report: write folded stacks\n\
+         \x20                (flamegraph.pl input) to PATH\n\
          \x20 --help         this text\n\
          \n\
          experiments: {}",
@@ -76,6 +80,8 @@ struct Args {
     queue_cap: usize,
     json: Option<String>,
     trace: Option<String>,
+    obs_report: bool,
+    folded: Option<String>,
     what: Vec<String>,
 }
 
@@ -91,6 +97,8 @@ fn parse_args() -> Args {
         queue_cap: 4,
         json: None,
         trace: None,
+        obs_report: false,
+        folded: None,
         what: Vec::new(),
     };
     let mut i = 0;
@@ -156,6 +164,8 @@ fn parse_args() -> Args {
             },
             "--json" => args.json = Some(value("--json")),
             "--trace" => args.trace = Some(value("--trace")),
+            "--obs-report" => args.obs_report = true,
+            "--folded" => args.folded = Some(value("--folded")),
             _ if a.starts_with("--") => {
                 eprintln!("error: unknown flag '{a}'\n{}", usage());
                 std::process::exit(2);
@@ -305,6 +315,20 @@ fn run(args: Args) {
             "X-serve — overload-safe serving: admission, deadlines, per-key scoping",
             &bench::serve(p, quick, args.clients, args.deadline, args.queue_cap),
         );
+    }
+
+    if args.obs_report {
+        let rep = bench::obs::obs_report(p, quick);
+        print!("\n{}", rep.text);
+        records.push(bench::export::record("obs-skew", &rep.skew_rows));
+        records.push(bench::export::record("obs-serve", &rep.serve_rows));
+        if let Some(path) = &args.folded {
+            write_file(path, &rep.folded);
+            println!("\nfolded stacks written to {path}");
+        }
+    } else if args.folded.is_some() {
+        eprintln!("error: --folded needs --obs-report");
+        std::process::exit(2);
     }
 
     if let Some(path) = &args.trace {

@@ -13,6 +13,7 @@
 
 pub mod cost_guard;
 pub mod export;
+pub mod obs;
 
 use baselines::{DistRadixTree, DistXFastTrie, RangePartitioned};
 use bitstr::hash::HashWidth;
@@ -790,6 +791,7 @@ pub fn serve(p: usize, quick: bool, clients: usize, deadline: u64, queue_cap: us
                 .with_epoch_max(epoch_max)
                 .with_pipeline(true),
         );
+        srv.install_alarms(serve::default_board());
         let rep = run_closed_loop(&mut srv, &scripts);
         assert_eq!(rep.violations, 0, "{tag}: double outcome recorded");
         assert_eq!(rep.unresolved, 0, "{tag}: admitted request dropped");
@@ -808,7 +810,8 @@ pub fn serve(p: usize, quick: bool, clients: usize, deadline: u64, queue_cap: us
             .col("expired", s.expired as f64)
             .col("completed", s.completed as f64)
             .col("failed", s.failed as f64)
-            .col("epochs", s.epochs as f64);
+            .col("epochs", s.epochs as f64)
+            .col("alarms", s.alarms as f64);
         let lat_cols: [(&'static str, &'static str); 4] = [
             ("lcp_p50", "lcp_p99"),
             ("get_p50", "get_p99"),

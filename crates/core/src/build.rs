@@ -145,6 +145,7 @@ impl PimTrie {
             journal: std::collections::BTreeMap::new(),
             cache,
             quarantined: std::collections::BTreeSet::new(),
+            scoped: crate::ScopedBatchStats::default(),
         };
         t.bootstrap()?;
         Ok(t)

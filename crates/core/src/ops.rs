@@ -1469,9 +1469,11 @@ impl PimTrie {
         if n == 0 {
             return Vec::new();
         }
+        self.scoped.batches += 1;
         let mut out: Vec<Option<Result<T, PimTrieError>>> = (0..n).map(|_| None).collect();
         let mut stack: Vec<(Vec<usize>, bool)> = vec![((0..n).collect(), false)];
         while let Some((idxs, retried)) = stack.pop() {
+            self.scoped.runs += 1;
             match run(self, &idxs) {
                 Ok(vals) => {
                     debug_assert_eq!(vals.len(), idxs.len());
@@ -1481,13 +1483,16 @@ impl PimTrie {
                 }
                 Err(e) if idxs.len() == 1 => {
                     if self.quarantine_from(&e) && !retried {
+                        self.scoped.retries += 1;
                         stack.push((idxs, true));
                     } else {
+                        self.scoped.keys_failed += 1;
                         out[idxs[0]] = Some(Err(e));
                     }
                 }
                 Err(e) => {
                     self.quarantine_from(&e);
+                    self.scoped.splits += 1;
                     let (l, r) = idxs.split_at(idxs.len() / 2);
                     // pop order: right pushed first so the left half runs
                     // next, keeping sub-batches in key order

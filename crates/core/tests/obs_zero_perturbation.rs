@@ -1,0 +1,131 @@
+//! Observability must be free on the core batch paths too: a chaos run
+//! (faults + recovery) with the hot-path cache enabled produces
+//! byte-identical results, metered counters, cache stats, and fault
+//! stats whether tracing and registry publication are on or off — at
+//! any thread count. The trace log and the Prometheus exposition are
+//! themselves byte-deterministic.
+
+use bitstr::BitStr;
+use obs::Registry;
+use pim_sim::{CacheStats, FaultStats};
+use pim_trie::{CrashSpec, FaultPlan, PimTrie, PimTrieConfig};
+
+fn values_for(keys: &[BitStr]) -> Vec<u64> {
+    (0..keys.len() as u64).collect()
+}
+
+struct RunOut {
+    lcps: Vec<usize>,
+    gets: Vec<Option<u64>>,
+    counters: [u64; 5],
+    cache: CacheStats,
+    faults: FaultStats,
+    jsonl: String,
+    exposition: String,
+}
+
+/// Faulted, cached op mix. With `obs` on, tracing runs end to end and
+/// the full registry (metrics + events) is published and exposed.
+fn run(obs: bool, threads: usize) -> RunOut {
+    pim_trie::with_threads(threads, || {
+        let mut pim = PimTrie::new(
+            PimTrieConfig::for_modules(8)
+                .with_seed(42)
+                .with_cache_words(1 << 14)
+                .with_fault_tolerance(true)
+                .with_max_round_retries(64),
+        );
+        if obs {
+            pim.enable_tracing();
+        }
+        let keys = workloads::zipf_prefixes(1 << 10, 96, 10, 0.99, 17);
+        let vals = values_for(&keys);
+        pim.insert_batch(&keys, &vals);
+
+        pim.install_faults(
+            FaultPlan::new(7)
+                .with_flip_rate(1e-3)
+                .with_drop_rate(1e-3)
+                .with_stragglers(0.01, 8)
+                .with_crash(CrashSpec {
+                    round: 9,
+                    module: 3,
+                    down_rounds: 1,
+                    state_loss: true,
+                }),
+        );
+        let hot: Vec<BitStr> = keys.iter().step_by(17).cloned().collect();
+        let queries: Vec<BitStr> = hot.iter().cycle().take(1 << 10).cloned().collect();
+        // repeated hot batches: early rounds admit the hot paths level
+        // by level, later rounds serve whole-path hits from the cache
+        let mut lcps = Vec::new();
+        let mut gets = Vec::new();
+        for _ in 0..6 {
+            lcps.extend(pim.lcp_batch(&queries));
+            gets.extend(pim.get_batch(&queries));
+        }
+        pim.clear_faults();
+
+        let m = pim.system().metrics();
+        let counters = [
+            m.io_rounds(),
+            m.io_time(),
+            m.io_volume(),
+            m.pim_time(),
+            m.cpu_work(),
+        ];
+        let cache = m.cache_stats().clone();
+        let faults = m.fault_stats().clone();
+        let (jsonl, exposition) = if obs {
+            let tracer = pim
+                .system_mut()
+                .metrics_mut()
+                .take_tracer()
+                .expect("tracing was enabled");
+            let mut reg = Registry::new();
+            reg.publish_metrics(pim.system().metrics());
+            reg.publish_events(tracer.events());
+            (tracer.to_jsonl(), reg.expose())
+        } else {
+            (String::new(), String::new())
+        };
+        RunOut {
+            lcps,
+            gets,
+            counters,
+            cache,
+            faults,
+            jsonl,
+            exposition,
+        }
+    })
+}
+
+#[test]
+fn obs_on_perturbs_no_core_counter_or_result() {
+    let off = run(false, 1);
+    let on = run(true, 1);
+    assert!(off.cache.hits > 0, "cache never hit: workload degenerate");
+    assert!(
+        off.faults.flips_injected > 0,
+        "no faults seen: chaos degenerate"
+    );
+    assert_eq!(off.lcps, on.lcps, "obs changed LCP results");
+    assert_eq!(off.gets, on.gets, "obs changed get results");
+    assert_eq!(off.counters, on.counters, "obs charged simulated cost");
+    assert_eq!(off.cache, on.cache, "obs perturbed cache stats");
+    assert_eq!(off.faults, on.faults, "obs perturbed fault stats");
+    assert!(!on.jsonl.is_empty() && !on.exposition.is_empty());
+}
+
+#[test]
+fn obs_on_is_thread_count_invariant_end_to_end() {
+    let one = run(true, 1);
+    let four = run(true, 4);
+    assert_eq!(one.counters, four.counters, "counters depend on threads");
+    assert_eq!(one.jsonl, four.jsonl, "trace JSONL depends on threads");
+    assert_eq!(
+        one.exposition, four.exposition,
+        "exposition depends on threads"
+    );
+}

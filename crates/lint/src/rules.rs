@@ -8,6 +8,7 @@
 //! | `global-state`   | no `static mut` / interior-mutable statics (hidden cross-run or cross-thread coupling) |
 //! | `panic-ratchet`  | `unwrap`/`expect`/`panic!` per library crate may only decrease (see [`crate::ratchet`]) |
 //! | `serve-channel-panic` | in `crates/serve`, no `.unwrap()`/`.expect()` on channel send/recv or lock results — the serving front-end's contract is that every failure becomes a typed outcome, never a panic that silently drops admitted requests |
+//! | `metric-cardinality` | metric/phase names handed to the tracer or registry (`set_phase`, `begin_op`, `counter_add`, `gauge_set`, `observe`) must be `'static` string literals or `SCREAMING_CASE` consts — a data-dependent name unbounds the exposition's label set and breaks its byte-determinism |
 //!
 //! A finding can be **waived** in place with
 //! `// lint: allow(<rule>) — <reason>`; the reason is mandatory and the
@@ -83,6 +84,18 @@ const RULE_UNORDERED: &str = "unordered-iter";
 const RULE_WALLCLOCK: &str = "wallclock";
 const RULE_GLOBAL: &str = "global-state";
 const RULE_SERVE_PANIC: &str = "serve-channel-panic";
+const RULE_METRIC: &str = "metric-cardinality";
+
+/// Tracer/registry methods whose *name* argument must come from a
+/// closed set. For `set_phase`/`begin_op` that is the only argument;
+/// for the registry writers it is the first of two.
+const METRIC_NAME_METHODS: &[&str] = &[
+    "set_phase",
+    "begin_op",
+    "counter_add",
+    "gauge_set",
+    "observe",
+];
 
 /// Methods whose `Result` must not be `.unwrap()`/`.expect()`ed in the
 /// serving crate: channel endpoints, lock acquisition, and thread
@@ -142,6 +155,7 @@ pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
         rule_global_state(ctx, &lexed, &in_test, &mut rep);
         rule_panic_ratchet(&lexed, &in_test, &mut rep);
         rule_serve_channel_panic(ctx, &lexed, &in_test, &mut rep);
+        rule_metric_cardinality(ctx, &lexed, &in_test, &mut rep);
     }
     rep
 }
@@ -532,6 +546,98 @@ fn rule_serve_channel_panic(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep:
     }
 }
 
+/// `metric-cardinality`: in deterministic crates, the name handed to a
+/// tracer/registry write ([`METRIC_NAME_METHODS`]) must be a `'static`
+/// string literal or a const path ending in a `SCREAMING_CASE` ident
+/// (e.g. `names::IO_ROUNDS`). A name built from data makes the metric
+/// label set data-dependent: the exposition's closed registered set no
+/// longer bounds it, and its byte-determinism contract dies.
+///
+/// Detection leans on the lexer dropping literal tokens: a literal
+/// first argument leaves an *empty* token gap between `(` and the next
+/// `,`/`)`. Value-only calls such as `Log2Hist::observe(v)` (one
+/// argument, no top-level comma) carry no name and are exempt.
+fn rule_metric_cardinality(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+    if !ctx.deterministic {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(method) = t.ident() else { continue };
+        if !METRIC_NAME_METHODS.contains(&method)
+            || i == 0
+            || !lexed.toks[i - 1].is_sym('.')
+            || !lexed.toks.get(i + 1).is_some_and(|n| n.is_sym('('))
+        {
+            continue;
+        }
+        // scan the argument list: first-arg token span + top-level commas
+        let mut depth = 1usize;
+        let mut commas = 0usize;
+        let mut first_end = None; // token index just past the first arg
+        let mut j = i + 2;
+        while j < lexed.toks.len() && depth > 0 {
+            let a = &lexed.toks[j];
+            if a.is_sym('(') || a.is_sym('[') || a.is_sym('{') {
+                depth += 1;
+            } else if a.is_sym(')') || a.is_sym(']') || a.is_sym('}') {
+                depth -= 1;
+            } else if a.is_sym(',') && depth == 1 {
+                commas += 1;
+                first_end.get_or_insert(j);
+            }
+            j += 1;
+        }
+        first_end.get_or_insert(j.saturating_sub(1).max(i + 2));
+        let name_ok = match method {
+            // registry writers take (name, value); with no top-level
+            // comma this is a value-only histogram/inner call — no name
+            "counter_add" | "gauge_set" | "observe" if commas == 0 => continue,
+            // a literal name lexed away entirely, or a const path whose
+            // last segment is SCREAMING_CASE
+            _ => {
+                let arg = &lexed.toks[i + 2..first_end.unwrap_or(i + 2)];
+                arg.is_empty() || is_const_path(arg)
+            }
+        };
+        if !name_ok {
+            push_with_waiver(
+                rep,
+                lexed,
+                Finding {
+                    rule: RULE_METRIC,
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    krate: ctx.krate.clone(),
+                    msg: format!(
+                        "dynamic metric/phase name passed to `.{method}(…)` — use a 'static \
+                         literal or a registered `SCREAMING_CASE` const so the exposition's \
+                         label set stays closed"
+                    ),
+                    waived: None,
+                },
+            );
+        }
+    }
+}
+
+/// `names::IO_ROUNDS`-shaped: idents joined by `::`, last one
+/// `SCREAMING_CASE` (uppercase/digits/underscores, at least one letter).
+fn is_const_path(toks: &[Tok]) -> bool {
+    if toks.is_empty() || !toks.iter().all(|t| t.ident().is_some() || t.is_sym(':')) {
+        return false;
+    }
+    let Some(last) = toks.last().and_then(|t| t.ident()) else {
+        return false;
+    };
+    last.chars().any(|c| c.is_ascii_uppercase())
+        && last
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
 /// `panic-ratchet`: count `.unwrap(`, `.expect(`, `panic!` sites. The
 /// comparison against the committed per-crate budget happens in
 /// [`crate::ratchet`] once all files are tallied.
@@ -807,6 +913,71 @@ mod tests {
                 "should pass: {src}"
             );
         }
+    }
+
+    // ---- metric-cardinality ----
+
+    #[test]
+    fn dynamic_metric_names_flagged_in_deterministic_src() {
+        for src in [
+            "fn f(t: &mut Tracer, p: &str) { t.set_phase(p); }\n",
+            "fn f(t: &mut Tracer, op: &str) { t.begin_op(op); }\n",
+            "fn f(t: &mut Tracer, p: &String) { t.set_phase(&p); }\n",
+            "fn f(t: &mut Tracer) { t.set_phase(format!(\"lcp/{n}\")); }\n",
+            "fn f(r: &mut Registry, n: &'static str) { r.counter_add(n, 1); }\n",
+            "fn f(r: &mut Registry, n: &'static str) { r.gauge_set(n, 1.0); }\n",
+            "fn f(r: &mut Registry, n: &'static str, v: u64) { r.observe(n, v); }\n",
+        ] {
+            assert_eq!(
+                rules_of(&check_file(&det_src(), src)),
+                ["metric-cardinality"],
+                "should flag: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_and_const_metric_names_pass() {
+        for src in [
+            // literal names lex away to an empty argument gap
+            "fn f(t: &mut Tracer) { t.set_phase(\"lcp/local-scan\"); }\n",
+            "fn f(t: &mut Tracer) { t.begin_op(\"lcp\"); }\n",
+            "fn f(r: &mut Registry) { r.counter_add(\"pimtrie_io_rounds_total\", 1); }\n",
+            // const paths ending in a SCREAMING_CASE ident
+            "fn f(r: &mut Registry) { r.counter_add(names::IO_ROUNDS, 1); }\n",
+            "fn f(r: &mut Registry) { r.gauge_set(obs::names::IO_BALANCE, 2.0); }\n",
+            "fn f(r: &mut Registry, v: u64) { r.observe(names::ROUND_IO_TIME, v); }\n",
+            // value-only observe (histogram internals) carries no name
+            "fn f(h: &mut Log2Hist, v: u64) { h.observe(v); }\n",
+            "fn f(h: &mut Log2Hist) { h.observe(2); }\n",
+            // method *definitions* are not calls
+            "pub fn set_phase(&mut self, name: &'static str) {}\n",
+        ] {
+            assert!(
+                rules_of(&check_file(&det_src(), src)).is_empty(),
+                "should pass: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn metric_rule_scoped_to_deterministic_live_code() {
+        let src = "fn f(t: &mut Tracer, p: &str) { t.set_phase(p); }\n";
+        assert!(rules_of(&check_file(&ctx(false, false, FileClass::Src), src)).is_empty());
+        assert!(rules_of(&check_file(&ctx(true, false, FileClass::Aux), src)).is_empty());
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(t: &mut Tracer, p: &str) { t.set_phase(p); }\n}\n";
+        assert!(rules_of(&check_file(&det_src(), test_src)).is_empty());
+    }
+
+    #[test]
+    fn metric_rule_honours_waivers() {
+        let src = "// lint: allow(metric-cardinality) — forwards literals from call sites\n\
+                   fn f(t: &mut Tracer, p: &str) { t.set_phase(p); }\n";
+        let rep = check_file(&det_src(), src);
+        assert_eq!(rep.findings.len(), 1);
+        assert!(rep.findings[0].waived.is_some());
+        assert!(rules_of(&rep).is_empty());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "core",
     "etree",
     "fast-trie",
+    "obs",
     "serve",
     "sim",
     "trie",

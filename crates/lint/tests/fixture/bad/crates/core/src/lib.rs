@@ -30,6 +30,10 @@ pub fn risky(v: Option<u32>, w: Option<u32>) -> u32 {
 // a commented-out HashMap must not count: HashMap<u8, u8>
 pub const RAW: &str = r#"unsafe { HashMap }"#;
 
+pub fn leaky_name(t: &mut Tracer, user_key: &str) {
+    t.set_phase(user_key);
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;

@@ -14,3 +14,7 @@ pub fn audited(m: &Probe) -> u32 {
 pub fn one_panic(v: Option<u32>) -> u32 {
     v.unwrap()
 }
+
+pub fn bounded_name(t: &mut Tracer) {
+    t.set_phase("lcp/local-scan");
+}

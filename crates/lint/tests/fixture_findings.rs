@@ -51,6 +51,7 @@ fn bad_tree_reports_the_exact_seeded_findings() {
         ("safety-comment", "crates/core/src/lib.rs", 10, false),
         ("wallclock", "crates/core/src/lib.rs", 20, false),
         ("global-state", "crates/core/src/lib.rs", 24, false),
+        ("metric-cardinality", "crates/core/src/lib.rs", 34, false),
         ("panic-ratchet", "ratchet.json", 0, false),
     ];
     assert_eq!(
@@ -81,9 +82,9 @@ fn bad_tree_reports_the_exact_seeded_findings() {
     );
     // the ratchet regression names the crate and both counts
     assert!(
-        lines[6].contains("\"crate\":\"core\"") && lines[6].contains("2 unwrap"),
+        lines[7].contains("\"crate\":\"core\"") && lines[7].contains("2 unwrap"),
         "ratchet message wrong: {}",
-        lines[6]
+        lines[7]
     );
     // timing-owned fixture crate stayed silent
     assert!(

@@ -1,0 +1,236 @@
+//! Per-module, per-round utilization timelines.
+//!
+//! Reconstructed purely from the [`TraceEvent`] stream a traced
+//! [`PimSystem`](pim_sim::PimSystem) emits — one event per BSP round,
+//! carrying per-module words sent/received, per-module metered work, and
+//! per-module straggler delay. The timeline rebuilds the barrier
+//! structure the PIM Model defines: within a round every module waits
+//! for the slowest one, so a module's **idle** time is the barrier's PIM
+//! time minus its own work. Summing lanes over rounds gives each
+//! module's utilization and answers "which module was the bottleneck in
+//! round 12, and was it skew or a straggler fault?" directly.
+//!
+//! The clock is simulated PIM time: round `k` starts when round `k-1`'s
+//! barrier closed (`t_end = t_start + io_time + pim_time`). Host CPU
+//! work is not on this clock — it is attributed per phase by the
+//! critical-path analyzer instead.
+
+use pim_sim::TraceEvent;
+
+use crate::report;
+
+/// One module's cumulative lane over a timeline window.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleLane {
+    /// Words written to the module (CPU→module).
+    pub sent: u64,
+    /// Words read back from the module.
+    pub received: u64,
+    /// Work the module actually executed (includes straggler delay).
+    pub busy: u64,
+    /// Time spent waiting on other modules at round barriers
+    /// (Σ over rounds of `round pim_time − own work`).
+    pub idle: u64,
+    /// Portion of `busy` injected by straggler faults.
+    pub straggler_delay: u64,
+    /// Rounds in which this module set the PIM-time barrier (was the
+    /// slowest; ties credit every tied module).
+    pub barriers_set: u64,
+}
+
+impl ModuleLane {
+    /// busy / (busy + idle); 1.0 for an empty lane (vacuously utilized).
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy + self.idle;
+        if total == 0 {
+            1.0
+        } else {
+            self.busy as f64 / total as f64
+        }
+    }
+}
+
+/// A reconstructed utilization timeline over a trace window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    lanes: Vec<ModuleLane>,
+    rounds: u64,
+    io_time: u64,
+    pim_time: u64,
+}
+
+impl Timeline {
+    /// Rebuild module lanes from a round-event stream. Events with
+    /// differing module counts (e.g. a mixed-`P` trace) widen the lane
+    /// set; absent modules simply accrue nothing.
+    pub fn from_events(events: &[TraceEvent]) -> Timeline {
+        let mut tl = Timeline::default();
+        for ev in events {
+            if ev.pim_work.len() > tl.lanes.len() {
+                tl.lanes.resize(ev.pim_work.len(), ModuleLane::default());
+            }
+            tl.rounds += 1;
+            tl.io_time += ev.io_time;
+            tl.pim_time += ev.pim_time;
+            for (m, lane) in tl.lanes.iter_mut().enumerate() {
+                if m >= ev.pim_work.len() {
+                    continue;
+                }
+                lane.sent += ev.sent[m];
+                lane.received += ev.received[m];
+                lane.busy += ev.pim_work[m];
+                lane.idle += ev.pim_time - ev.pim_work[m];
+                lane.straggler_delay += ev.straggler_delay[m];
+                if ev.pim_time > 0 && ev.pim_work[m] == ev.pim_time {
+                    lane.barriers_set += 1;
+                }
+            }
+        }
+        tl
+    }
+
+    /// Number of module lanes.
+    pub fn modules(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Rounds covered by the window.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Σ per-round IO time over the window.
+    pub fn io_time(&self) -> u64 {
+        self.io_time
+    }
+
+    /// Σ per-round PIM time over the window (the barrier clock).
+    pub fn pim_time(&self) -> u64 {
+        self.pim_time
+    }
+
+    /// The per-module lanes, indexed by module id.
+    pub fn lanes(&self) -> &[ModuleLane] {
+        &self.lanes
+    }
+
+    /// Module that set the most barriers (ties → lowest id); `None` for
+    /// an empty timeline.
+    pub fn bottleneck(&self) -> Option<usize> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.barriers_set.cmp(&b.1.barriers_set).then(b.0.cmp(&a.0)))
+            .map(|(m, _)| m)
+    }
+
+    /// Total straggler-fault delay across all lanes.
+    pub fn straggler_delay(&self) -> u64 {
+        self.lanes.iter().map(|l| l.straggler_delay).sum()
+    }
+
+    /// Render the lanes as an aligned table (one row per module),
+    /// byte-deterministic. `util` is busy/(busy+idle) to 1 decimal; a
+    /// `*` marks the bottleneck lane.
+    pub fn render(&self) -> String {
+        let bottleneck = self.bottleneck();
+        let rows: Vec<Vec<String>> = self
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(m, l)| {
+                vec![
+                    format!("m{m}{}", if Some(m) == bottleneck { "*" } else { "" }),
+                    l.sent.to_string(),
+                    l.received.to_string(),
+                    l.busy.to_string(),
+                    l.idle.to_string(),
+                    format!("{:.1}%", l.utilization() * 100.0),
+                    l.barriers_set.to_string(),
+                    l.straggler_delay.to_string(),
+                ]
+            })
+            .collect();
+        report::table(
+            &[
+                "module",
+                "sent",
+                "received",
+                "busy",
+                "idle",
+                "util",
+                "barriers",
+                "straggler",
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(sent: Vec<u64>, received: Vec<u64>, work: Vec<u64>, delay: Vec<u64>) -> TraceEvent {
+        let io_time = sent
+            .iter()
+            .zip(&received)
+            .map(|(s, r)| s + r)
+            .max()
+            .unwrap_or(0);
+        TraceEvent {
+            seq: 0,
+            op: "op".into(),
+            phase: "op/phase".into(),
+            round: "r".into(),
+            io_time,
+            io_volume: sent.iter().sum::<u64>() + received.iter().sum::<u64>(),
+            pim_time: work.iter().copied().max().unwrap_or(0),
+            sent,
+            received,
+            pim_work: work,
+            straggler_delay: delay,
+        }
+    }
+
+    #[test]
+    fn lanes_accumulate_busy_idle_and_barriers() {
+        let events = vec![
+            ev(vec![4, 1], vec![0, 1], vec![6, 2], vec![0, 0]),
+            ev(vec![1, 1], vec![1, 1], vec![1, 5], vec![0, 4]),
+        ];
+        let tl = Timeline::from_events(&events);
+        assert_eq!(tl.modules(), 2);
+        assert_eq!(tl.rounds(), 2);
+        assert_eq!(tl.pim_time(), 6 + 5);
+        let m0 = &tl.lanes()[0];
+        let m1 = &tl.lanes()[1];
+        assert_eq!((m0.busy, m0.idle), (7, 4)); // 6+1 busy, 0+4 idle
+        assert_eq!((m1.busy, m1.idle), (7, 4)); // 2+5 busy, 4+0 idle
+        assert_eq!(m0.barriers_set, 1);
+        assert_eq!(m1.barriers_set, 1);
+        assert_eq!(m1.straggler_delay, 4);
+        assert_eq!(tl.straggler_delay(), 4);
+        // tie on barriers: lowest module id wins
+        assert_eq!(tl.bottleneck(), Some(0));
+        assert!((m0.utilization() - 7.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_marks_bottleneck() {
+        let events = vec![ev(vec![2, 0], vec![0, 0], vec![3, 1], vec![0, 0])];
+        let tl = Timeline::from_events(&events);
+        let (a, b) = (tl.render(), tl.render());
+        assert_eq!(a, b);
+        assert!(a.contains("m0*"));
+        assert!(a.lines().count() == 3); // header + 2 lanes
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline::from_events(&[]);
+        assert_eq!(tl.modules(), 0);
+        assert_eq!(tl.bottleneck(), None);
+        assert_eq!(tl.pim_time(), 0);
+    }
+}

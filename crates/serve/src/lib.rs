@@ -34,6 +34,13 @@
 //! functions of (trie seed, scripts, config), independent of thread
 //! count and of whether pipelining is enabled.
 //!
+//! An optional [`AlarmBoard`] (from `pim-obs`, re-exported here) can be
+//! installed with [`Server::install_alarms`]: the dispatcher evaluates
+//! it once per epoch — balance of the epoch's IO window, shed rate,
+//! quarantined modules, cache hit ratio — and surfaces rising-edge
+//! firings in [`pim_sim::ServeStats::alarms`]. Evaluation never charges
+//! simulated cost, so installing a board changes no other counter.
+//!
 //! # Example
 //!
 //! ```
@@ -58,6 +65,7 @@ mod driver;
 mod server;
 
 pub use driver::{run_closed_loop, LatencySummary, ServeReport};
+pub use obs::{default_board, AlarmBoard, AlarmEvent, AlarmSpec, Threshold};
 pub use server::{
     EpochBatch, Op, OpClass, Outcome, PreppedEpoch, Reply, ServeConfig, ServeError, Server,
     OP_CLASSES,

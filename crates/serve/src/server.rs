@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use bitstr::BitStr;
+use obs::{AlarmBoard, ObsSample};
 use pim_trie::{PimTrie, PimTrieError};
 
 /// The four operation classes an epoch batches separately, in dispatch
@@ -225,6 +226,9 @@ pub struct Server {
     violations: u64,
     /// per-class reply latencies of completed requests, dispatch order
     lat: [Vec<u64>; 4],
+    /// observability alarm board, evaluated once per dispatched epoch;
+    /// `None` (the default) skips evaluation entirely
+    alarms: Option<AlarmBoard>,
 }
 
 impl Server {
@@ -238,7 +242,28 @@ impl Server {
             idle: 0,
             violations: 0,
             lat: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            alarms: None,
         }
+    }
+
+    /// Install an alarm board; [`Server::dispatch`] evaluates it once
+    /// per epoch against the epoch's IO window and the cumulative
+    /// serve/cache/quarantine state, and accumulates rising-edge
+    /// firings into [`pim_sim::ServeStats::alarms`]. Evaluation only
+    /// *reads* counters — it charges no simulated cost — so every other
+    /// counter is bit-identical with or without a board installed.
+    pub fn install_alarms(&mut self, board: AlarmBoard) {
+        self.alarms = Some(board);
+    }
+
+    /// The installed alarm board (its firing log), if any.
+    pub fn alarms(&self) -> Option<&AlarmBoard> {
+        self.alarms.as_ref()
+    }
+
+    /// Detach and return the alarm board (evaluation stops).
+    pub fn take_alarms(&mut self) -> Option<AlarmBoard> {
+        self.alarms.take()
     }
 
     /// The serving clock, in simulated PIM time units: IO time + PIM
@@ -336,6 +361,12 @@ impl Server {
         if total == 0 {
             return;
         }
+        // epoch IO window for alarm evaluation; skipped entirely (and
+        // perturbing nothing either way) with no board installed
+        let snap = self
+            .alarms
+            .as_ref()
+            .map(|_| self.trie.system().metrics().snapshot());
         self.trie
             .system_mut()
             .metrics_mut()
@@ -404,6 +435,27 @@ impl Server {
             let finish = self.now();
             for (r, out) in live.into_iter().zip(results) {
                 self.record(ci, r.submitted, r.id, finish, out);
+            }
+        }
+        if let Some(snap) = snap {
+            let m = self.trie.system().metrics();
+            let sample = ObsSample {
+                io_per_module: m.since(&snap).io_per_module,
+                serve: m.serve_stats().clone(),
+                cache: m.cache_stats().clone(),
+                quarantined: self.trie.quarantined().len() as u64,
+            };
+            let epoch = m.serve_stats().epochs;
+            let fired = match self.alarms.as_mut() {
+                Some(board) => board.evaluate(epoch, &sample),
+                None => 0,
+            };
+            if fired > 0 {
+                self.trie
+                    .system_mut()
+                    .metrics_mut()
+                    .serve_stats_mut()
+                    .alarms += fired;
             }
         }
     }

@@ -13,6 +13,11 @@ pub struct RoundRecord {
     pub received: Vec<u64>,
     /// Work units metered inside each module handler.
     pub pim_work: Vec<u64>,
+    /// Extra work units injected into each module by straggler faults
+    /// this round. Already included in `pim_work`; kept separately so a
+    /// timeline can tell "slow because of load" from "slow because a
+    /// fault stalled the module". All zeros with no fault plan active.
+    pub straggler_delay: Vec<u64>,
 }
 
 impl RoundRecord {
@@ -160,6 +165,11 @@ pub struct ServeStats {
     pub failed: u64,
     /// Coalesced epochs dispatched (idle drains are not counted).
     pub epochs: u64,
+    /// Observability alarms that fired during epoch evaluation (see
+    /// `pim-obs`). Zero when no alarm board is installed — evaluating
+    /// alarms reads counters without charging any simulated cost, so
+    /// every other counter is bit-identical with or without a board.
+    pub alarms: u64,
 }
 
 impl ServeStats {
@@ -371,7 +381,11 @@ impl Metrics {
 impl Metrics {
     /// Human-readable per-round-name cost report (requires round logging).
     /// The name column widens to fit the longest round name, and per-name
-    /// PIM time is reported alongside IO time.
+    /// PIM time is reported alongside IO time. When the cache or serving
+    /// layers have recorded anything (any counter non-zero), a
+    /// `cache.*` / `serve.*` section follows in the same column layout;
+    /// with those layers idle the sections are omitted entirely, so a
+    /// plain simulation report looks exactly as it always did.
     pub fn report(&self) -> String {
         use std::collections::BTreeMap;
         let mut agg: BTreeMap<&str, (u64, u64, u64, u64)> = BTreeMap::new();
@@ -382,9 +396,40 @@ impl Metrics {
             e.2 += r.io_time();
             e.3 += r.pim_time();
         }
+        let c = &self.cache;
+        let cache_rows: Vec<(&str, u64)> = if self.cache == CacheStats::default() {
+            Vec::new()
+        } else {
+            vec![
+                ("cache.lookups", c.lookups),
+                ("cache.hits", c.hits),
+                ("cache.misses", c.misses),
+                ("cache.words_saved", c.words_saved),
+                ("cache.admissions", c.admissions),
+                ("cache.invalidations", c.invalidations),
+                ("cache.evictions", c.evictions),
+            ]
+        };
+        let s = &self.serve;
+        let serve_rows: Vec<(&str, u64)> = if self.serve == ServeStats::default() {
+            Vec::new()
+        } else {
+            vec![
+                ("serve.submitted", s.submitted),
+                ("serve.admitted", s.admitted),
+                ("serve.rejected", s.rejected),
+                ("serve.expired", s.expired),
+                ("serve.completed", s.completed),
+                ("serve.failed", s.failed),
+                ("serve.epochs", s.epochs),
+                ("serve.alarms", s.alarms),
+            ]
+        };
         let width = agg
             .keys()
             .map(|name| name.len())
+            .chain(cache_rows.iter().map(|(n, _)| n.len()))
+            .chain(serve_rows.iter().map(|(n, _)| n.len()))
             .chain(std::iter::once("round name".len()))
             .max()
             .unwrap_or(0);
@@ -396,6 +441,9 @@ impl Metrics {
             out.push_str(&format!(
                 "{name:width$} {n:>8} {vol:>10} {io:>10} {pim:>10}\n"
             ));
+        }
+        for (name, v) in cache_rows.iter().chain(serve_rows.iter()) {
+            out.push_str(&format!("{name:width$} {v:>8}\n"));
         }
         out
     }
@@ -452,7 +500,12 @@ impl MetricsDelta {
     }
 }
 
-fn balance(v: &[u64]) -> f64 {
+/// Load-balance ratio of a per-module tally: (max module) / (mean
+/// module). 1.0 is perfect balance; ~P means one module carries
+/// everything; empty or all-zero tallies read as perfectly balanced.
+/// This is the exact ratio [`MetricsDelta::io_balance`] reports and the
+/// one every balance threshold in `pim-obs` is stated against.
+pub fn balance(v: &[u64]) -> f64 {
     let total: u64 = v.iter().sum();
     if total == 0 || v.is_empty() {
         return 1.0;
@@ -467,11 +520,13 @@ mod tests {
     use super::*;
 
     fn rec(name: &str, sent: Vec<u64>, received: Vec<u64>, pim: Vec<u64>) -> RoundRecord {
+        let delay = vec![0; pim.len()];
         RoundRecord {
             name: name.into(),
             sent,
             received,
             pim_work: pim,
+            straggler_delay: delay,
         }
     }
 
@@ -520,6 +575,37 @@ mod tests {
         assert!(lines[0].contains("pim_time"));
         let short_row = lines.iter().find(|l| l.starts_with("s ")).unwrap();
         assert!(short_row.ends_with("         4"));
+    }
+
+    #[test]
+    fn report_sections_appear_only_when_nonzero() {
+        let mut m = Metrics::new(2);
+        m.set_round_logging(true);
+        m.record_round(rec("s", vec![1, 0], vec![0, 0], vec![4, 0]));
+        let plain = m.report();
+        assert!(!plain.contains("cache."));
+        assert!(!plain.contains("serve."));
+
+        m.cache_stats_mut().lookups = 4;
+        m.cache_stats_mut().hits = 3;
+        m.serve_stats_mut().submitted = 9;
+        m.serve_stats_mut().alarms = 1;
+        let full = m.report();
+        assert!(full.contains("cache.lookups"));
+        assert!(full.contains("serve.alarms"));
+        // stat labels share the round-name column: every stat row is
+        // padded to the same width as the table's name column
+        let name_w = "cache.invalidations".len();
+        for line in full.lines().filter(|l| l.contains("serve.")) {
+            assert_eq!(line.len(), name_w + 1 + 8, "row: {line:?}");
+        }
+    }
+
+    #[test]
+    fn balance_fn_is_public_and_total() {
+        assert_eq!(balance(&[]), 1.0);
+        assert_eq!(balance(&[0, 0]), 1.0);
+        assert!((balance(&[4, 0, 0, 0]) - 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -244,6 +244,7 @@ impl<M: Send> PimSystem<M> {
         }
 
         // --- fault post-pass: stragglers, reply drop/truncate/corrupt ---
+        let mut straggler_delay = vec![0u64; p];
         if let Some(fs) = fs.as_mut() {
             let stats = self.metrics.fault_stats_mut();
             let plan = &fs.plan;
@@ -265,6 +266,7 @@ impl<M: Send> PimSystem<M> {
                         0,
                     )
                 {
+                    straggler_delay[m] = pim_work[m] * (plan.straggler_factor - 1);
                     pim_work[m] *= plan.straggler_factor;
                     stats.stragglers_injected += 1;
                 }
@@ -321,6 +323,7 @@ impl<M: Send> PimSystem<M> {
             sent,
             received,
             pim_work,
+            straggler_delay,
         });
         outs
     }

@@ -66,6 +66,9 @@ pub struct TraceEvent {
     pub received: Vec<u64>,
     /// Work units metered inside each module handler.
     pub pim_work: Vec<u64>,
+    /// Extra work injected into each module by straggler faults this
+    /// round (all zeros when no fault plan is active).
+    pub straggler_delay: Vec<u64>,
 }
 
 impl TraceEvent {
@@ -82,6 +85,7 @@ impl TraceEvent {
             ("sent", nums(&self.sent)),
             ("received", nums(&self.received)),
             ("pim_work", nums(&self.pim_work)),
+            ("straggler_delay", nums(&self.straggler_delay)),
         ])
     }
 }
@@ -91,12 +95,26 @@ fn nums(v: &[u64]) -> Json {
 }
 
 /// Distribution summary of a per-round quantity within one phase.
+///
+/// `count`, `sum`, `min`, `max`, `mean`, and `argmax` are *exact* and
+/// [`merge`](Dist::merge) combines them exactly; `p50`/`p99` are exact
+/// under [`from_samples`](Dist::from_samples) but merge as upper bounds
+/// (the max of the two sides) so that merging stays associative and
+/// order-invariant — see the sim proptests.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Dist {
+    /// Number of samples summarized (0 ⇒ empty/identity distribution).
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
     /// Smallest per-round value.
     pub min: u64,
     /// Largest per-round value.
     pub max: u64,
+    /// Index of the sample holding `max` — when the samples are indexed
+    /// by module id this is the id of the slowest (straggling) module.
+    /// Ties resolve to the lowest index.
+    pub argmax: u64,
     /// Arithmetic mean over rounds.
     pub mean: f64,
     /// Median (nearest-rank on the sorted values).
@@ -111,23 +129,68 @@ impl Dist {
         if samples.is_empty() {
             return Dist::default();
         }
+        let argmax = samples
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u64)
+            .unwrap_or(0);
         let mut s = samples.to_vec();
         s.sort_unstable();
         let n = s.len();
         let pct = |q: f64| s[(((n - 1) as f64) * q).round() as usize];
+        let sum = s.iter().sum::<u64>();
         Dist {
+            count: n as u64,
+            sum,
             min: s[0],
             max: s[n - 1],
-            mean: s.iter().sum::<u64>() as f64 / n as f64,
+            argmax,
+            mean: sum as f64 / n as f64,
             p50: pct(0.50),
             p99: pct(0.99),
         }
     }
 
+    /// Combine two summaries. `count`/`sum`/`min`/`max`/`mean`/`argmax`
+    /// merge exactly (the empty `Dist` is the identity; on a `max` tie
+    /// the lower `argmax` wins, making the result order-invariant);
+    /// `p50`/`p99` merge as the max of the two sides — an upper bound,
+    /// chosen over exactness so that merge is associative.
+    pub fn merge(self, other: Dist) -> Dist {
+        if self.count == 0 {
+            return other;
+        }
+        if other.count == 0 {
+            return self;
+        }
+        let (max, argmax) =
+            if other.max > self.max || (other.max == self.max && other.argmax < self.argmax) {
+                (other.max, other.argmax)
+            } else {
+                (self.max, self.argmax)
+            };
+        let count = self.count + other.count;
+        let sum = self.sum + other.sum;
+        Dist {
+            count,
+            sum,
+            min: self.min.min(other.min),
+            max,
+            argmax,
+            mean: sum as f64 / count as f64,
+            p50: self.p50.max(other.p50),
+            p99: self.p99.max(other.p99),
+        }
+    }
+
     fn to_json(self) -> Json {
         Json::obj(vec![
+            ("count", Json::num(self.count as f64)),
+            ("sum", Json::num(self.sum as f64)),
             ("min", Json::num(self.min as f64)),
             ("max", Json::num(self.max as f64)),
+            ("argmax", Json::num(self.argmax as f64)),
             ("mean", Json::num(self.mean)),
             ("p50", Json::num(self.p50 as f64)),
             ("p99", Json::num(self.p99 as f64)),
@@ -162,6 +225,13 @@ pub struct PhaseSummary {
     pub io_skew: f64,
     /// Skew of cumulative per-module work: max / mean.
     pub pim_skew: f64,
+    /// Module that moved the most cumulative words in this phase
+    /// (`Dist::argmax` over per-module word totals; 0 when round-less).
+    pub io_worst_module: u64,
+    /// Module that did the most cumulative work in this phase.
+    pub pim_worst_module: u64,
+    /// Σ straggler-fault delay injected across modules in this phase.
+    pub straggler_delay: u64,
 }
 
 impl PhaseSummary {
@@ -180,6 +250,9 @@ impl PhaseSummary {
             ("work_per_round", self.work_per_round.to_json()),
             ("io_skew", Json::num(round6(self.io_skew))),
             ("pim_skew", Json::num(round6(self.pim_skew))),
+            ("io_worst_module", Json::num(self.io_worst_module as f64)),
+            ("pim_worst_module", Json::num(self.pim_worst_module as f64)),
+            ("straggler_delay", Json::num(self.straggler_delay as f64)),
         ])
     }
 }
@@ -288,6 +361,7 @@ impl Tracer {
             sent: rec.sent.clone(),
             received: rec.received.clone(),
             pim_work: rec.pim_work.clone(),
+            straggler_delay: rec.straggler_delay.clone(),
         };
         self.seq += 1;
         self.events.push(ev);
@@ -329,6 +403,7 @@ impl Tracer {
             io_volume: u64,
             io_per_module: Vec<u64>,
             pim_per_module: Vec<u64>,
+            straggler_delay: u64,
         }
         let mut accs: BTreeMap<(String, String), Acc> = BTreeMap::new();
         for ev in &self.events {
@@ -340,6 +415,7 @@ impl Tracer {
                     io_volume: 0,
                     io_per_module: vec![0; ev.sent.len()],
                     pim_per_module: vec![0; ev.pim_work.len()],
+                    straggler_delay: 0,
                 });
             acc.io_times.push(ev.io_time);
             acc.pim_times.push(ev.pim_time);
@@ -350,6 +426,7 @@ impl Tracer {
             for i in 0..ev.pim_work.len() {
                 acc.pim_per_module[i] += ev.pim_work[i];
             }
+            acc.straggler_delay += ev.straggler_delay.iter().sum::<u64>();
         }
         // CPU-only and retry-only scopes still get a (round-less) row.
         for key in self.cpu_by_scope.keys().chain(self.retries_by_scope.keys()) {
@@ -359,6 +436,7 @@ impl Tracer {
                 io_volume: 0,
                 io_per_module: Vec::new(),
                 pim_per_module: Vec::new(),
+                straggler_delay: 0,
             });
         }
         accs.into_iter()
@@ -375,6 +453,9 @@ impl Tracer {
                     work_per_round: Dist::from_samples(&acc.pim_times),
                     io_skew: skew(&acc.io_per_module),
                     pim_skew: skew(&acc.pim_per_module),
+                    io_worst_module: Dist::from_samples(&acc.io_per_module).argmax,
+                    pim_worst_module: Dist::from_samples(&acc.pim_per_module).argmax,
+                    straggler_delay: acc.straggler_delay,
                     op,
                     phase,
                 }
@@ -400,11 +481,13 @@ mod tests {
     use super::*;
 
     fn rec(name: &str, sent: Vec<u64>, received: Vec<u64>, pim: Vec<u64>) -> RoundRecord {
+        let delay = vec![0; pim.len()];
         RoundRecord {
             name: name.into(),
             sent,
             received,
             pim_work: pim,
+            straggler_delay: delay,
         }
     }
 
@@ -461,8 +544,12 @@ mod tests {
     fn dist_and_skew() {
         let d = Dist::from_samples(&[4, 1, 3, 2]);
         assert_eq!((d.min, d.max, d.p50, d.p99), (1, 4, 3, 4));
+        assert_eq!((d.count, d.sum, d.argmax), (4, 10, 0));
         assert!((d.mean - 2.5).abs() < 1e-9);
         assert_eq!(Dist::from_samples(&[]), Dist::default());
+        // argmax is the original index of the max; ties pick the lowest
+        assert_eq!(Dist::from_samples(&[1, 9, 9, 2]).argmax, 1);
+        assert_eq!(Dist::from_samples(&[0, 0, 7]).argmax, 2);
 
         let mut t = Tracer::new();
         t.begin_op("get");
@@ -471,6 +558,27 @@ mod tests {
         let s = &t.phase_summaries()[0];
         assert!((s.io_skew - 1.5).abs() < 1e-9); // [6,2] → 6/4
         assert!((s.pim_skew - 2.0).abs() < 1e-9); // [4,0] → 4/2
+        assert_eq!(s.io_worst_module, 0);
+        assert_eq!(s.pim_worst_module, 0);
+    }
+
+    #[test]
+    fn dist_merge_is_exact_on_exact_fields() {
+        let a = Dist::from_samples(&[1, 9, 4]);
+        let b = Dist::from_samples(&[2, 2]);
+        let m = a.merge(b);
+        assert_eq!((m.count, m.sum, m.min, m.max, m.argmax), (5, 18, 1, 9, 1));
+        assert!((m.mean - 3.6).abs() < 1e-9);
+        // empty is the identity on both sides
+        assert_eq!(a.merge(Dist::default()), a);
+        assert_eq!(Dist::default().merge(a), a);
+        // p50/p99 merge as the max of the two sides (upper bound)
+        assert_eq!(m.p50, a.p50.max(b.p50));
+        // max tie: the lower argmax wins regardless of merge order
+        let x = Dist::from_samples(&[9, 1]); // argmax 0
+        let y = Dist::from_samples(&[1, 9]); // argmax 1
+        assert_eq!(x.merge(y).argmax, 0);
+        assert_eq!(y.merge(x).argmax, 0);
     }
 
     #[test]
