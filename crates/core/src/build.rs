@@ -132,6 +132,8 @@ impl PimTrie {
         let sys = PimSystem::new(cfg.p, |_| ModuleState::new(width));
         let hasher = PolyHasher::with_seed(cfg.seed);
         let cache = crate::cache::HotPathCache::new(cfg.cache_words);
+        let (adapt_threshold, adapt_sketch, p_for_adapt) =
+            (cfg.adapt_threshold, cfg.adapt_sketch, cfg.p);
         let mut t = PimTrie {
             sys,
             cfg,
@@ -146,6 +148,7 @@ impl PimTrie {
             cache,
             quarantined: std::collections::BTreeSet::new(),
             scoped: crate::ScopedBatchStats::default(),
+            adapt: crate::adapt::TrafficTracker::new(adapt_threshold, adapt_sketch, p_for_adapt),
         };
         t.bootstrap()?;
         Ok(t)
@@ -160,6 +163,11 @@ impl PimTrie {
             let j = (i + step).min(keys.len());
             t.insert_batch(&keys[i..j], &values[i..j]);
         }
+        // Bulk-construction traffic is structural, not workload skew:
+        // start the adaptive window clean so the first query batches are
+        // judged on their own shape instead of against graft mass that
+        // would both inflate the hot floor and fake module imbalance.
+        t.adapt.clear();
         t
     }
 
@@ -292,6 +300,12 @@ impl PimTrie {
             // same path before re-running any op.
             let n = self.cache.invalidate_for_reqs(&inbox);
             self.sys.metrics_mut().cache_stats_mut().invalidations += n;
+        }
+        if self.adapt.enabled() {
+            // Adaptive blocking observes the same chokepoint the cache
+            // does: every request (sealed or not) is charged to its
+            // block/module window before dispatch. Free when disabled.
+            self.adapt.record_inbox(&inbox);
         }
         if !self.cfg.fault_tolerance {
             let hasher = &self.hasher;

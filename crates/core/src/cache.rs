@@ -322,6 +322,16 @@ impl HotPathCache {
                         }));
                         n += u64::from(self.invalidate(*child));
                     }
+                    // Migration retargets the parent's mirror list (which
+                    // the CPU walk descends through) and strands any copy
+                    // cached under the block's old address.
+                    Req::RelinkMirror { slot, old, .. } => {
+                        n += u64::from(self.invalidate(BlockRef {
+                            module: m as u32,
+                            slot: *slot,
+                        }));
+                        n += u64::from(self.invalidate(*old));
+                    }
                     Req::ResetModule => n += self.invalidate_module(m as u32),
                     _ => {}
                 }

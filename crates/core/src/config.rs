@@ -57,6 +57,24 @@ pub struct PimTrieConfig {
     /// skew-scaling direction; PIM-tree (Kang et al.) demonstrates the
     /// technique.
     pub cache_words: u64,
+    /// Traffic share (of the decayed tracking window) above which a block
+    /// counts as *hot* and triggers online repartitioning: hot blocks are
+    /// split with a finer cut bound and scattered over the least-loaded
+    /// modules, overloaded modules shed blocks to underloaded ones, and
+    /// cold adapt-spawned pieces merge back into their parents. `0.0`
+    /// (the default) disables adaptation entirely and takes the exact
+    /// legacy code path: no extra rounds, CPU charges, trace spans or RNG
+    /// draws — byte-identical counters at any thread count.
+    ///
+    /// Paper: §6.3 names skew-adaptive placement as the scaling
+    /// direction; PIM-tree and JSPIM demonstrate data-side adaptation.
+    pub adapt_threshold: f64,
+    /// Track per-block traffic with a fixed-size count-min sketch instead
+    /// of exact per-block counters. Trades exactness of the frequency
+    /// estimates (and the cold-merge pass, which needs enumerable
+    /// counters and is skipped in sketch mode) for O(1) memory. Only
+    /// consulted while `adapt_threshold > 0`.
+    pub adapt_sketch: bool,
 }
 
 impl PimTrieConfig {
@@ -80,6 +98,8 @@ impl PimTrieConfig {
             fault_tolerance: false,
             max_round_retries: 8,
             cache_words: 0,
+            adapt_threshold: 0.0,
+            adapt_sketch: false,
         }
     }
 
@@ -99,6 +119,29 @@ impl PimTrieConfig {
     /// and reproduces today's behaviour bit-for-bit).
     pub fn with_cache_words(mut self, words: u64) -> Self {
         self.cache_words = words;
+        self
+    }
+
+    /// Enable sketch-guided adaptive blocking: a block whose decayed
+    /// traffic share exceeds `threshold` triggers online repartitioning
+    /// (split / migrate / merge in bounded, metered BSP rounds). Pass a
+    /// share in `(0, 1)`; `0.0` is the disabled sentinel.
+    pub fn with_adapt(mut self, threshold: f64) -> Self {
+        self.adapt_threshold = threshold;
+        self
+    }
+
+    /// Disable adaptive blocking (`adapt_threshold = 0`), reproducing the
+    /// static-partition behaviour bit-for-bit.
+    pub fn with_adapt_disabled(mut self) -> Self {
+        self.adapt_threshold = 0.0;
+        self
+    }
+
+    /// Track traffic with a count-min sketch instead of exact counters
+    /// (see [`PimTrieConfig::adapt_sketch`]).
+    pub fn with_adapt_sketch(mut self, on: bool) -> Self {
+        self.adapt_sketch = on;
         self
     }
 
@@ -124,6 +167,14 @@ impl PimTrieConfig {
         if self.oversize_factor < 1 || self.undersize_divisor < 1 {
             return Err(PimTrieError::BadConfig(
                 "oversize_factor and undersize_divisor must be at least 1".into(),
+            ));
+        }
+        if !self.adapt_threshold.is_finite()
+            || self.adapt_threshold < 0.0
+            || self.adapt_threshold >= 1.0
+        {
+            return Err(PimTrieError::BadConfig(
+                "adapt_threshold must lie in [0, 1) (0 disables adaptation)".into(),
             ));
         }
         Ok(())
@@ -214,6 +265,31 @@ mod tests {
         assert!(c.validate().is_err());
         let c = PimTrieConfig::for_modules(8).with_fault_tolerance(true);
         assert!(c.fault_tolerance && c.validate().is_ok());
+    }
+
+    #[test]
+    fn adapt_disabled_by_default_and_validated() {
+        let c = PimTrieConfig::for_modules(8);
+        assert_eq!(c.adapt_threshold, 0.0);
+        assert!(!c.adapt_sketch);
+        let on = PimTrieConfig::for_modules(8).with_adapt(0.25);
+        assert_eq!(on.adapt_threshold, 0.25);
+        assert!(on.validate().is_ok());
+        assert_eq!(on.with_adapt_disabled().adapt_threshold, 0.0);
+        assert!(PimTrieConfig::for_modules(8)
+            .with_adapt(0.1)
+            .with_adapt_sketch(true)
+            .validate()
+            .is_ok());
+        for bad in [-0.1, 1.0, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                PimTrieConfig::for_modules(8)
+                    .with_adapt(bad)
+                    .validate()
+                    .is_err(),
+                "threshold {bad} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -63,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+mod adapt;
 mod build;
 mod cache;
 mod config;
@@ -81,7 +82,7 @@ pub use matching::{MatchStats, MatchedTrie};
 pub use module::ModuleState;
 pub use refs::{BlockRef, MetaRef};
 // Re-exported so fault, cache and serving experiments need only this crate.
-pub use pim_sim::{CacheStats, CrashSpec, FaultPlan, FaultStats, JamSpec, ServeStats};
+pub use pim_sim::{AdaptStats, CacheStats, CrashSpec, FaultPlan, FaultStats, JamSpec, ServeStats};
 
 use bitstr::hash::PolyHasher;
 use pim_sim::PimSystem;
@@ -137,6 +138,10 @@ pub struct PimTrie {
     /// scoped-batch bisection instrumentation (see
     /// [`ScopedBatchStats`]); host-side observation only, never metered
     pub(crate) scoped: ScopedBatchStats,
+    /// decayed per-block / per-module traffic tracker driving adaptive
+    /// repartitioning ([`PimTrieConfig::adapt_threshold`] > 0); inert
+    /// (and absent from every code path) at the default threshold 0
+    pub(crate) adapt: adapt::TrafficTracker,
 }
 
 /// Instrumentation counters of the `try_*_batch_scoped` bisection
@@ -287,6 +292,14 @@ impl PimTrie {
     /// `self.system().metrics().cache_stats()`.
     pub fn cache_stats(&self) -> &CacheStats {
         self.sys.metrics().cache_stats()
+    }
+
+    /// Adaptive-repartitioning counters (hot flags, splits, migrations,
+    /// merges, metered extra rounds/words). All zero unless
+    /// [`PimTrieConfig::adapt_threshold`] is nonzero. Shorthand for
+    /// `self.system().metrics().adapt_stats()`.
+    pub fn adapt_stats(&self) -> &AdaptStats {
+        self.sys.metrics().adapt_stats()
     }
 
     /// Total words of PIM memory used by blocks, meta-blocks and master

@@ -334,12 +334,48 @@ impl PimTrie {
             }
         }
         let mut inbox: Vec<Vec<Req>> = (0..p).map(|_| Vec::new()).collect();
-        for r in &master_roots {
-            let from = (*r != NodeId::ROOT).then(|| (r.0, qt.trie.node(*r).depth as u64));
-            let piece = make_piece(&qt.trie, &ctxs, &self.hasher, from, &cuts);
-            stats.pushes += 1;
-            let m = self.place_rng_next();
-            inbox[m as usize].push(Req::MatchMaster(piece));
+        if self.adapt.enabled() {
+            // The master table is replicated, so piece→module is a free
+            // choice. Random placement leaves a ~2x spread at a few
+            // pieces per module; with the tracker on, the host spends
+            // the sizes it already knows on a longest-processing-time
+            // assignment instead (heaviest piece to the lightest module,
+            // deterministic tie-breaks), flattening the scatter phase.
+            let mut pieces: Vec<Option<QueryPiece>> = master_roots
+                .iter()
+                .map(|r| {
+                    let from = (*r != NodeId::ROOT).then(|| (r.0, qt.trie.node(*r).depth as u64));
+                    Some(make_piece(&qt.trie, &ctxs, &self.hasher, from, &cuts))
+                })
+                .collect();
+            let sizes: Vec<u64> = pieces
+                .iter()
+                .map(|pc| pc.as_ref().map_or(0, |q| q.size_words()))
+                .collect();
+            let mut idx: Vec<usize> = (0..pieces.len()).collect();
+            idx.sort_by_key(|i| (u64::MAX - sizes[*i], *i));
+            let mut loads = vec![0u64; p];
+            for i in idx {
+                let mut m = 0;
+                for c in 1..p {
+                    if loads[c] < loads[m] {
+                        m = c;
+                    }
+                }
+                loads[m] += sizes[i];
+                if let Some(pc) = pieces[i].take() {
+                    stats.pushes += 1;
+                    inbox[m].push(Req::MatchMaster(pc));
+                }
+            }
+        } else {
+            for r in &master_roots {
+                let from = (*r != NodeId::ROOT).then(|| (r.0, qt.trie.node(*r).depth as u64));
+                let piece = make_piece(&qt.trie, &ctxs, &self.hasher, from, &cuts);
+                stats.pushes += 1;
+                let m = self.place_rng_next();
+                inbox[m as usize].push(Req::MatchMaster(piece));
+            }
         }
         let replies = self.rounds("match.master", inbox)?;
         let mut matches: Vec<RootMatch> = Vec::new();
@@ -499,7 +535,17 @@ impl PimTrie {
         let pull_threshold = self.cfg.k_b.max(self.cfg.push_threshold);
         for (block, pieces) in groups {
             let total: u64 = pieces.iter().map(|pc| pc.size_words()).sum();
-            if total <= pull_threshold {
+            // K_B bounds a block's size, so "demand outweighs the block"
+            // defaults to comparing against K_B — but adaptively-split
+            // pieces are far smaller than K_B, and pulling one costs its
+            // *actual* weight. Where the tracker knows that weight, use
+            // it: a hot fine piece (every query descending one path) is
+            // then fetched once instead of serialising its module.
+            let thr = match self.adapt.size_hint(block) {
+                Some(w) => w.max(self.cfg.push_threshold),
+                None => pull_threshold,
+            };
+            if total <= thr {
                 for piece in pieces {
                     stats.pushes += 1;
                     pushed_pieces.push((block, piece.tags.clone()));
@@ -510,6 +556,10 @@ impl PimTrie {
                 }
             } else {
                 stats.pulls += 1;
+                // the pull's one-word request hides the real demand from
+                // the traffic tracker — credit the aimed piece words so
+                // adaptive repartitioning sees pull-contended blocks
+                self.adapt.record_pull_demand(block, total);
                 pulls.push((block, pieces));
             }
         }

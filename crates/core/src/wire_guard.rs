@@ -401,6 +401,27 @@ impl Fingerprint for Req {
                 bits.feed(fp);
             }
             Req::ResetModule => fp.word(28),
+            Req::BlockStats { slot } => {
+                fp.word(29);
+                slot.feed(fp);
+            }
+            Req::MetaNodeKind { slot, node } => {
+                fp.word(30);
+                slot.feed(fp);
+                node.feed(fp);
+            }
+            Req::RelinkMirror { slot, old, new } => {
+                fp.word(31);
+                slot.feed(fp);
+                old.feed(fp);
+                new.feed(fp);
+            }
+            Req::SetMetaNodeBlock { slot, node, block } => {
+                fp.word(32);
+                slot.feed(fp);
+                node.feed(fp);
+                block.feed(fp);
+            }
         }
     }
 }

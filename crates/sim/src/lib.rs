@@ -98,7 +98,8 @@ mod wire;
 pub use fault::{CrashSpec, FaultPlan, JamSpec};
 pub use json::Json;
 pub use metrics::{
-    balance, CacheStats, FaultStats, Metrics, MetricsDelta, RoundRecord, ServeStats, Snapshot,
+    balance, AdaptStats, CacheStats, FaultStats, Metrics, MetricsDelta, RoundRecord, ServeStats,
+    Snapshot,
 };
 pub use route::{OriginMap, Routed};
 pub use system::{CrashHandler, PimCtx, PimSystem};

@@ -14,6 +14,8 @@
 //!   distribution: the knob that sweeps benign → skewed;
 //! * [`shifting_hotspot`] — Zipf-skewed phases whose hot buckets rotate, the
 //!   adversary for frequency caches without decay;
+//! * [`hotspot_chase`] — one hot bucket advancing faster than any fixed
+//!   decay half-life, the adversary for *decayed* frequency trackers;
 //! * [`shared_prefix`] — the range-partition killer: every key in the batch
 //!   falls in one tiny key range;
 //! * [`path_chain`] — a degenerate trie: each key extends the previous one,
@@ -180,6 +182,47 @@ pub fn shifting_hotspot(
         .collect()
 }
 
+/// The adversary for *decayed* frequency trackers: a single hot bucket
+/// holds `hot_frac` of the traffic, but it advances to the next bucket
+/// every `period` keys — pick `period` below the tracker's decay
+/// half-life (in batches × batch size) and the tracker is always
+/// chasing a hotspot that has already moved. The remaining
+/// `1 - hot_frac` of the keys are uniform over all buckets, so the
+/// stream never goes fully degenerate. Tails are uniform; bucket ids
+/// are bit-reversed like [`zipf_prefixes`]'s so consecutive hot
+/// buckets land in distant parts of the key space.
+///
+/// Paper: the skew model follows §6.1; the rotation schedule is the
+/// adversarial counterpart of [`shifting_hotspot`] tuned to outpace
+/// op-counter decay rather than merely to move between phases.
+pub fn hotspot_chase(
+    n: usize,
+    len: usize,
+    prefix_bits: usize,
+    period: usize,
+    hot_frac: f64,
+    seed: u64,
+) -> Vec<BitStr> {
+    assert!(prefix_bits <= len && prefix_bits <= 20 && period >= 1);
+    assert!((0.0..=1.0).contains(&hot_frac));
+    let buckets = 1u64 << prefix_bits;
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| {
+            let hot_bucket = (i / period) as u64 % buckets;
+            let rank = if r.gen_bool(hot_frac) {
+                hot_bucket
+            } else {
+                r.gen_range(0..buckets)
+            };
+            let bucket = rank.reverse_bits() >> (64 - prefix_bits.max(1));
+            let mut s = BitStr::from_u64(bucket, prefix_bits);
+            s.append(&random_bits(&mut r, len - prefix_bits).as_slice());
+            s
+        })
+        .collect()
+}
+
 /// Every key extends one common `prefix_len`-bit prefix — all traffic lands
 /// in a single key range, the worst case for range partitioning.
 /// Paper: §3.2.
@@ -313,6 +356,18 @@ pub enum Spec {
         /// Zipf exponent
         theta: f64,
     },
+    /// One hot bucket holding most traffic, advancing every `period`
+    /// keys — faster than any fixed decay half-life.
+    HotspotChase {
+        /// key length in bits
+        len: usize,
+        /// number of prefix bits forming the bucket id
+        prefix_bits: usize,
+        /// keys emitted before the hot bucket advances
+        period: usize,
+        /// fraction of keys drawn from the current hot bucket
+        hot_frac: f64,
+    },
     /// One shared prefix.
     SharedPrefix {
         /// shared prefix length in bits
@@ -352,6 +407,12 @@ impl Spec {
                 phases,
                 theta,
             } => shifting_hotspot(n, len, prefix_bits, phases, theta, seed),
+            Spec::HotspotChase {
+                len,
+                prefix_bits,
+                period,
+                hot_frac,
+            } => hotspot_chase(n, len, prefix_bits, period, hot_frac, seed),
             Spec::SharedPrefix {
                 prefix_len,
                 total_len,
@@ -370,6 +431,7 @@ impl Spec {
             Spec::SeqInts { width } => format!("seq{width}"),
             Spec::Zipf { theta, .. } => format!("zipf{theta}"),
             Spec::ShiftingHotspot { phases, theta, .. } => format!("shift{phases}x{theta}"),
+            Spec::HotspotChase { period, .. } => format!("chase{period}"),
             Spec::SharedPrefix { prefix_len, .. } => format!("shared{prefix_len}"),
             Spec::PathChain { step } => format!("path{step}"),
             Spec::Genome { symbols } => format!("genome{symbols}"),
@@ -452,6 +514,42 @@ mod tests {
         );
         // and determinism in seed
         assert_eq!(keys, shifting_hotspot(4096, 64, prefix_bits, 4, 1.2, 9));
+    }
+
+    #[test]
+    fn hotspot_chase_rotates_faster_than_phases() {
+        let prefix_bits = 4;
+        let period = 256;
+        let keys = hotspot_chase(2048, 64, prefix_bits, period, 0.9, 9);
+        assert_eq!(keys.len(), 2048);
+        // within each period, one bucket dominates; across consecutive
+        // periods the dominating bucket differs
+        let hottest = |w: usize| -> u64 {
+            let mut counts = std::collections::BTreeMap::new();
+            for k in &keys[w * period..(w + 1) * period] {
+                *counts
+                    .entry(k.slice(0..prefix_bits).to_bitstr().to_u64())
+                    .or_insert(0usize) += 1;
+            }
+            let (&b, &c) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+            assert!(c > period / 2, "window {w} not skewed enough: {c}");
+            b
+        };
+        let heads: Vec<u64> = (0..8).map(hottest).collect();
+        for w in heads.windows(2) {
+            assert_ne!(w[0], w[1], "hot bucket failed to advance: {heads:?}");
+        }
+        assert_eq!(keys, hotspot_chase(2048, 64, prefix_bits, period, 0.9, 9));
+        assert_eq!(
+            Spec::HotspotChase {
+                len: 64,
+                prefix_bits,
+                period,
+                hot_frac: 0.9,
+            }
+            .label(),
+            "chase256"
+        );
     }
 
     #[test]
