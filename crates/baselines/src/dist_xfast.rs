@@ -187,6 +187,9 @@ impl DistXFastTrie {
                 }
             }
         }
+        // lint: allow(span-balance) — the span is closed on both the
+        // empty-trie early return above and this fall-through path; the
+        // flow-insensitive scan reads the second close as unmatched
         crate::trace_op_end(self.sys.metrics_mut());
         lo.into_iter().map(|l| l as usize).collect()
     }

@@ -31,6 +31,7 @@
 //! Paper: §6.3 names skew-adaptive placement as the scaling direction;
 //! PIM-tree and JSPIM (PAPERS.md) demonstrate data-side adaptation.
 
+use crate::fixed::Fx;
 use crate::module::Req;
 use crate::refs::BlockRef;
 use pim_sim::Wire;
@@ -89,7 +90,8 @@ fn cm_col(key: u64, row: usize) -> usize {
 /// repartitioning. Owned by [`PimTrie`](crate::PimTrie); inert when
 /// `threshold == 0`.
 pub(crate) struct TrafficTracker {
-    threshold: f64,
+    /// Hot-block traffic share, Q32.32 (`Fx::ZERO` = adaptation off)
+    threshold: Fx,
     sketch: bool,
     ops: u64,
     /// exact mode: decayed words per block
@@ -121,8 +123,8 @@ pub(crate) struct TrafficTracker {
 }
 
 impl TrafficTracker {
-    pub(crate) fn new(threshold: f64, sketch: bool, p: usize) -> TrafficTracker {
-        let on = threshold > 0.0;
+    pub(crate) fn new(threshold: Fx, sketch: bool, p: usize) -> TrafficTracker {
+        let on = !threshold.is_zero();
         TrafficTracker {
             threshold,
             sketch,
@@ -147,7 +149,7 @@ impl TrafficTracker {
 
     /// Whether adaptation is on at all (`threshold > 0`).
     pub(crate) fn enabled(&self) -> bool {
-        self.threshold > 0.0
+        !self.threshold.is_zero()
     }
 
     /// Pause/resume traffic accrual (structural removals still apply).
@@ -403,7 +405,7 @@ impl TrafficTracker {
         if !self.enabled() || !self.warm() {
             return Vec::new();
         }
-        let floor = ((self.total as f64) * self.threshold) as u64;
+        let floor = self.threshold.mul_u64(self.total);
         let floor = floor.max(MIN_HOT_SUPPORT);
         let candidates: Vec<BlockRef> = if self.sketch {
             self.touched.iter().copied().collect()
@@ -532,7 +534,7 @@ mod tests {
 
     #[test]
     fn disabled_tracker_is_inert() {
-        let mut t = TrafficTracker::new(0.0, false, 4);
+        let mut t = TrafficTracker::new(Fx::ZERO, false, 4);
         assert!(!t.enabled());
         t.record_inbox(&[vec![match_req(1)], vec![], vec![], vec![]]);
         t.tick();
@@ -543,7 +545,7 @@ mod tests {
 
     #[test]
     fn exact_counters_accrue_and_decay() {
-        let mut t = TrafficTracker::new(0.05, false, 2);
+        let mut t = TrafficTracker::new(Fx::from_milli(50), false, 2);
         // ReadKey is 3 words; 40 of them = 120 words on block (0,1)
         let inbox = vec![(0..40).map(|_| match_req(1)).collect::<Vec<_>>(), vec![]];
         t.record_inbox(&inbox);
@@ -560,7 +562,7 @@ mod tests {
 
     #[test]
     fn paused_rounds_do_not_feed_back() {
-        let mut t = TrafficTracker::new(0.05, false, 2);
+        let mut t = TrafficTracker::new(Fx::from_milli(50), false, 2);
         t.set_paused(true);
         t.record_inbox(&[vec![match_req(1)], vec![]]);
         assert_eq!(t.estimate(bref(0, 1)), 0);
@@ -575,7 +577,7 @@ mod tests {
 
     #[test]
     fn hot_needs_support_floor_and_share() {
-        let mut t = TrafficTracker::new(0.5, false, 1);
+        let mut t = TrafficTracker::new(Fx::HALF, false, 1);
         // three blocks at ~1/3 each (63 words total): none passes 0.5
         let inbox = vec![(0..21).map(|i| match_req(1 + i % 3)).collect::<Vec<_>>()];
         t.record_inbox(&inbox);
@@ -591,8 +593,8 @@ mod tests {
 
     #[test]
     fn sketch_estimates_upper_bound_and_skip_cold_merge() {
-        let mut exact = TrafficTracker::new(0.05, false, 2);
-        let mut sk = TrafficTracker::new(0.05, true, 2);
+        let mut exact = TrafficTracker::new(Fx::from_milli(50), false, 2);
+        let mut sk = TrafficTracker::new(Fx::from_milli(50), true, 2);
         let inbox = vec![
             (0..30).map(|i| match_req(i % 3)).collect::<Vec<_>>(),
             vec![],
@@ -617,7 +619,7 @@ mod tests {
 
     #[test]
     fn rename_and_forget_track_migrations() {
-        let mut t = TrafficTracker::new(0.05, false, 4);
+        let mut t = TrafficTracker::new(Fx::from_milli(50), false, 4);
         let inbox = vec![(0..40).map(|_| match_req(1)).collect::<Vec<_>>()];
         t.record_inbox(&inbox);
         t.note_spawned(&[bref(0, 1)]);
@@ -636,7 +638,7 @@ mod tests {
 
     #[test]
     fn tracked_on_orders_heaviest_first() {
-        let mut t = TrafficTracker::new(0.05, false, 2);
+        let mut t = TrafficTracker::new(Fx::from_milli(50), false, 2);
         let mut reqs = Vec::new();
         for _ in 0..5 {
             reqs.push(match_req(2));

@@ -2,6 +2,7 @@
 //! push-pull threshold and hash width).
 
 use crate::error::PimTrieError;
+use crate::fixed::{ceil_log2, Fx};
 use bitstr::hash::HashWidth;
 
 /// Configuration of a [`PimTrie`](crate::PimTrie).
@@ -20,8 +21,9 @@ pub struct PimTrieConfig {
     /// instead of being pushed.
     pub push_threshold: u64,
     /// Scapegoat imbalance fraction `α ∈ (0.5, 1)` for meta-block-tree
-    /// rebuilds (§5.2).
-    pub alpha: f64,
+    /// rebuilds (§5.2). Held as Q32.32 fixed point ([`Fx`]) so the
+    /// rebuild decision is bit-identical on every target.
+    pub alpha: Fx,
     /// Digest width compared by hash tables (§4.4.3). Narrow widths force
     /// collisions and exercise verification; `HashWidth::FULL` for normal
     /// use.
@@ -64,11 +66,13 @@ pub struct PimTrieConfig {
     /// cold adapt-spawned pieces merge back into their parents. `0.0`
     /// (the default) disables adaptation entirely and takes the exact
     /// legacy code path: no extra rounds, CPU charges, trace spans or RNG
-    /// draws — byte-identical counters at any thread count.
+    /// draws — byte-identical counters at any thread count. Held as
+    /// Q32.32 fixed point ([`Fx`]); [`with_adapt`](Self::with_adapt)
+    /// converts a human-friendly `f64` share once, at the boundary.
     ///
     /// Paper: §6.3 names skew-adaptive placement as the scaling
     /// direction; PIM-tree and JSPIM demonstrate data-side adaptation.
-    pub adapt_threshold: f64,
+    pub adapt_threshold: Fx,
     /// Track per-block traffic with a fixed-size count-min sketch instead
     /// of exact per-block counters. Trades exactness of the frequency
     /// estimates (and the cold-merge pass, which needs enumerable
@@ -82,7 +86,7 @@ impl PimTrieConfig {
     /// `K_MB = P`, `K_SMB = log² P`, push threshold `log⁴ P`, `α = 0.75`.
     pub fn for_modules(p: usize) -> Self {
         assert!(p >= 1);
-        let lg = (p.max(2) as f64).log2().ceil() as u64;
+        let lg = ceil_log2(p.max(2));
         let lg2 = (lg * lg).max(16);
         PimTrieConfig {
             p,
@@ -90,7 +94,7 @@ impl PimTrieConfig {
             k_mb: p.max(4),
             k_smb: lg2 as usize,
             push_threshold: (lg2 * lg2).max(64),
-            alpha: 0.75,
+            alpha: Fx::from_milli(750),
             hash_width: HashWidth::FULL,
             seed: 0x9122_7cc1_dead_beef,
             oversize_factor: 2,
@@ -98,7 +102,7 @@ impl PimTrieConfig {
             fault_tolerance: false,
             max_round_retries: 8,
             cache_words: 0,
-            adapt_threshold: 0.0,
+            adapt_threshold: Fx::ZERO,
             adapt_sketch: false,
         }
     }
@@ -126,15 +130,22 @@ impl PimTrieConfig {
     /// traffic share exceeds `threshold` triggers online repartitioning
     /// (split / migrate / merge in bounded, metered BSP rounds). Pass a
     /// share in `(0, 1)`; `0.0` is the disabled sentinel.
+    /// The `f64` here is the one sanctioned float boundary: the share
+    /// is rounded to the nearest Q32.32 value once, and every decision
+    /// downstream is exact integer arithmetic.
+    // lint: allow(float-determinism) — public API boundary; converted
+    // to Fx at entry, nothing downstream branches on a float
     pub fn with_adapt(mut self, threshold: f64) -> Self {
-        self.adapt_threshold = threshold;
+        // NaN/negative map to the out-of-domain sentinel: `validate`
+        // rejects anything >= 1
+        self.adapt_threshold = Fx::from_f64_checked(threshold).unwrap_or(Fx::MAX);
         self
     }
 
     /// Disable adaptive blocking (`adapt_threshold = 0`), reproducing the
     /// static-partition behaviour bit-for-bit.
     pub fn with_adapt_disabled(mut self) -> Self {
-        self.adapt_threshold = 0.0;
+        self.adapt_threshold = Fx::ZERO;
         self
     }
 
@@ -161,7 +172,7 @@ impl PimTrieConfig {
                 "K_MB and K_SMB must be at least 1".into(),
             ));
         }
-        if !(self.alpha > 0.5 && self.alpha < 1.0) {
+        if !(self.alpha > Fx::HALF && self.alpha < Fx::ONE) {
             return Err(PimTrieError::BadConfig("alpha must lie in (0.5, 1)".into()));
         }
         if self.oversize_factor < 1 || self.undersize_divisor < 1 {
@@ -169,10 +180,7 @@ impl PimTrieConfig {
                 "oversize_factor and undersize_divisor must be at least 1".into(),
             ));
         }
-        if !self.adapt_threshold.is_finite()
-            || self.adapt_threshold < 0.0
-            || self.adapt_threshold >= 1.0
-        {
+        if self.adapt_threshold >= Fx::ONE {
             return Err(PimTrieError::BadConfig(
                 "adapt_threshold must lie in [0, 1) (0 disables adaptation)".into(),
             ));
@@ -210,8 +218,8 @@ impl PimTrieConfig {
     /// `Ω(P log⁵ P)` scaled by `c` (Theorem 4.3). Informational: smaller
     /// batches still work, only the whp balance claim weakens.
     pub fn min_balanced_batch(&self) -> usize {
-        let lg = (self.p.max(2) as f64).log2().ceil();
-        (self.p as f64 * lg.powi(5)) as usize
+        let lg = ceil_log2(self.p.max(2));
+        (self.p as u64 * lg.pow(5)) as usize
     }
 }
 
@@ -255,7 +263,7 @@ mod tests {
     fn validate_rejects_degenerate_configs() {
         assert!(PimTrieConfig::for_modules(8).validate().is_ok());
         let mut c = PimTrieConfig::for_modules(8);
-        c.alpha = 0.5;
+        c.alpha = Fx::HALF;
         assert!(c.validate().is_err());
         let mut c = PimTrieConfig::for_modules(8);
         c.p = 0;
@@ -270,12 +278,12 @@ mod tests {
     #[test]
     fn adapt_disabled_by_default_and_validated() {
         let c = PimTrieConfig::for_modules(8);
-        assert_eq!(c.adapt_threshold, 0.0);
+        assert!(c.adapt_threshold.is_zero());
         assert!(!c.adapt_sketch);
         let on = PimTrieConfig::for_modules(8).with_adapt(0.25);
-        assert_eq!(on.adapt_threshold, 0.25);
+        assert_eq!(on.adapt_threshold, Fx::from_milli(250));
         assert!(on.validate().is_ok());
-        assert_eq!(on.with_adapt_disabled().adapt_threshold, 0.0);
+        assert!(on.with_adapt_disabled().adapt_threshold.is_zero());
         assert!(PimTrieConfig::for_modules(8)
             .with_adapt(0.1)
             .with_adapt_sketch(true)

@@ -68,6 +68,7 @@ mod build;
 mod cache;
 mod config;
 mod error;
+pub mod fixed;
 mod hvm;
 mod matching;
 mod module;

@@ -321,7 +321,7 @@ impl PimTrie {
         // ---- Phase 1: master matching (Algorithm 4) -------------------
         self.t_phase("master-match");
         let p = self.sys.p();
-        let lg = (p.max(2) as f64).log2().ceil() as u64;
+        let lg = crate::fixed::ceil_log2(p.max(2));
         let total = qt.trie.size_words() as u64;
         let kb_master = (total / (p as u64 * lg).max(1)).max(16);
         let master_roots = trie_core::partition::partition_roots(&qt.trie, kb_master);

@@ -4,6 +4,7 @@
 //! undersized merges).
 
 use crate::error::PimTrieError;
+use crate::fixed::Fx;
 use crate::matching::{Anchor, MatchedTrie};
 use crate::module::{GraftMsg, Req, Resp, MIRROR_VALUE};
 use crate::refs::{BitsMsg, BlockRef, MetaRef, TrieMsg};
@@ -1397,10 +1398,16 @@ impl PimTrie {
         // Migration triggers on measured-IO imbalance; a lower bar than
         // the hot-split threshold so residual skew the splits cannot
         // reach (block spines stacked on one module) still levels out.
-        const ADAPT_MIG_TRIGGER: f64 = 1.2;
+        // Q32.32 so the trigger compares identically on every target
+        // (`pim_sim::balance` reports the same ratio, in f64, for humans).
+        const ADAPT_MIG_TRIGGER: Fx = Fx::from_milli(1200);
         let hot = self.adapt.hot_blocks();
         let cold = self.adapt.cold_spawned();
-        let migrate = pim_sim::balance(self.adapt.load_win()) > ADAPT_MIG_TRIGGER;
+        let win = self.adapt.load_win();
+        let win_total: u64 = win.iter().sum();
+        let win_max = win.iter().copied().max().unwrap_or(0);
+        let migrate =
+            win_total > 0 && Fx::ratio(win_max * win.len() as u64, win_total) > ADAPT_MIG_TRIGGER;
         if hot.is_empty() && cold.is_empty() && !migrate {
             return Ok(());
         }
@@ -1491,14 +1498,13 @@ impl PimTrie {
     /// Host-side arithmetic plans the wave; four bounded BSP rounds
     /// execute it. Returns the number of blocks actually moved.
     fn adapt_migrate(&mut self) -> Result<u64, PimTrieError> {
-        const ADAPT_MIG_TARGET: f64 = 1.1;
+        const ADAPT_MIG_TARGET: Fx = Fx::from_milli(1100);
         let win = self.adapt.load_win().to_vec();
         let p = win.len();
         let total: u64 = win.iter().sum();
         if p <= 1 || total == 0 {
             return Ok(0);
         }
-        let mean = total as f64 / p as f64;
         let mut est = win;
         let mut moving: BTreeSet<BlockRef> = BTreeSet::new();
         let mut plan: Vec<(BlockRef, u64, u32)> = Vec::new();
@@ -1514,7 +1520,8 @@ impl PimTrie {
             else {
                 break;
             };
-            if (src_load as f64) <= ADAPT_MIG_TARGET * mean {
+            // `src_load <= 1.1 · total/p`, in exact integer form
+            if Fx::ratio(src_load * p as u64, total) <= ADAPT_MIG_TARGET {
                 break;
             }
             // lightest destination (ties: lowest index), skipping

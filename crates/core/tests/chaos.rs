@@ -246,7 +246,7 @@ fn input_validation_reports_errors() {
     assert_eq!(t.try_delete_batch(&k).unwrap(), 1);
     // degenerate config is rejected, not asserted
     let mut cfg = PimTrieConfig::for_modules(4);
-    cfg.alpha = 0.4;
+    cfg.alpha = pim_trie::fixed::Fx::from_milli(400);
     assert!(matches!(
         PimTrie::try_new(cfg),
         Err(PimTrieError::BadConfig(_))

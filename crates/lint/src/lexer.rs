@@ -12,7 +12,9 @@
 //!   hash depth) and their byte variants (`b"…"`, `br#"…"#`),
 //! * char literals vs. lifetimes (`'a'` vs. `'a`, including escaped
 //!   chars like `'\''` and `'\u{1F600}'`),
-//! * numeric literals (so `0..10` still yields two `.` symbols).
+//! * raw identifiers (`r#fn` is an identifier, not the keyword),
+//! * numeric literals (so `0..10` still yields two `.` symbols), with
+//!   float-shaped ones marked (the `float-determinism` rule needs them).
 //!
 //! Output is a flat token stream with line numbers, plus the per-line
 //! comment text (the rules look there for `SAFETY:` justifications and
@@ -22,15 +24,30 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-/// What a token is. Literals and lifetimes are deliberately *not*
-/// emitted — no rule needs their contents, only the fact that the line
-/// holds code (tracked in [`Lexed::code_lines`]).
+/// What a token is. String and numeric literals are emitted as opaque
+/// [`TokKind::Str`]/[`TokKind::Num`] tokens: the `doc-drift` rule reads
+/// string contents, `float-determinism` needs float-literal positions,
+/// and `metric-cardinality` distinguishes a literal name from a
+/// computed one. Char literals and lifetimes still vanish — no rule
+/// needs them, only the code-line fact (tracked in
+/// [`Lexed::code_lines`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokKind {
     /// An identifier or keyword (`unsafe`, `HashMap`, `static`, …).
+    /// Raw identifiers keep their sigil (`r#fn`), so keyword checks
+    /// like `is_ident("fn")` never match them.
     Ident(String),
     /// A single punctuation character (`{`, `.`, `!`, …).
     Sym(char),
+    /// A string literal's contents (escape sequences left verbatim;
+    /// covers `"…"`, `r"…"`/`r#"…"#`, and the byte variants).
+    Str(String),
+    /// A numeric literal; `float` marks decimal-float shape (a
+    /// fractional part, an exponent, or an `f32`/`f64` suffix).
+    Num {
+        /// True for float-shaped literals.
+        float: bool,
+    },
 }
 
 /// One token with its 1-based source line.
@@ -47,8 +64,21 @@ impl Tok {
     pub fn ident(&self) -> Option<&str> {
         match &self.kind {
             TokKind::Ident(s) => Some(s),
-            TokKind::Sym(_) => None,
+            _ => None,
         }
+    }
+
+    /// The string-literal contents, if this is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True iff this token is a float-shaped numeric literal.
+    pub fn is_float_lit(&self) -> bool {
+        matches!(self.kind, TokKind::Num { float: true })
     }
 
     /// True iff this token is the given punctuation character.
@@ -220,50 +250,70 @@ fn lex_block_comment(cur: &mut Cursor<'_>, out: &mut Lexed) {
 }
 
 /// Consume a `"…"` string (escapes honoured), marking every spanned
-/// line as code.
+/// line as code and emitting its contents (escapes verbatim) as a
+/// [`TokKind::Str`] token.
 fn lex_string(cur: &mut Cursor<'_>, out: &mut Lexed) {
-    out.code_lines.insert(cur.line);
+    let line = cur.line;
+    out.code_lines.insert(line);
     cur.bump(); // opening quote
+    let mut content = Vec::new();
     while let Some(b) = cur.bump() {
         out.code_lines.insert(cur.line);
         match b {
             b'\\' => {
-                cur.bump(); // skip the escaped byte (covers \" and \\)
+                content.push(b);
+                if let Some(e) = cur.bump() {
+                    content.push(e); // the escaped byte (covers \" and \\)
+                }
             }
-            b'"' => return,
-            _ => {}
+            b'"' => break,
+            _ => content.push(b),
         }
     }
+    out.toks.push(Tok {
+        line,
+        kind: TokKind::Str(String::from_utf8_lossy(&content).into_owned()),
+    });
 }
 
 /// Consume a raw string `r"…"` / `r#"…"#` (any hash depth), marking
-/// every spanned line as code. `cur` is positioned on the `r`'s
-/// following character (the `#` or `"`).
+/// every spanned line as code and emitting its contents as a
+/// [`TokKind::Str`] token. `cur` is positioned on the `r`'s following
+/// character (the `#` or `"`), which the caller has verified opens a
+/// real raw string (raw *identifiers* like `r#fn` never get here).
 fn lex_raw_string(cur: &mut Cursor<'_>, out: &mut Lexed) {
-    out.code_lines.insert(cur.line);
+    let line = cur.line;
+    out.code_lines.insert(line);
     let mut hashes = 0usize;
     while cur.peek() == Some(b'#') {
         hashes += 1;
         cur.bump();
     }
     if cur.peek() != Some(b'"') {
-        return; // not actually a raw string (e.g. `r#ident`); idents re-lex fine
+        return; // malformed (caller screens `r#ident`); swallow the hashes
     }
     cur.bump(); // opening quote
+    let mut content = Vec::new();
     'scan: while let Some(b) = cur.bump() {
         out.code_lines.insert(cur.line);
         if b == b'"' {
             for i in 0..hashes {
                 if cur.peek_at(i) != Some(b'#') {
+                    content.push(b);
                     continue 'scan;
                 }
             }
             for _ in 0..hashes {
                 cur.bump();
             }
-            return;
+            break;
         }
+        content.push(b);
     }
+    out.toks.push(Tok {
+        line,
+        kind: TokKind::Str(String::from_utf8_lossy(&content).into_owned()),
+    });
 }
 
 /// `'a'` vs `'a`: a quote followed by an identifier is a lifetime unless
@@ -314,7 +364,16 @@ fn lex_char_or_lifetime(cur: &mut Cursor<'_>, out: &mut Lexed) {
 }
 
 fn lex_number(cur: &mut Cursor<'_>, out: &mut Lexed) {
-    out.code_lines.insert(cur.line);
+    let line = cur.line;
+    out.code_lines.insert(line);
+    // 0x/0o/0b literals never carry a fraction or signed exponent (an
+    // `e` inside them is a hex digit, not an exponent marker)
+    let prefixed = cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B')
+        );
+    let start = cur.pos;
     cur.bump();
     loop {
         match cur.peek() {
@@ -322,12 +381,36 @@ fn lex_number(cur: &mut Cursor<'_>, out: &mut Lexed) {
             Some(b'.') if cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) => {
                 cur.bump();
             }
+            // signed exponent: `1e-3`, `2.5E+7`
+            Some(b'e' | b'E')
+                if !prefixed
+                    && matches!(cur.peek_at(1), Some(b'+' | b'-'))
+                    && cur.peek_at(2).is_some_and(|b| b.is_ascii_digit()) =>
+            {
+                cur.bump();
+                cur.bump();
+            }
             Some(b) if b.is_ascii_alphanumeric() || b == b'_' => {
                 cur.bump();
             }
-            _ => return,
+            _ => break,
         }
     }
+    let text = &cur.src[start..cur.pos];
+    // an exponent is an `e`/`E` followed by a digit or sign (`9usize`
+    // contains an `e` that is not one)
+    let has_exponent = text.windows(2).any(|w| {
+        matches!(w[0], b'e' | b'E') && (w[1].is_ascii_digit() || matches!(w[1], b'+' | b'-'))
+    });
+    let float = !prefixed
+        && (text.contains(&b'.')
+            || has_exponent
+            || text.ends_with(b"f32")
+            || text.ends_with(b"f64"));
+    out.toks.push(Tok {
+        line,
+        kind: TokKind::Num { float },
+    });
 }
 
 fn lex_ident_or_prefixed_string(cur: &mut Cursor<'_>, out: &mut Lexed) {
@@ -337,6 +420,23 @@ fn lex_ident_or_prefixed_string(cur: &mut Cursor<'_>, out: &mut Lexed) {
     let b1 = cur.peek_at(1);
     let b2 = cur.peek_at(2);
     match (b0, b1, b2) {
+        // `r#ident` is a raw identifier, not a raw string: `#` followed
+        // by an identifier start (another `#` or `"` means raw string)
+        (Some(b'r'), Some(b'#'), Some(c)) if c != b'#' && c != b'"' && is_ident_start(c) => {
+            out.code_lines.insert(line);
+            let start = cur.pos;
+            cur.bump(); // r
+            cur.bump(); // #
+            while cur.peek().is_some_and(is_ident_cont) {
+                cur.bump();
+            }
+            let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Ident(text),
+            });
+            return;
+        }
         (Some(b'r'), Some(b'"' | b'#'), _) => {
             cur.bump();
             lex_raw_string(cur, out);
@@ -446,13 +546,95 @@ mod tests {
         assert_eq!(idents(&l), ["let", "e", "let", "nl"]);
     }
 
+    fn nums(l: &Lexed) -> Vec<bool> {
+        l.toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num { float } => Some(float),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn strs(l: &Lexed) -> Vec<&str> {
+        l.toks.iter().filter_map(|t| t.str_lit()).collect()
+    }
+
     #[test]
     fn numbers_do_not_eat_range_dots() {
         // `0..10` must yield two `.` symbols, `1.5` none, `1.max(2)` one.
         assert_eq!(syms(&lex("0..10")), "..");
         assert_eq!(syms(&lex("let x = 1.5;")), "=;");
         assert_eq!(syms(&lex("1.max(2)")), ".()");
-        assert_eq!(syms(&lex("0xff_u32 + 1e-3")), "+-");
+        // a signed exponent is part of the literal, not a `-` symbol
+        assert_eq!(syms(&lex("0xff_u32 + 1e-3")), "+");
+    }
+
+    #[test]
+    fn float_literals_are_marked() {
+        assert_eq!(nums(&lex("0..10")), [false, false]);
+        assert_eq!(nums(&lex("1.5 2.0f32 1e-3 7E+2 2e9 3f64")), vec![true; 6]);
+        assert_eq!(
+            nums(&lex("1 0xff 0o7 0b1 10_000u64 9usize")),
+            vec![false; 6]
+        );
+        // hex digits that happen to be `e` are not exponents
+        assert_eq!(nums(&lex("0x1e + 0x1E")), [false, false]);
+    }
+
+    #[test]
+    fn string_literal_contents_are_captured() {
+        let l = lex(r####"let a = "t1-space"; let b = r#"skew "quoted""#; let c = b"bytes";"####);
+        assert_eq!(strs(&l), ["t1-space", "skew \"quoted\"", "bytes"]);
+        // escapes stay verbatim — substring search still works
+        assert_eq!(strs(&lex(r#""a\"b\n""#)), ["a\\\"b\\n"]);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_sigil() {
+        // `r#fn` must not lex as the keyword `fn` (nor start a raw string)
+        let l = lex("let r#fn = 1; let x = r#type;");
+        assert_eq!(idents(&l), ["let", "r#fn", "let", "x", "r#type"]);
+        assert!(!l.toks.iter().any(|t| t.is_ident("fn")));
+        // …while raw strings with hashes still lex as strings
+        assert_eq!(strs(&lex(r###"r#"fn"#"###)), ["fn"]);
+    }
+
+    #[test]
+    fn block_comment_markers_inside_raw_strings_are_inert() {
+        // `/*` inside a raw string must not open a comment (and the
+        // `unsafe` beyond the string must still tokenize)
+        let l = lex(r###"let s = r#"/* not a comment"#; unsafe { }"###);
+        assert_eq!(idents(&l), ["let", "s", "unsafe"]);
+        assert!(l.comments.is_empty());
+        // …and a raw-string-looking span inside a block comment stays comment
+        let l = lex("/* r#\" still a comment */ fn f() {}");
+        assert_eq!(idents(&l), ["fn", "f"]);
+    }
+
+    #[test]
+    fn byte_string_escapes() {
+        // `\x` escapes and escaped quotes must not end the byte string early
+        let l = lex(r#"let a = b"\xff\"unsafe\""; fn k() {}"#);
+        assert_eq!(idents(&l), ["let", "a", "fn", "k"]);
+        // escaped backslash right before the closing quote
+        let l = lex(r#"let p = b"tail\\"; unsafe { }"#);
+        assert_eq!(idents(&l), ["let", "p", "unsafe"]);
+    }
+
+    #[test]
+    fn static_lifetime_vs_char_at_expression_start() {
+        // `&'static str` in type position: lifetime, no tokens, and the
+        // `static` keyword must NOT be reported as an ident (it would
+        // trip `global-state`)
+        let l = lex("fn f(s: &'static str) -> &'static str { s }");
+        assert!(!l.toks.iter().any(|t| t.is_ident("static")));
+        // expression-start char literals right after `{`, `(`, `=`, `match`
+        let l = lex("let c = 's'; match c { 's' => 1, _ => 0 };");
+        assert_eq!(idents(&l), ["let", "c", "match", "c", "_"]);
+        // lifetime then char on the same line
+        let l = lex("fn g<'a>(x: &'a u8) -> char { 'a' }");
+        assert_eq!(idents(&l), ["fn", "g", "x", "u8", "char"]);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod lexer;
+pub mod parser;
 pub mod ratchet;
 pub mod report;
 pub mod rules;

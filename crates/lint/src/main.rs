@@ -8,7 +8,8 @@
 //! `1` at least one active finding or ratchet regression, `2` usage or
 //! I/O error. CI treats anything non-zero as a failed gate.
 
-use pimtrie_lint::rules::{self, check_file, Finding};
+use pimtrie_lint::analysis::{self, Unit};
+use pimtrie_lint::rules::{self, Finding};
 use pimtrie_lint::{ratchet, report, walk};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,13 +26,16 @@ const USAGE: &str = "usage: pimtrie-lint [--root DIR] [--json FILE] [--ratchet F
                      [--write-ratchet] [--quiet]
 
 Scans the workspace tree for violations of the determinism and
-unsafe-audit invariants (rules: safety-comment, unordered-iter,
-wallclock, global-state, panic-ratchet). See DESIGN.md \"Static
-analysis & invariants\".
+unsafe-audit invariants. Per-file rules: safety-comment,
+unordered-iter, wallclock, global-state, panic-ratchet,
+serve-channel-panic, metric-cardinality, float-determinism,
+span-balance. Workspace rules (cross-file facts): metering-honesty,
+dead-waiver, doc-drift, plus the panic and waiver ratchets. See
+DESIGN.md \"Static analysis & invariants\".
 
   --root DIR        workspace root to scan (default: .)
   --json FILE       also write findings as JSONL (includes waived ones)
-  --ratchet FILE    panic-ratchet baseline (default: ROOT/crates/lint/ratchet.json)
+  --ratchet FILE    ratchet baseline (default: ROOT/crates/lint/ratchet.json)
   --write-ratchet   rewrite the baseline to the observed counts and exit
   --quiet           suppress the human report (exit code still set)";
 
@@ -76,19 +80,43 @@ fn run(opts: &Opts) -> Result<ExitCode, String> {
         ));
     }
 
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut counts = ratchet::Ratchet::new();
+    // pass 1: lex/parse every file and run the per-file rules
+    let mut units: Vec<Unit> = Vec::with_capacity(items.len());
     for item in &items {
         let src = std::fs::read_to_string(&item.abs)
             .map_err(|e| format!("reading {}: {e}", item.abs.display()))?;
-        let rep = check_file(&item.ctx, &src);
-        findings.extend(rep.findings);
-        // tally every library crate, including panic-free ones at 0, so
-        // new crates land in the baseline pinned to zero rather than
+        let fa = rules::analyze(&src);
+        let rep = rules::check(&item.ctx, &fa);
+        units.push(Unit {
+            ctx: item.ctx.clone(),
+            fa,
+            rep,
+        });
+    }
+
+    // pass 2: workspace rules over the aggregated facts
+    let experiments_md = std::fs::read_to_string(opts.root.join("EXPERIMENTS.md")).ok();
+    let cost_baseline =
+        std::fs::read_to_string(opts.root.join("crates/bench/baselines/cost-baseline.json")).ok();
+    analysis::run(
+        &mut units,
+        experiments_md.as_deref(),
+        cost_baseline.as_deref(),
+    );
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut counts = ratchet::Ratchet::new();
+    let mut waiver_counts = ratchet::Ratchet::new();
+    for u in units {
+        // tally every library crate, including clean ones at 0, so new
+        // crates land in the baseline pinned to zero rather than
         // reading as stale entries
-        if item.ctx.class == rules::FileClass::Src {
-            *counts.entry(item.ctx.krate.clone()).or_insert(0) += rep.panics.count;
+        if u.ctx.class == rules::FileClass::Src {
+            *counts.entry(u.ctx.krate.clone()).or_insert(0) += u.rep.panics.count;
+            *waiver_counts.entry(u.ctx.krate.clone()).or_insert(0) +=
+                u.rep.waiver_sites.len() as u64;
         }
+        findings.extend(u.rep.findings);
     }
 
     let ratchet_path = opts
@@ -102,11 +130,14 @@ fn run(opts: &Opts) -> Result<ExitCode, String> {
         .to_string();
 
     if opts.write_ratchet {
-        std::fs::write(&ratchet_path, ratchet::render(&counts))
-            .map_err(|e| format!("writing {}: {e}", ratchet_path.display()))?;
+        std::fs::write(
+            &ratchet_path,
+            ratchet::render_baseline(&counts, &waiver_counts),
+        )
+        .map_err(|e| format!("writing {}: {e}", ratchet_path.display()))?;
         if !opts.quiet {
             println!(
-                "wrote panic-ratchet baseline for {} crates to {}",
+                "wrote panic+waiver ratchet baseline for {} crates to {}",
                 counts.len(),
                 ratchet_path.display()
             );
@@ -117,14 +148,25 @@ fn run(opts: &Opts) -> Result<ExitCode, String> {
     let mut notices = Vec::new();
     match std::fs::read_to_string(&ratchet_path) {
         Ok(text) => {
-            let baseline = ratchet::parse(&text)?;
-            let (f, n) = ratchet::check(&counts, &baseline, &ratchet_rel);
+            let baseline = ratchet::parse_baseline(&text)?;
+            let (f, n) = ratchet::check(&counts, &baseline.panics, &ratchet_rel);
             findings.extend(f);
             notices.extend(n);
+            match &baseline.waivers {
+                Some(w) => {
+                    let (f, n) = ratchet::check_waivers(&waiver_counts, w, &ratchet_rel);
+                    findings.extend(f);
+                    notices.extend(n);
+                }
+                None => notices.push(format!(
+                    "{ratchet_rel} is a legacy panics-only baseline — run with --write-ratchet \
+                     to add the waiver ratchet (waiver check skipped)"
+                )),
+            }
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => notices.push(format!(
-            "no panic-ratchet baseline at {} — run with --write-ratchet to create one \
-             (ratchet rule skipped)",
+            "no ratchet baseline at {} — run with --write-ratchet to create one \
+             (ratchet rules skipped)",
             ratchet_path.display()
         )),
         Err(e) => return Err(format!("reading {}: {e}", ratchet_path.display())),

@@ -1,25 +1,89 @@
-//! The panic ratchet: a committed per-crate budget of
-//! `unwrap`/`expect`/`panic!` sites that may only go down.
+//! The ratchets: committed per-crate budgets that may only go down.
 //!
-//! The baseline lives at `crates/lint/ratchet.json` as a flat JSON
-//! object `{ "<crate>": <count>, … }` with keys sorted, written and
-//! parsed here with no dependencies (the format is deliberately a tiny
-//! subset of JSON — see [`parse`]).
+//! Two budgets share the mechanism: `unwrap`/`expect`/`panic!` sites
+//! (the panic ratchet) and `lint: allow(…)` waiver comments (the waiver
+//! ratchet — every waiver is debt against the invariants, so growing
+//! the pile needs the same review a panic does).
 //!
-//! Semantics at check time, per crate:
+//! The baseline lives at `crates/lint/ratchet.json` as
+//! `{ "panics": { "<crate>": <count>, … }, "waivers": { … } }` with
+//! keys sorted, written and parsed here with no dependencies (the
+//! format is deliberately a tiny subset of JSON — see [`parse`]).
+//! A legacy flat object `{ "<crate>": <count>, … }` still parses as a
+//! panics-only baseline; the waiver check is then skipped with a notice
+//! until `--write-ratchet` upgrades the file.
 //!
-//! * count **above** budget → a `panic-ratchet` finding (fails the run);
+//! Semantics at check time, per crate and budget:
+//!
+//! * count **above** budget → a `panic-ratchet`/`waiver-ratchet`
+//!   finding (fails the run);
 //! * count **below** budget → an informational nudge to tighten the
 //!   baseline (`--write-ratchet` rewrites it);
 //! * crate missing from the baseline → budget 0 (new crates start
-//!   panic-free and must buy any panics by committing a baseline bump
-//!   in review).
+//!   clean and must buy any debt by committing a baseline bump in
+//!   review).
 
 use crate::rules::Finding;
 use std::collections::BTreeMap;
 
-/// Per-crate panic budgets, ordered by crate name.
+/// Per-crate budgets for one ratchet, ordered by crate name.
 pub type Ratchet = BTreeMap<String, u64>;
+
+/// The committed baseline file: both ratchets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Panic-site budgets.
+    pub panics: Ratchet,
+    /// Waiver-site budgets; `None` for a legacy panics-only file.
+    pub waivers: Option<Ratchet>,
+}
+
+/// Parse the committed baseline, accepting both the nested v2 format
+/// and the legacy flat (panics-only) object.
+pub fn parse_baseline(src: &str) -> Result<Baseline, String> {
+    if let Some(panics) = object_after(src, "panics") {
+        let waivers = object_after(src, "waivers").map(parse).transpose()?;
+        Ok(Baseline {
+            panics: parse(panics)?,
+            waivers,
+        })
+    } else {
+        Ok(Baseline {
+            panics: parse(src)?,
+            waivers: None,
+        })
+    }
+}
+
+/// Render both ratchets in the nested v2 format, deterministically.
+pub fn render_baseline(panics: &Ratchet, waivers: &Ratchet) -> String {
+    let indent = |r: &Ratchet| {
+        let mut s = String::new();
+        for (i, (k, v)) in r.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{k}\": {v}{}\n",
+                if i + 1 < r.len() { "," } else { "" }
+            ));
+        }
+        s
+    };
+    format!(
+        "{{\n  \"panics\": {{\n{}  }},\n  \"waivers\": {{\n{}  }}\n}}\n",
+        indent(panics),
+        indent(waivers)
+    )
+}
+
+/// The `{ … }` value of `"key"` inside `src`, if any. The inner objects
+/// are flat, so the first `}` after the opening brace closes the value.
+fn object_after<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let at = src.find(&format!("\"{key}\""))?;
+    let rest = &src[at..];
+    let colon = rest.find(':')?;
+    let open = rest[colon..].find('{')? + colon;
+    let close = rest[open..].find('}')? + open;
+    Some(&rest[open..=close])
+}
 
 /// Parse the baseline: one flat object of string keys to non-negative
 /// integers. Anything else is an error (the file is machine-written;
@@ -66,12 +130,46 @@ pub fn render(r: &Ratchet) -> String {
     out
 }
 
-/// Compare tallied counts to the baseline. Returns the findings for
-/// over-budget crates plus human notices for under-budget ones.
+/// Compare tallied panic counts to the baseline. Returns the findings
+/// for over-budget crates plus human notices for under-budget ones.
 pub fn check(
     counts: &Ratchet,
     baseline: &Ratchet,
     ratchet_path: &str,
+) -> (Vec<Finding>, Vec<String>) {
+    check_one(
+        counts,
+        baseline,
+        ratchet_path,
+        "panic-ratchet",
+        "unwrap/expect/panic! sites",
+        "remove panics or justify a baseline bump in review",
+    )
+}
+
+/// Compare tallied `lint: allow(…)` site counts to the baseline.
+pub fn check_waivers(
+    counts: &Ratchet,
+    baseline: &Ratchet,
+    ratchet_path: &str,
+) -> (Vec<Finding>, Vec<String>) {
+    check_one(
+        counts,
+        baseline,
+        ratchet_path,
+        "waiver-ratchet",
+        "lint waiver sites",
+        "fix the underlying findings or justify a baseline bump in review",
+    )
+}
+
+fn check_one(
+    counts: &Ratchet,
+    baseline: &Ratchet,
+    ratchet_path: &str,
+    rule: &'static str,
+    what: &str,
+    fix: &str,
 ) -> (Vec<Finding>, Vec<String>) {
     let mut findings = Vec::new();
     let mut notices = Vec::new();
@@ -79,19 +177,18 @@ pub fn check(
         let budget = baseline.get(krate).copied().unwrap_or(0);
         if n > budget {
             findings.push(Finding {
-                rule: "panic-ratchet",
+                rule,
                 path: ratchet_path.to_string(),
                 line: 0,
                 krate: krate.clone(),
                 msg: format!(
-                    "crate `{krate}` has {n} unwrap/expect/panic! sites, over its ratchet budget \
-                     of {budget} — remove panics or justify a baseline bump in review"
+                    "crate `{krate}` has {n} {what}, over its ratchet budget of {budget} — {fix}"
                 ),
                 waived: None,
             });
         } else if n < budget {
             notices.push(format!(
-                "crate `{krate}` is under its panic budget ({n} < {budget}) — run with \
+                "crate `{krate}` is under its {rule} budget ({n} < {budget}) — run with \
                  --write-ratchet to tighten the baseline"
             ));
         }
@@ -100,7 +197,7 @@ pub fn check(
     for krate in baseline.keys() {
         if !counts.contains_key(krate) {
             notices.push(format!(
-                "crate `{krate}` in the ratchet baseline no longer exists — run with \
+                "crate `{krate}` in the {rule} baseline no longer exists — run with \
                  --write-ratchet to drop it"
             ));
         }
@@ -133,6 +230,38 @@ mod tests {
         assert!(parse("[1]").is_err());
         assert!(parse("{\"a\": -1}").is_err());
         assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn baseline_round_trip_and_legacy_fallback() {
+        let mut panics = Ratchet::new();
+        panics.insert("core".into(), 83);
+        panics.insert("sim".into(), 7);
+        let mut waivers = Ratchet::new();
+        waivers.insert("core".into(), 12);
+        let text = render_baseline(&panics, &waivers);
+        let base = parse_baseline(&text).unwrap();
+        assert_eq!(base.panics, panics);
+        assert_eq!(base.waivers.as_ref(), Some(&waivers));
+        assert_eq!(
+            text,
+            "{\n  \"panics\": {\n    \"core\": 83,\n    \"sim\": 7\n  },\n  \"waivers\": {\n    \"core\": 12\n  }\n}\n"
+        );
+
+        // legacy flat object parses as panics-only
+        let legacy = parse_baseline("{\n  \"core\": 90\n}\n").unwrap();
+        assert_eq!(legacy.panics.get("core"), Some(&90));
+        assert!(legacy.waivers.is_none());
+    }
+
+    #[test]
+    fn waiver_check_uses_its_own_rule() {
+        let counts = parse(r#"{"core": 3}"#).unwrap();
+        let base = parse(r#"{"core": 1}"#).unwrap();
+        let (f, _) = check_waivers(&counts, &base, "ratchet.json");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "waiver-ratchet");
+        assert!(f[0].msg.contains("lint waiver sites"));
     }
 
     #[test]

@@ -9,15 +9,26 @@
 //! | `panic-ratchet`  | `unwrap`/`expect`/`panic!` per library crate may only decrease (see [`crate::ratchet`]) |
 //! | `serve-channel-panic` | in `crates/serve`, no `.unwrap()`/`.expect()` on channel send/recv or lock results — the serving front-end's contract is that every failure becomes a typed outcome, never a panic that silently drops admitted requests |
 //! | `metric-cardinality` | metric/phase names handed to the tracer or registry (`set_phase`, `begin_op`, `counter_add`, `gauge_set`, `observe`) must be `'static` string literals or `SCREAMING_CASE` consts — a data-dependent name unbounds the exposition's label set and breaks its byte-determinism |
+//! | `float-determinism` | no `f32`/`f64` types or float literals in the determinism-checked crates — platform- and flag-sensitive float rounding breaks cross-arch byte-identity of the metered counters; integer decision math belongs in `core::fixed` (Q32.32) |
+//! | `span-balance` | `begin_op`/`end_op` (and the `t_op`/`trace_op` wrappers, `set_retry(true/false)`) must pair up on every control path of a fn body — an early return between them leaves the tracer in a wedged span |
+//!
+//! Two further rules need cross-file facts and live in
+//! [`crate::analysis`]: `metering-honesty`, `dead-waiver`, `doc-drift`.
 //!
 //! A finding can be **waived** in place with
 //! `// lint: allow(<rule>) — <reason>`; the reason is mandatory and the
 //! waiver must sit on the offending line or the line directly above it.
+//! A whole file can be waived for one rule with
+//! `// lint: allow-file(<rule>) — <reason>` (reporting-heavy files such
+//! as the JSON exporters carry one instead of fifty line waivers).
 //! Waived findings are still reported (and land in the JSONL export with
-//! `"waived":true`) but do not fail the run. `panic-ratchet` has no
+//! `"waived":true`) but do not fail the run; a waiver that suppresses
+//! *nothing* is itself a `dead-waiver` finding. `panic-ratchet` has no
 //! waiver syntax — its budget is the committed baseline file.
 
 use crate::lexer::{lex, Lexed, Tok};
+use crate::parser::{self, Parsed};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Where a file sits in its crate, which decides rule applicability.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +53,10 @@ pub struct FileCtx {
     pub deterministic: bool,
     /// Whether the crate owns timing (wall-clock reads allowed).
     pub owns_timing: bool,
+    /// Whether the crate is checked for float determinism (the
+    /// deterministic list plus `workloads`, whose generators feed the
+    /// metered runs).
+    pub float_checked: bool,
 }
 
 /// One rule violation (possibly waived).
@@ -70,6 +85,19 @@ pub struct PanicCount {
     pub count: u64,
 }
 
+/// One `lint: allow(…)` / `lint: allow-file(…)` comment found in a
+/// file. The workspace phase flags sites that suppressed nothing
+/// (`dead-waiver`) and tallies the per-crate waiver ratchet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaiverSite {
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The rule it names.
+    pub rule: String,
+    /// True for the file-scope `allow-file` form.
+    pub file_scope: bool,
+}
+
 /// Everything one file contributes to the run.
 #[derive(Debug, Default)]
 pub struct FileReport {
@@ -77,6 +105,95 @@ pub struct FileReport {
     pub findings: Vec<Finding>,
     /// Panic-ratchet contribution.
     pub panics: PanicCount,
+    /// Waiver comments present in the file.
+    pub waiver_sites: Vec<WaiverSite>,
+    /// Waiver sites that suppressed at least one finding, keyed by
+    /// (line, rule).
+    pub waivers_used: BTreeSet<(u32, String)>,
+}
+
+/// Lexed + parsed view of one file, shared by the per-file rules and
+/// the workspace analysis phase.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Token stream, comments, code lines.
+    pub lexed: Lexed,
+    /// Structural items (fns, structs, scopes).
+    pub parsed: Parsed,
+    /// Per-token `#[cfg(test)]` verdict.
+    pub in_test: Vec<bool>,
+    /// Every waiver comment in the file.
+    pub waiver_sites: Vec<WaiverSite>,
+    /// File-scope waivers: rule → (line, reason).
+    pub file_waivers: BTreeMap<String, (u32, String)>,
+}
+
+/// Lex and parse one file, collecting its waiver comments.
+pub fn analyze(src: &str) -> FileAnalysis {
+    let lexed = lex(src);
+    let in_test = test_region_mask(&lexed.toks);
+    let parsed = parser::parse(&lexed.toks, &in_test);
+    let (waiver_sites, file_waivers) = collect_waivers(&lexed);
+    FileAnalysis {
+        lexed,
+        parsed,
+        in_test,
+        waiver_sites,
+        file_waivers,
+    }
+}
+
+/// Scan the comment map for `lint: allow(…)` / `lint: allow-file(…)`
+/// sites; returns them plus the file-scope map (rule → line, reason).
+fn collect_waivers(lexed: &Lexed) -> (Vec<WaiverSite>, BTreeMap<String, (u32, String)>) {
+    let mut sites = Vec::new();
+    let mut file_scope = BTreeMap::new();
+    for (&line, text) in &lexed.comments {
+        // doc comments *describe* the waiver syntax (this module does);
+        // only plain comments can carry a live waiver
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|d| text.starts_with(d))
+        {
+            continue;
+        }
+        for (tag, is_file) in [("lint: allow-file(", true), ("lint: allow(", false)] {
+            // the two tags cannot match at the same offset: `allow(`
+            // requires `(` right after `allow`, `allow-file(` a `-`
+            let mut rest = text.as_str();
+            while let Some(at) = rest.find(tag) {
+                let after = &rest[at + tag.len()..];
+                if let Some(close) = after.find(')') {
+                    let rule = after[..close].trim().to_string();
+                    // a real rule name, not prose like `allow(<rule>)`
+                    let plausible = rule
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                        && rule.starts_with(|c: char| c.is_ascii_lowercase());
+                    if plausible {
+                        if is_file {
+                            let reason = after[close + 1..]
+                                .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+                                .trim()
+                                .to_string();
+                            file_scope.entry(rule.clone()).or_insert((line, reason));
+                        }
+                        sites.push(WaiverSite {
+                            line,
+                            rule,
+                            file_scope: is_file,
+                        });
+                    }
+                    rest = &after[close + 1..];
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    sites.sort_by_key(|s| (s.line, s.rule.clone(), s.file_scope));
+    sites.dedup();
+    (sites, file_scope)
 }
 
 const RULE_SAFETY: &str = "safety-comment";
@@ -85,6 +202,17 @@ const RULE_WALLCLOCK: &str = "wallclock";
 const RULE_GLOBAL: &str = "global-state";
 const RULE_SERVE_PANIC: &str = "serve-channel-panic";
 const RULE_METRIC: &str = "metric-cardinality";
+const RULE_FLOAT: &str = "float-determinism";
+const RULE_SPAN: &str = "span-balance";
+
+/// (open, close) span method pairs that must balance on every control
+/// path of a fn body. `set_retry(true)`/`set_retry(false)` is tracked
+/// as a fourth, argument-keyed pair.
+const SPAN_PAIRS: &[(&str, &str)] = &[
+    ("begin_op", "end_op"),
+    ("t_op", "t_op_end"),
+    ("trace_op", "trace_op_end"),
+];
 
 /// Tracer/registry methods whose *name* argument must come from a
 /// closed set. For `set_phase`/`begin_op` that is the only argument;
@@ -142,20 +270,32 @@ const INTERIOR_MUTABLE: &[&str] = &[
     "UnsafeCell",
 ];
 
-/// Run every rule over one file's source text.
+/// Run every per-file rule over one file's source text. Convenience
+/// wrapper around [`analyze`] + [`check`] for callers (and tests) that
+/// do not need the workspace phase.
 pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
-    let lexed = lex(src);
-    let in_test = test_region_mask(&lexed.toks);
-    let mut rep = FileReport::default();
+    check(ctx, &analyze(src))
+}
 
-    rule_safety_comment(ctx, &lexed, &mut rep);
+/// Run every per-file rule over one analyzed file.
+pub fn check(ctx: &FileCtx, fa: &FileAnalysis) -> FileReport {
+    let mut rep = FileReport {
+        waiver_sites: fa.waiver_sites.clone(),
+        ..FileReport::default()
+    };
+    let lexed = &fa.lexed;
+    let in_test = &fa.in_test;
+
+    rule_safety_comment(ctx, lexed, &mut rep);
     if ctx.class == FileClass::Src {
-        rule_unordered_iter(ctx, &lexed, &in_test, &mut rep);
-        rule_wallclock(ctx, &lexed, &in_test, &mut rep);
-        rule_global_state(ctx, &lexed, &in_test, &mut rep);
-        rule_panic_ratchet(&lexed, &in_test, &mut rep);
-        rule_serve_channel_panic(ctx, &lexed, &in_test, &mut rep);
-        rule_metric_cardinality(ctx, &lexed, &in_test, &mut rep);
+        rule_unordered_iter(ctx, fa, in_test, &mut rep);
+        rule_wallclock(ctx, fa, in_test, &mut rep);
+        rule_global_state(ctx, fa, in_test, &mut rep);
+        rule_panic_ratchet(lexed, in_test, &mut rep);
+        rule_serve_channel_panic(ctx, fa, in_test, &mut rep);
+        rule_metric_cardinality(ctx, fa, in_test, &mut rep);
+        rule_float_determinism(ctx, fa, in_test, &mut rep);
+        rule_span_balance(ctx, fa, &mut rep);
     }
     rep
 }
@@ -249,17 +389,18 @@ pub fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
 
 /// Look for `lint: allow(<rule>)` covering `line` (same line or the
 /// line directly above, which must be comment-only). Returns the
-/// written reason, or an empty string when the waiver is malformed
-/// (missing reason) — the caller reports that as a finding.
-fn waiver_for(lexed: &Lexed, line: u32, rule: &str) -> Option<String> {
-    let try_line = |l: u32| -> Option<String> {
+/// waiver's own line plus the written reason — an empty reason means
+/// the waiver is malformed (missing reason) and the caller reports
+/// that in the finding.
+fn waiver_for(lexed: &Lexed, line: u32, rule: &str) -> Option<(u32, String)> {
+    let try_line = |l: u32| -> Option<(u32, String)> {
         let text = lexed.comments.get(&l)?;
         let tag = format!("lint: allow({rule})");
         let at = text.find(&tag)?;
         let rest = text[at + tag.len()..]
             .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
             .trim();
-        Some(rest.to_string())
+        Some((l, rest.to_string()))
     };
     if let Some(r) = try_line(line) {
         return Some(r);
@@ -277,16 +418,30 @@ fn waiver_for(lexed: &Lexed, line: u32, rule: &str) -> Option<String> {
 }
 
 /// Apply the waiver protocol: push the finding, marked waived when a
-/// well-formed waiver covers it; a reason-less waiver is itself called
-/// out in the message.
-fn push_with_waiver(rep: &mut FileReport, lexed: &Lexed, mut f: Finding) {
-    match waiver_for(lexed, f.line, f.rule) {
-        Some(reason) if !reason.is_empty() => f.waived = Some(reason),
-        Some(_) => {
+/// well-formed line waiver (or a file-scope `allow-file` waiver)
+/// covers it; a reason-less waiver is itself called out in the
+/// message. Used waivers are recorded so the workspace phase can flag
+/// the dead ones.
+pub(crate) fn push_with_waiver(rep: &mut FileReport, fa: &FileAnalysis, mut f: Finding) {
+    match waiver_for(&fa.lexed, f.line, f.rule) {
+        Some((wline, reason)) if !reason.is_empty() => {
+            f.waived = Some(reason);
+            rep.waivers_used.insert((wline, f.rule.to_string()));
+        }
+        Some((wline, _)) => {
             f.msg
                 .push_str(" [waiver present but missing a reason — write `lint: allow(…) — why`]");
+            // malformed, but it did target this finding: not dead
+            rep.waivers_used.insert((wline, f.rule.to_string()));
         }
-        None => {}
+        None => {
+            if let Some((wline, reason)) = fa.file_waivers.get(f.rule) {
+                if !reason.is_empty() {
+                    f.waived = Some(reason.clone());
+                }
+                rep.waivers_used.insert((*wline, f.rule.to_string()));
+            }
+        }
     }
     rep.findings.push(f);
 }
@@ -356,7 +511,8 @@ fn has_safety_comment(lexed: &Lexed, line: u32) -> bool {
 /// crate's library code. Hash iteration order is seeded per process, so
 /// one stray loop silently un-pins every counter the cost model proves;
 /// membership-only uses may stay, but must say so in a waiver.
-fn rule_unordered_iter(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+fn rule_unordered_iter(ctx: &FileCtx, fa: &FileAnalysis, in_test: &[bool], rep: &mut FileReport) {
+    let lexed = &fa.lexed;
     if !ctx.deterministic {
         return;
     }
@@ -368,7 +524,7 @@ fn rule_unordered_iter(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut
         if name == "HashMap" || name == "HashSet" {
             push_with_waiver(
                 rep,
-                lexed,
+                fa,
                 Finding {
                     rule: RULE_UNORDERED,
                     path: ctx.path.clone(),
@@ -389,7 +545,8 @@ fn rule_unordered_iter(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut
 /// `wallclock`: `Instant::now` / `SystemTime` outside the crates that
 /// own timing. A wall-clock read anywhere else can leak scheduling into
 /// results that must be exact functions of (seed, P, workload).
-fn rule_wallclock(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+fn rule_wallclock(ctx: &FileCtx, fa: &FileAnalysis, in_test: &[bool], rep: &mut FileReport) {
+    let lexed = &fa.lexed;
     if ctx.owns_timing {
         return;
     }
@@ -411,7 +568,7 @@ fn rule_wallclock(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut File
         if let Some(what) = hit {
             push_with_waiver(
                 rep,
-                lexed,
+                fa,
                 Finding {
                     rule: RULE_WALLCLOCK,
                     path: ctx.path.clone(),
@@ -431,7 +588,8 @@ fn rule_wallclock(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut File
 /// interior-mutability wrapper. Thread-locals count too — per-thread
 /// state still decouples results from (seed, P, workload) unless argued
 /// otherwise in a waiver.
-fn rule_global_state(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+fn rule_global_state(ctx: &FileCtx, fa: &FileAnalysis, in_test: &[bool], rep: &mut FileReport) {
+    let lexed = &fa.lexed;
     for (i, t) in lexed.toks.iter().enumerate() {
         if in_test[i] || !t.is_ident("static") {
             continue;
@@ -466,7 +624,7 @@ fn rule_global_state(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut F
         if let Some(what) = msg {
             push_with_waiver(
                 rep,
-                lexed,
+                fa,
                 Finding {
                     rule: RULE_GLOBAL,
                     path: ctx.path.clone(),
@@ -487,7 +645,13 @@ fn rule_global_state(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut F
 /// outcome for the affected requests, not a panic that drops everything
 /// admitted behind them. (`unwrap_or_else` and friends are fine — they
 /// are how those failures get converted.)
-fn rule_serve_channel_panic(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+fn rule_serve_channel_panic(
+    ctx: &FileCtx,
+    fa: &FileAnalysis,
+    in_test: &[bool],
+    rep: &mut FileReport,
+) {
+    let lexed = &fa.lexed;
     if ctx.krate != "serve" {
         return;
     }
@@ -529,7 +693,7 @@ fn rule_serve_channel_panic(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep:
             let what = t.ident().unwrap_or("unwrap");
             push_with_waiver(
                 rep,
-                lexed,
+                fa,
                 Finding {
                     rule: RULE_SERVE_PANIC,
                     path: ctx.path.clone(),
@@ -553,11 +717,17 @@ fn rule_serve_channel_panic(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep:
 /// label set data-dependent: the exposition's closed registered set no
 /// longer bounds it, and its byte-determinism contract dies.
 ///
-/// Detection leans on the lexer dropping literal tokens: a literal
-/// first argument leaves an *empty* token gap between `(` and the next
-/// `,`/`)`. Value-only calls such as `Log2Hist::observe(v)` (one
-/// argument, no top-level comma) carry no name and are exempt.
-fn rule_metric_cardinality(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
+/// A literal first argument shows up as a single string-literal token
+/// (optionally behind `&`). Value-only calls such as
+/// `Log2Hist::observe(v)` (one argument, no top-level comma) carry no
+/// name and are exempt.
+fn rule_metric_cardinality(
+    ctx: &FileCtx,
+    fa: &FileAnalysis,
+    in_test: &[bool],
+    rep: &mut FileReport,
+) {
+    let lexed = &fa.lexed;
     if !ctx.deterministic {
         return;
     }
@@ -595,17 +765,22 @@ fn rule_metric_cardinality(ctx: &FileCtx, lexed: &Lexed, in_test: &[bool], rep: 
             // registry writers take (name, value); with no top-level
             // comma this is a value-only histogram/inner call — no name
             "counter_add" | "gauge_set" | "observe" if commas == 0 => continue,
-            // a literal name lexed away entirely, or a const path whose
-            // last segment is SCREAMING_CASE
+            // a 'static literal name, or a const path whose last
+            // segment is SCREAMING_CASE (an empty arg carries no name)
             _ => {
                 let arg = &lexed.toks[i + 2..first_end.unwrap_or(i + 2)];
-                arg.is_empty() || is_const_path(arg)
+                let lit = match arg {
+                    [t] => t.str_lit().is_some(),
+                    [amp, t] => amp.is_sym('&') && t.str_lit().is_some(),
+                    _ => false,
+                };
+                arg.is_empty() || lit || is_const_path(arg)
             }
         };
         if !name_ok {
             push_with_waiver(
                 rep,
-                lexed,
+                fa,
                 Finding {
                     rule: RULE_METRIC,
                     path: ctx.path.clone(),
@@ -657,6 +832,191 @@ fn rule_panic_ratchet(lexed: &Lexed, in_test: &[bool], rep: &mut FileReport) {
     }
 }
 
+/// `float-determinism`: `f32`/`f64` type mentions and float literals
+/// in float-checked crates. Float rounding depends on target arch,
+/// `-C target-feature` flags, and libm versions, so any float on a
+/// metered decision path can silently fork the cost counters across
+/// hosts. Decision math belongs in `core::fixed` (Q32.32 integers);
+/// genuinely presentational floats (JSON exporters, histogram bounds)
+/// take a waiver with the determinism argument written out.
+///
+/// One finding per source line: a line like `let x: f64 = 0.5;` is a
+/// single offence, not three.
+fn rule_float_determinism(
+    ctx: &FileCtx,
+    fa: &FileAnalysis,
+    in_test: &[bool],
+    rep: &mut FileReport,
+) {
+    let lexed = &fa.lexed;
+    if !ctx.float_checked {
+        return;
+    }
+    let mut seen_lines = BTreeSet::new();
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let what = if t.is_ident("f32") || t.is_ident("f64") {
+            t.ident()
+        } else if t.is_float_lit() {
+            Some("float literal")
+        } else {
+            None
+        };
+        let Some(what) = what else { continue };
+        if !seen_lines.insert(t.line) {
+            continue;
+        }
+        push_with_waiver(
+            rep,
+            fa,
+            Finding {
+                rule: RULE_FLOAT,
+                path: ctx.path.clone(),
+                line: t.line,
+                krate: ctx.krate.clone(),
+                msg: format!(
+                    "{what} in float-checked crate `{}` — float rounding is arch/flag-sensitive; \
+                     use `core::fixed` (Q32.32) for decision math, or waive with the \
+                     determinism argument",
+                    ctx.krate
+                ),
+                waived: None,
+            },
+        );
+    }
+}
+
+/// `span-balance`: within each fn body in a deterministic crate, the
+/// [`SPAN_PAIRS`] calls (plus `set_retry(true)`/`set_retry(false)`)
+/// must net to zero, and no `return`/`?` may fire while a span is
+/// open — an early exit between `begin_op` and `end_op` leaves the
+/// tracer wedged in a phantom span that corrupts every op recorded
+/// after it.
+///
+/// Scope rules: closures and nested fns are separate bodies (a stored
+/// callback legitimately closes a span its definer opened), `#[cfg(test)]`
+/// fns are exempt, and so is a fn *named* after a pair member (that is
+/// the implementation, not a use). Conditional opens (`match` arms that
+/// each open) can confuse the net counter — that is what waivers are
+/// for.
+fn rule_span_balance(ctx: &FileCtx, fa: &FileAnalysis, rep: &mut FileReport) {
+    let lexed = &fa.lexed;
+    if !ctx.deterministic {
+        return;
+    }
+    let mut pairs: Vec<(&str, &str)> = SPAN_PAIRS.to_vec();
+    pairs.push(("set_retry(true)", "set_retry(false)"));
+    let retry = pairs.len() - 1;
+
+    'fns: for f in &fa.parsed.fns {
+        if f.in_test || f.name == "set_retry" {
+            continue;
+        }
+        for (a, b) in SPAN_PAIRS {
+            if f.name == *a || f.name == *b {
+                continue 'fns;
+            }
+        }
+        // per-pair stack of opener lines; a close pops its opener
+        let mut open: Vec<Vec<u32>> = vec![Vec::new(); pairs.len()];
+        let mut exit_lines = BTreeSet::new();
+        let push = |rep: &mut FileReport, line: u32, msg: String| {
+            push_with_waiver(
+                rep,
+                fa,
+                Finding {
+                    rule: RULE_SPAN,
+                    path: ctx.path.clone(),
+                    line,
+                    krate: ctx.krate.clone(),
+                    msg,
+                    waived: None,
+                },
+            );
+        };
+        for i in f.body.token_indices(false) {
+            let t = &lexed.toks[i];
+            if t.is_sym('?') {
+                if let Some(first) = open.iter().flatten().min() {
+                    if exit_lines.insert(t.line) {
+                        push(
+                            rep,
+                            t.line,
+                            format!(
+                                "`?` may exit fn `{}` while the span opened at line {first} is \
+                                 still open — close it on every control path",
+                                f.name
+                            ),
+                        );
+                    }
+                }
+                continue;
+            }
+            let Some(name) = t.ident() else { continue };
+            if name == "return" {
+                if let Some(first) = open.iter().flatten().min() {
+                    if exit_lines.insert(t.line) {
+                        push(
+                            rep,
+                            t.line,
+                            format!(
+                                "`return` exits fn `{}` while the span opened at line {first} is \
+                                 still open — close it on every control path",
+                                f.name
+                            ),
+                        );
+                    }
+                }
+                continue;
+            }
+            if !lexed.toks.get(i + 1).is_some_and(|n| n.is_sym('(')) {
+                continue;
+            }
+            // which pair (if any) does this call act on, and which side?
+            let (p, opens) = if name == "set_retry" {
+                match lexed.toks.get(i + 2).and_then(|a| a.ident()) {
+                    Some("true") => (retry, true),
+                    Some("false") => (retry, false),
+                    _ => continue,
+                }
+            } else if let Some(p) = SPAN_PAIRS.iter().position(|(a, _)| *a == name) {
+                (p, true)
+            } else if let Some(p) = SPAN_PAIRS.iter().position(|(_, b)| *b == name) {
+                (p, false)
+            } else {
+                continue;
+            };
+            if opens {
+                open[p].push(t.line);
+            } else if open[p].pop().is_none() {
+                push(
+                    rep,
+                    t.line,
+                    format!(
+                        "`{}` in fn `{}` without a preceding `{}` — span close with no open",
+                        pairs[p].1, f.name, pairs[p].0
+                    ),
+                );
+            }
+        }
+        for (p, stack) in open.iter().enumerate() {
+            for &line in stack {
+                push(
+                    rep,
+                    line,
+                    format!(
+                        "`{}` at line {line} is never closed by `{}` on the fall-through path \
+                         of fn `{}`",
+                        pairs[p].0, pairs[p].1, f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,11 +1028,21 @@ mod tests {
             class,
             deterministic,
             owns_timing,
+            // off by default so rule tests can use float literals as
+            // innocuous values; float-determinism tests opt in
+            float_checked: false,
         }
     }
 
     fn det_src() -> FileCtx {
         ctx(true, false, FileClass::Src)
+    }
+
+    fn float_src() -> FileCtx {
+        FileCtx {
+            float_checked: true,
+            ..det_src()
+        }
     }
 
     fn rules_of(rep: &FileReport) -> Vec<&'static str> {
@@ -861,6 +1231,7 @@ mod tests {
             class: FileClass::Src,
             deterministic: true,
             owns_timing: false,
+            float_checked: false,
         }
     }
 
@@ -921,7 +1292,7 @@ mod tests {
     fn dynamic_metric_names_flagged_in_deterministic_src() {
         for src in [
             "fn f(t: &mut Tracer, p: &str) { t.set_phase(p); }\n",
-            "fn f(t: &mut Tracer, op: &str) { t.begin_op(op); }\n",
+            "fn f(t: &mut Tracer, op: &str) { t.begin_op(op); t.end_op(); }\n",
             "fn f(t: &mut Tracer, p: &String) { t.set_phase(&p); }\n",
             "fn f(t: &mut Tracer) { t.set_phase(format!(\"lcp/{n}\")); }\n",
             "fn f(r: &mut Registry, n: &'static str) { r.counter_add(n, 1); }\n",
@@ -941,7 +1312,7 @@ mod tests {
         for src in [
             // literal names lex away to an empty argument gap
             "fn f(t: &mut Tracer) { t.set_phase(\"lcp/local-scan\"); }\n",
-            "fn f(t: &mut Tracer) { t.begin_op(\"lcp\"); }\n",
+            "fn f(t: &mut Tracer) { t.begin_op(\"lcp\"); t.end_op(); }\n",
             "fn f(r: &mut Registry) { r.counter_add(\"pimtrie_io_rounds_total\", 1); }\n",
             // const paths ending in a SCREAMING_CASE ident
             "fn f(r: &mut Registry) { r.counter_add(names::IO_ROUNDS, 1); }\n",
@@ -985,6 +1356,172 @@ mod tests {
         let src = "// lint: allow(serve-channel-panic) — startup only, before any admission\n\
                    fn f() { h.join().unwrap(); }\n";
         let rep = check_file(&serve_src(), src);
+        assert_eq!(rep.findings.len(), 1);
+        assert!(rep.findings[0].waived.is_some());
+        assert!(rules_of(&rep).is_empty());
+    }
+
+    // ---- float-determinism ----
+
+    #[test]
+    fn float_types_and_literals_flagged_when_checked() {
+        for src in [
+            "fn f(x: f64) -> f64 { x }\n",
+            "fn f() { let x: f32 = g(); }\n",
+            "fn f() { let x = 0.5; }\n",
+            "fn f() { let x = 1e-3; }\n",
+            "fn f() { let x = 2f64; }\n",
+        ] {
+            assert_eq!(
+                rules_of(&check_file(&float_src(), src)),
+                ["float-determinism"],
+                "should flag: {src}"
+            );
+        }
+        // integer literals (incl. hex with an `e` digit) are fine
+        for src in [
+            "fn f() { let x = 0xfe; }\n",
+            "fn f() { let x = 10usize; }\n",
+            "fn f() { let x = 1..3; }\n",
+        ] {
+            assert!(
+                rules_of(&check_file(&float_src(), src)).is_empty(),
+                "should pass: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn float_findings_dedup_per_line() {
+        // one finding for the line, not one per token
+        let src = "fn f(x: f64) -> f64 { x * 0.5 }\n";
+        let rep = check_file(&float_src(), src);
+        assert_eq!(rules_of(&rep), ["float-determinism"]);
+        let two = "fn f(x: f64) -> f64 {\n    x * 0.5\n}\n";
+        assert_eq!(check_file(&float_src(), two).findings.len(), 2);
+    }
+
+    #[test]
+    fn float_rule_scoped_and_waivable() {
+        let src = "fn f(x: f64) -> f64 { x }\n";
+        // not float-checked (e.g. crates/bench): no finding
+        assert!(rules_of(&check_file(&det_src(), src)).is_empty());
+        // test code exempt
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f(x: f64) -> f64 { x }\n}\n";
+        assert!(rules_of(&check_file(&float_src(), test_src)).is_empty());
+        // line waiver
+        let waived = "// lint: allow(float-determinism) — JSON output only, never compared\n\
+                      fn f(x: f64) -> f64 { x }\n";
+        let rep = check_file(&float_src(), waived);
+        assert_eq!(rep.findings.len(), 1);
+        assert!(rep.findings[0].waived.is_some());
+    }
+
+    #[test]
+    fn allow_file_waives_every_finding_of_that_rule() {
+        let src = "// lint: allow-file(float-determinism) — exporter: floats are output-only\n\
+                   fn f(x: f64) -> f64 { x }\n\
+                   fn g() { let y = 0.25; }\n";
+        let rep = check_file(&float_src(), src);
+        assert_eq!(rep.findings.len(), 2);
+        assert!(rep.findings.iter().all(|f| f.waived.is_some()));
+        assert!(rules_of(&rep).is_empty());
+        // …but not findings of other rules
+        let mixed = "// lint: allow-file(float-determinism) — exporter\n\
+                     use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_of(&check_file(&float_src(), mixed)),
+            ["unordered-iter"]
+        );
+    }
+
+    // ---- span-balance ----
+
+    #[test]
+    fn balanced_spans_pass() {
+        for src in [
+            "fn f(t: &mut Tracer) { t.begin_op(\"get\"); work(); t.end_op(); }\n",
+            // balanced inside a loop body
+            "fn f(t: &mut Tracer) { for x in xs { t.begin_op(\"g\"); t.end_op(); } }\n",
+            // nested distinct pairs
+            "fn f(m: &mut M) { m.t_op(\"a\"); m.trace_op(\"b\");\n\
+             m.trace_op_end(); m.t_op_end(); }\n",
+            "fn f(t: &mut T) { t.set_retry(true); go(); t.set_retry(false); }\n",
+            // final `return` after the span closed is fine
+            "fn f(t: &mut T) -> u32 { t.begin_op(\"x\"); t.end_op(); return 1; }\n",
+        ] {
+            assert!(
+                rules_of(&check_file(&det_src(), src)).is_empty(),
+                "should pass: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_return_and_question_mark_leaks_flagged() {
+        let ret = "fn f(t: &mut T) -> u32 {\n    t.begin_op(\"get\");\n\
+                   if bad { return 0; }\n    t.end_op();\n    1\n}\n";
+        let rep = check_file(&det_src(), ret);
+        assert_eq!(rules_of(&rep), ["span-balance"]);
+        assert_eq!(rep.findings[0].line, 3);
+        assert!(rep.findings[0].msg.contains("`return`"));
+
+        let q = "fn f(t: &mut T) -> Result<(), E> {\n    t.t_op(\"get\");\n\
+                 let v = load()?;\n    t.t_op_end();\n    Ok(())\n}\n";
+        let rep = check_file(&det_src(), q);
+        assert_eq!(rules_of(&rep), ["span-balance"]);
+        assert!(rep.findings[0].msg.contains("`?`"));
+    }
+
+    #[test]
+    fn unclosed_and_unopened_spans_flagged() {
+        let unclosed = "fn f(t: &mut T) {\n    t.begin_op(\"get\");\n    work();\n}\n";
+        let rep = check_file(&det_src(), unclosed);
+        assert_eq!(rules_of(&rep), ["span-balance"]);
+        assert_eq!(rep.findings[0].line, 2);
+        assert!(rep.findings[0].msg.contains("never closed"));
+
+        let unopened = "fn f(t: &mut T) { t.end_op(); }\n";
+        let rep = check_file(&det_src(), unopened);
+        assert_eq!(rules_of(&rep), ["span-balance"]);
+        assert!(rep.findings[0].msg.contains("no open"));
+
+        let retry = "fn f(t: &mut T) { t.set_retry(true); }\n";
+        assert_eq!(rules_of(&check_file(&det_src(), retry)), ["span-balance"]);
+    }
+
+    #[test]
+    fn span_scope_boundaries_respected() {
+        // a closure that closes a span its definer opened is a separate
+        // body on both sides — neither is flagged
+        let closure = "fn f(t: &mut T) {\n    t.begin_op(\"get\");\n\
+                       let fin = move || t.end_op();\n    fin();\n}\n";
+        let rep = check_file(&det_src(), closure);
+        // begin_op in the outer body has no close in that body…
+        assert_eq!(rules_of(&rep), ["span-balance"]);
+        // …but the closure's lone end_op is NOT also flagged
+        assert_eq!(rep.findings.len(), 1);
+
+        // the pair's own implementations are exempt
+        let impls = "impl Tracer {\n    pub fn begin_op(&mut self, op: &str) { self.d += 1; }\n\
+                     pub fn end_op(&mut self) { self.d -= 1; }\n}\n";
+        assert!(rules_of(&check_file(&det_src(), impls)).is_empty());
+
+        // non-deterministic crates are out of scope
+        let src = "fn f(t: &mut T) { t.begin_op(\"x\"); }\n";
+        assert!(rules_of(&check_file(&ctx(false, false, FileClass::Src), src)).is_empty());
+
+        // test fns are exempt
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f(t: &mut T) { t.begin_op(\"x\"); }\n}\n";
+        assert!(rules_of(&check_file(&det_src(), test_src)).is_empty());
+    }
+
+    #[test]
+    fn span_waiver_applies_at_opener_line() {
+        let src = "fn f(t: &mut T) {\n\
+                   // lint: allow(span-balance) — closed by the stored finisher callback\n\
+                   t.begin_op(\"get\");\n}\n";
+        let rep = check_file(&det_src(), src);
         assert_eq!(rep.findings.len(), 1);
         assert!(rep.findings[0].waived.is_some());
         assert!(rules_of(&rep).is_empty());

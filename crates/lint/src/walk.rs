@@ -85,12 +85,17 @@ pub fn classify(rel: &Path) -> Option<FileCtx> {
         [sub @ ("src" | "tests" | "examples" | "benches"), ..] => ("repro", class_of(sub)?),
         _ => return None,
     };
+    let deterministic = DETERMINISTIC_CRATES.contains(&krate);
     Some(FileCtx {
         path: parts.join("/"),
         krate: krate.to_string(),
         class,
-        deterministic: DETERMINISTIC_CRATES.contains(&krate),
+        deterministic,
         owns_timing: TIMING_CRATES.contains(&krate),
+        // `workloads` generators feed the metered runs, so their float
+        // use is checked even though the crate is not on the metered
+        // unordered-iter list
+        float_checked: deterministic || krate == "workloads",
     })
 }
 

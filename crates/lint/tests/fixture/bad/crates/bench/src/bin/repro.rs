@@ -1,0 +1,5 @@
+const KNOWN: [&str; 3] = ["all", "skew", "ghost"];
+
+pub fn usage() {
+    println!("experiments: skew, ghost");
+}

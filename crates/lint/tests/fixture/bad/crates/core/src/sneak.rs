@@ -1,0 +1,4 @@
+pub fn sneak() {
+    let mut st = CacheStats::default();
+    st.hits += 1;
+}

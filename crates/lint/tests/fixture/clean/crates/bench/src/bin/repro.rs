@@ -1,0 +1,5 @@
+const KNOWN: [&str; 2] = ["all", "skew"];
+
+pub fn usage() {
+    println!("experiments: skew");
+}

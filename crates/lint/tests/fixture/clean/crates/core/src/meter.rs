@@ -1,0 +1,3 @@
+pub fn meter(m: &mut Metrics) {
+    m.cache_stats_mut().hits += 1;
+}

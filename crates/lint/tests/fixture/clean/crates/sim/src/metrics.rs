@@ -1,0 +1,13 @@
+pub struct CacheStats {
+    pub hits: u64,
+}
+
+pub struct Metrics {
+    cache: CacheStats,
+}
+
+impl Metrics {
+    pub fn cache_stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.cache
+    }
+}

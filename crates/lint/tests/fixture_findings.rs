@@ -45,6 +45,9 @@ fn bad_tree_reports_the_exact_seeded_findings() {
     // (rule, file, line, waived) for every expected finding, in the
     // sorted (file, line, rule) order the JSONL guarantees.
     let expected: &[(&str, &str, u32, bool)] = &[
+        ("doc-drift", "crates/bench/src/bin/repro.rs", 1, false),
+        ("float-determinism", "crates/core/src/hot.rs", 2, false),
+        ("span-balance", "crates/core/src/hot.rs", 8, false),
         ("unordered-iter", "crates/core/src/lib.rs", 1, false),
         ("unordered-iter", "crates/core/src/lib.rs", 4, true),
         ("unordered-iter", "crates/core/src/lib.rs", 6, false),
@@ -52,7 +55,10 @@ fn bad_tree_reports_the_exact_seeded_findings() {
         ("wallclock", "crates/core/src/lib.rs", 20, false),
         ("global-state", "crates/core/src/lib.rs", 24, false),
         ("metric-cardinality", "crates/core/src/lib.rs", 34, false),
+        ("metering-honesty", "crates/core/src/sneak.rs", 3, false),
+        ("dead-waiver", "crates/core/src/stale.rs", 1, false),
         ("panic-ratchet", "ratchet.json", 0, false),
+        ("waiver-ratchet", "ratchet.json", 0, false),
     ];
     assert_eq!(
         lines.len(),
@@ -68,27 +74,50 @@ fn bad_tree_reports_the_exact_seeded_findings() {
         );
     }
 
+    // the undocumented experiment is named
+    assert!(
+        lines[0].contains("`ghost`"),
+        "doc-drift must name the experiment: {}",
+        lines[0]
+    );
+    // span-balance points back at the open site it leaks
+    assert!(
+        lines[2].contains("opened at line 6"),
+        "span-balance must cite the open site: {}",
+        lines[2]
+    );
     // the waived finding carries its written reason
     assert!(
-        lines[1].contains("\"reason\":\"membership probes only, never iterated\""),
+        lines[4].contains("\"reason\":\"membership probes only, never iterated\""),
         "waiver reason missing: {}",
-        lines[1]
+        lines[4]
     );
     // the reason-less waiver is called out, not honoured
     assert!(
-        lines[2].contains("missing a reason"),
+        lines[5].contains("missing a reason"),
         "reason-less waiver not flagged: {}",
-        lines[2]
+        lines[5]
     );
-    // the ratchet regression names the crate and both counts
+    // the private-copy metering dodge is diagnosed as such
     assert!(
-        lines[7].contains("\"crate\":\"core\"") && lines[7].contains("2 unwrap"),
-        "ratchet message wrong: {}",
-        lines[7]
+        lines[10].contains("privately constructed stat struct"),
+        "metering-honesty verdict wrong: {}",
+        lines[10]
     );
-    // timing-owned fixture crate stayed silent
+    // both ratchet regressions name the crate and both counts
     assert!(
-        !jsonl.contains("\"file\":\"crates/bench"),
+        lines[12].contains("\"crate\":\"core\"") && lines[12].contains("2 unwrap"),
+        "panic-ratchet message wrong: {}",
+        lines[12]
+    );
+    assert!(
+        lines[13].contains("3 lint waiver sites") && lines[13].contains("budget of 2"),
+        "waiver-ratchet message wrong: {}",
+        lines[13]
+    );
+    // timing-owned fixture crate still gets no wallclock finding
+    assert!(
+        !jsonl.contains("\"rule\":\"wallclock\",\"file\":\"crates/bench"),
         "bench should be allowed to read the clock:\n{jsonl}"
     );
 }

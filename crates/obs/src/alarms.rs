@@ -15,6 +15,11 @@
 //! thread counts (values are stabilized to 6 decimal places, mirroring
 //! the trace summaries).
 
+// lint: allow-file(float-determinism) — diagnosis-side thresholds
+// and ratios: alarms and reports read the metered counters, render
+// them as f64 and compare against advisory thresholds; nothing here
+// feeds back into the metered execution
+
 use pim_sim::{balance, AdaptStats, CacheStats, ServeStats};
 
 use crate::report;

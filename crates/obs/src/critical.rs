@@ -15,6 +15,11 @@
 //! phase whose score approaches `P` serialized on one module — the
 //! skew signature the paper's Figures 2–4 plot.
 
+// lint: allow-file(float-determinism) — diagnosis-side thresholds
+// and ratios: alarms and reports read the metered counters, render
+// them as f64 and compare against advisory thresholds; nothing here
+// feeds back into the metered execution
+
 use std::collections::BTreeMap;
 
 use pim_sim::{balance, Dist, TraceEvent};

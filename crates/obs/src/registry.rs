@@ -16,6 +16,11 @@
 //! the counters published into it and [`Registry::expose`] is
 //! byte-identical across runs and thread counts.
 
+// lint: allow-file(float-determinism) — diagnosis-side thresholds
+// and ratios: alarms and reports read the metered counters, render
+// them as f64 and compare against advisory thresholds; nothing here
+// feeds back into the metered execution
+
 use std::collections::BTreeMap;
 
 use pim_sim::{balance, Metrics, MetricsDelta, TraceEvent};

@@ -15,6 +15,11 @@
 //! work is not on this clock — it is attributed per phase by the
 //! critical-path analyzer instead.
 
+// lint: allow-file(float-determinism) — diagnosis-side thresholds
+// and ratios: alarms and reports read the metered counters, render
+// them as f64 and compare against advisory thresholds; nothing here
+// feeds back into the metered execution
+
 use pim_sim::TraceEvent;
 
 use crate::report;

@@ -21,11 +21,21 @@ pub struct LatencySummary {
     pub p99: u64,
 }
 
-fn percentile(sorted: &[u64], q: f64) -> u64 {
+/// The `q_milli`-th permille value of a sorted tally, with the exact
+/// index the old `((len-1) as f64 * q).round()` produced — which is
+/// round-half-up for *both* quantiles: p50 ties are exact in binary
+/// and `round()` goes away from zero, and for p99 the only exact-
+/// product ties (`n ≡ 50 mod 100`) re-round *onto* .5 when the double
+/// product is formed (the 8.9e-18 deficit of `0.99`'s double is far
+/// inside half an ulp of the product), so `round()` again goes up.
+/// Every other index sits ≥ 1/100 from a tie, dwarfing double error.
+/// Pure integer arithmetic, bit-identical on every target.
+fn percentile(sorted: &[u64], q_milli: u64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    let n = (sorted.len() - 1) as u64;
+    let idx = ((n * q_milli + 500) / 1000) as usize;
     sorted[idx.min(sorted.len() - 1)]
 }
 
@@ -178,8 +188,8 @@ pub fn run_closed_loop(server: &mut Server, scripts: &[ClientScript]) -> ServeRe
         l.sort_unstable();
         LatencySummary {
             count: l.len() as u64,
-            p50: percentile(&l, 0.50),
-            p99: percentile(&l, 0.99),
+            p50: percentile(&l, 500),
+            p99: percentile(&l, 990),
         }
     });
 
@@ -190,5 +200,25 @@ pub fn run_closed_loop(server: &mut Server, scripts: &[ClientScript]) -> ServeRe
         violations: server.violations(),
         unresolved: server.in_flight() as u64,
         elapsed: server.now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_indices_match_the_old_float_rounding() {
+        // the integer form must reproduce the historical
+        // `((len-1) as f64 * q).round()` index for every tally length
+        // a closed-loop run can produce
+        for len in 1..=4096usize {
+            let sorted: Vec<u64> = (0..len as u64).collect();
+            let old_p50 = sorted[(((len - 1) as f64 * 0.50).round() as usize).min(len - 1)];
+            let old_p99 = sorted[(((len - 1) as f64 * 0.99).round() as usize).min(len - 1)];
+            assert_eq!(percentile(&sorted, 500), old_p50, "p50 len={len}");
+            assert_eq!(percentile(&sorted, 990), old_p99, "p99 len={len}");
+        }
+        assert_eq!(percentile(&[], 500), 0);
     }
 }

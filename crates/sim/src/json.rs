@@ -18,6 +18,10 @@
 //!   exactly for every value the workspace emits (see the round-trip
 //!   property tests in `crates/bench`).
 
+// lint: allow-file(float-determinism) — report-side exposition: f64
+// here only renders counters and ratios for humans and JSON; no
+// metered decision branches on a float in this file
+
 use std::fmt::Write as _;
 
 /// A JSON value. Objects preserve insertion order (no key sorting), so a

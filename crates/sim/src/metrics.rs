@@ -1,5 +1,9 @@
 //! PIM Model cost accounting.
 
+// lint: allow-file(float-determinism) — report-side exposition: f64
+// here only renders counters and ratios for humans and JSON; no
+// metered decision branches on a float in this file
+
 use crate::trace::Tracer;
 
 /// Per-round record: who sent/received how much, and per-module PIM work.

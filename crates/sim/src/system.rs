@@ -1,5 +1,10 @@
 //! The simulated PIM machine: `P` module states plus metric accounting.
 
+// lint: allow-file(float-determinism) — fault-plan rates use only
+// IEEE-754 multiply/compare on committed constants (no libm), which
+// is bit-identical on every conforming target; the seeded draws are
+// additionally pinned by the cost baseline
+
 use crate::fault::{stream, FaultPlan};
 use crate::metrics::{Metrics, RoundRecord};
 use crate::wire::Wire;

@@ -26,6 +26,10 @@
 //! words and work, plus per-module skew ratios — matching the
 //! load-balance lens of the paper's Figures 2–4.
 
+// lint: allow-file(float-determinism) — report-side exposition: f64
+// here only renders counters and ratios for humans and JSON; no
+// metered decision branches on a float in this file
+
 use std::collections::BTreeMap;
 
 use crate::json::Json;

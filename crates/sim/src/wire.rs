@@ -7,6 +7,11 @@
 //! occupy — sub-word scalars round up to one word, containers add one word
 //! of length header.
 
+// lint: allow-file(float-determinism) — fault-plan rates use only
+// IEEE-754 multiply/compare on committed constants (no libm), which
+// is bit-identical on every conforming target; the seeded draws are
+// additionally pinned by the cost baseline
+
 /// Number of 64-bit words a packed encoding of `bits` bits occupies.
 #[inline]
 pub fn words_for_bits(bits: usize) -> u64 {
